@@ -1,0 +1,59 @@
+"""Ablation: per-pair cost of each distance (Section 4.3's timing remark).
+
+Also micro-benchmarks each core distance with pytest-benchmark's
+calibrated timer on fixed representative pairs.
+"""
+
+import random
+
+import pytest
+
+from repro.core import get_distance
+from repro.experiments import run
+
+
+def test_speed_ablation(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("speed",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("ablation_distance_speed", result.render())
+    for dataset, per_distance in result.seconds.items():
+        d_e = per_distance["levenshtein"]
+        # d_C,h is within a small constant factor of d_E (paper: ~2x)
+        assert per_distance["contextual_heuristic"] < 8 * d_e, dataset
+        # the exact cubic algorithm is clearly slower than the heuristic
+        assert per_distance["contextual"] > per_distance["contextual_heuristic"]
+
+
+def _word_pair():
+    rng = random.Random(0)
+    make = lambda: "".join(rng.choice("abcdefgh") for _ in range(9))
+    return make(), make()
+
+
+def _contour_pair():
+    from repro.datasets import handwritten_digits
+
+    data = handwritten_digits(per_class=1, seed=0, grid=24)
+    return data.items[0], data.items[5]
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["levenshtein", "contextual_heuristic", "contextual", "marzal_vidal",
+     "yujian_bo", "dmax"],
+)
+def test_micro_word_pair(benchmark, name):
+    x, y = _word_pair()
+    distance = get_distance(name)
+    benchmark(distance, x, y)
+
+
+@pytest.mark.parametrize(
+    "name", ["levenshtein", "contextual_heuristic", "marzal_vidal"]
+)
+def test_micro_contour_pair(benchmark, name):
+    x, y = _contour_pair()
+    distance = get_distance(name)
+    benchmark(distance, x, y)

@@ -1,0 +1,25 @@
+"""Figure 1: d_C vs d_C,h histograms on the dictionary.
+
+Regenerates the overlaid histograms and checks the paper's claims: the
+two histograms nearly coincide and the heuristic equals the exact value
+on the vast majority of pairs.
+"""
+
+from repro.experiments import run
+
+
+def test_figure1(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("fig1",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("figure1_heuristic_histograms", result.render())
+    # paper: histograms nearly coincide; agreement ~90%
+    assert result.overlap > 0.9
+    assert result.equal_fraction > 0.75
+    # heuristic is an upper bound, so its mean cannot be below the exact one
+    assert result.heuristic.mean >= result.exact.mean - 1e-12
+    # intrinsic dimensionalities "similar" (within 20%)
+    rho_exact = result.exact.intrinsic_dimensionality
+    rho_heuristic = result.heuristic.intrinsic_dimensionality
+    assert abs(rho_exact - rho_heuristic) / rho_exact < 0.2

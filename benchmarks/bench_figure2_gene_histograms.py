@@ -1,0 +1,27 @@
+"""Figure 2: histograms of the normalised distances and d_E on genes.
+
+The reproduced claim: dYB/dMV/dmax concentrate (high intrinsic
+dimensionality), while d_C,h and d_E spread.
+"""
+
+from repro.experiments import run
+
+
+def test_figure2(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("fig2",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("figure2_gene_histograms", result.render())
+    rho = {
+        name: hist.intrinsic_dimensionality
+        for name, hist in result.normalised.items()
+    }
+    # the contextual heuristic is the least concentrated normalisation
+    assert rho["dC,h"] < rho["dYB"]
+    assert rho["dC,h"] < rho["dMV"]
+    assert rho["dC,h"] < rho["dmax"]
+    # d_E values dwarf the normalised ones (separate panel in the paper)
+    assert result.levenshtein.mean > 10 * max(
+        h.mean for h in result.normalised.values()
+    )

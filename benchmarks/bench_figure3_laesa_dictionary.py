@@ -1,0 +1,34 @@
+"""Figure 3: LAESA effort vs pivot count on the Spanish dictionary.
+
+Reproduced claims: computations drop steeply then flatten; d_C,h needs
+far fewer computations than the other normalised distances (comparable
+to d_E); its per-query time premium is compensated by the saved
+computations.
+"""
+
+from repro.experiments import run
+
+
+def test_figure3(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("fig3",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("figure3_laesa_dictionary", result.render())
+    series = result.series
+    # zero pivots degenerates to an exhaustive scan
+    for s in series.values():
+        assert s.computations[0] == result.n_train
+        # more pivots never dramatically increase computations
+        assert s.computations[-1] < s.computations[0]
+    # steep-then-flat: the first pivot step saves more than the last one
+    for s in series.values():
+        first_drop = s.computations[0] - s.computations[1]
+        last_drop = s.computations[-2] - s.computations[-1]
+        assert first_drop >= last_drop - 1e-9, s.distance
+    # the headline: the contextual heuristic prunes like d_E, much better
+    # than the other normalised distances
+    best = {name: min(s.computations) for name, s in series.items()}
+    assert best["dC,h"] < best["dYB"]
+    assert best["dC,h"] < best["dMV"]
+    assert best["dC,h"] < best["dmax"]

@@ -1,0 +1,24 @@
+"""Figure 4: LAESA effort vs pivot count on handwritten digit contours.
+
+The paper's point with this second sweep: the contextual distance keeps
+its low distance-computation count on a very different dataset.
+"""
+
+from repro.experiments import run
+
+
+def test_figure4(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("fig4",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("figure4_laesa_digits", result.render())
+    series = result.series
+    for s in series.values():
+        assert s.computations[0] == result.n_train
+        assert s.computations[-1] < s.computations[0]
+    best = {name: min(s.computations) for name, s in series.items()}
+    # d_C,h stays in the d_E regime, below dYB and dMV (the paper's digit
+    # panel shows dmax between the two groups)
+    assert best["dC,h"] < best["dYB"]
+    assert best["dC,h"] < best["dMV"]

@@ -1,0 +1,16 @@
+"""Figure 5: writer variation among sample '8's and '0's."""
+
+from repro.experiments import run
+
+
+def test_figure5(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("fig5",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("figure5_digit_samples", result.render())
+    assert len(result.eights) == 4
+    assert len(result.zeros) == 4
+    # samples really differ from writer to writer
+    assert len(set(result.eights)) == 4
+    assert result.mean_intra_class_distance > 0.05

@@ -1,0 +1,21 @@
+"""Section 4.1: agreement of the quadratic heuristic with the exact d_C.
+
+The paper reports equality in ~90% of cases with mean gaps (on the
+disagreeing pairs) between 0.008 and 0.03.
+"""
+
+from repro.experiments import run
+
+
+def test_heuristic_agreement(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("sec4.1",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("section41_heuristic_agreement", result.render())
+    for name, report in result.reports.items():
+        # ~90% in the paper; demand a clear majority at any scale
+        assert report.agreement_rate > 0.75, (name, report.summary())
+        # gaps are small when they occur
+        if report.mean_gap_when_diff:
+            assert report.mean_gap_when_diff < 0.2, name

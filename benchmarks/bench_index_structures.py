@@ -1,0 +1,110 @@
+"""Ablation: LAESA vs the other triangle-inequality structures, and
+pivot-selection strategies.
+
+The paper argues its LAESA results "will apply in similar cases" of
+metric-property-based methods; this benchmark quantifies that on the
+dictionary workload, and checks that max-min pivots beat random ones
+(the design choice called out in DESIGN.md).
+"""
+
+import random
+import statistics
+
+from repro.core import get_distance
+from repro.datasets import perturbed_queries, spanish_dictionary
+from repro.experiments.tables import Table
+from repro.index import (
+    AesaIndex,
+    BKTreeIndex,
+    ExhaustiveIndex,
+    LaesaIndex,
+    VPTreeIndex,
+)
+
+
+def _workload(n_train=400, n_queries=80, seed=0):
+    rng = random.Random(seed)
+    data = spanish_dictionary(n_words=1200, seed=11)
+    train = data.sample(n_train, rng)
+    queries = perturbed_queries(train, n_queries, rng, operations=2)
+    return list(train.items), queries
+
+
+def _mean_comps(index, queries):
+    return statistics.fmean(
+        index.nearest(q)[1].distance_computations for q in queries
+    )
+
+
+def test_index_structures(benchmark, save_result):
+    def experiment():
+        train, queries = _workload()
+        distance = get_distance("contextual_heuristic")
+        lev = get_distance("levenshtein")
+        rows = {}
+        rows["exhaustive"] = (
+            _mean_comps(ExhaustiveIndex(train, distance), queries), 0
+        )
+        laesa = LaesaIndex(train, distance, n_pivots=30, rng=random.Random(1))
+        rows["LAESA(30)"] = (
+            _mean_comps(laesa, queries), laesa.preprocessing_computations
+        )
+        aesa = AesaIndex(train, distance)
+        rows["AESA"] = (
+            _mean_comps(aesa, queries), aesa.preprocessing_computations
+        )
+        vp = VPTreeIndex(train, distance, rng=random.Random(2))
+        rows["VP-tree"] = (
+            _mean_comps(vp, queries), vp.preprocessing_computations
+        )
+        bk = BKTreeIndex(train, lev)  # integer metric only
+        rows["BK-tree (dE)"] = (
+            _mean_comps(bk, queries), bk.preprocessing_computations
+        )
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = Table(
+        title="Ablation -- metric index structures (dictionary, dC,h)",
+        headers=["index", "mean comps/query", "preprocessing comps"],
+    )
+    for name, (comps, prep) in rows.items():
+        table.add_row(name, comps, prep)
+    save_result("ablation_index_structures", table.render())
+    # every triangle-inequality structure beats the scan
+    scan = rows["exhaustive"][0]
+    for name, (comps, _) in rows.items():
+        if name != "exhaustive":
+            assert comps < scan, name
+    # AESA searches cheapest, LAESA's preprocessing is far cheaper
+    assert rows["AESA"][0] <= rows["LAESA(30)"][0]
+    assert rows["LAESA(30)"][1] < rows["AESA"][1]
+
+
+def test_pivot_strategies(benchmark, save_result):
+    def experiment():
+        train, queries = _workload(seed=3)
+        distance = get_distance("contextual_heuristic")
+        rows = {}
+        for strategy in ("maxmin", "maxsum", "random"):
+            comps = []
+            for trial in range(3):
+                pivot_rng = random.Random(100 + trial)
+                index = LaesaIndex(
+                    train, distance, n_pivots=30,
+                    pivot_strategy=strategy, rng=pivot_rng,
+                )
+                comps.append(_mean_comps(index, queries))
+            rows[strategy] = statistics.fmean(comps)
+        return rows
+
+    rows = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    table = Table(
+        title="Ablation -- LAESA pivot-selection strategies (30 pivots)",
+        headers=["strategy", "mean comps/query"],
+    )
+    for name, comps in rows.items():
+        table.add_row(name, comps)
+    save_result("ablation_pivot_strategies", table.render())
+    # max-min (the published choice) should not lose to random selection
+    assert rows["maxmin"] <= rows["random"] * 1.05

@@ -1,0 +1,17 @@
+"""Section 4.1's rationale for the heuristic: the exact optimum almost
+always sits at k = d_E."""
+
+from repro.experiments import run
+
+
+def test_kgap(benchmark, bench_scale, save_result):
+    result = benchmark.pedantic(
+        run, args=("kgap",), kwargs={"scale": bench_scale},
+        rounds=1, iterations=1,
+    )
+    save_result("section41_kgap", result.render())
+    for dataset in result.distributions:
+        assert result.fraction_at_zero(dataset) > 0.75, dataset
+        # any non-zero gaps are small (a couple of extra operations)
+        gaps = result.distributions[dataset]
+        assert all(g <= 8 for g in gaps), gaps

@@ -1,0 +1,37 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``bench`` scale by default; set ``REPRO_BENCH_SCALE=default`` (or
+``paper``) for a bigger run.  The rendered table/figure is printed and
+also written to ``benchmarks/results/<name>.txt`` so a benchmark run
+leaves durable artefacts.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """The experiment scale benchmarks run at (env: REPRO_BENCH_SCALE)."""
+    return os.environ.get("REPRO_BENCH_SCALE", "bench")
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist a rendered table/figure under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        # also emit to stdout (shown with pytest -s; captured otherwise)
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _save

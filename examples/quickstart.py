@@ -1,0 +1,88 @@
+"""Quickstart: the contextual normalised edit distance in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    alignment,
+    check_metric,
+    contextual_distance,
+    contextual_distance_heuristic,
+    contextual_profile,
+    levenshtein_distance,
+    list_distances,
+    max_normalized_distance,
+    mv_normalized_distance,
+    yb_normalized_distance,
+)
+from repro.core import contextual_edit_path
+from repro.core.metric import all_strings
+
+
+def main() -> None:
+    # --- the paper's worked examples ------------------------------------
+    print("d_E(abaa, aab) =", levenshtein_distance("abaa", "aab"))
+    print("d_C(ababa, baab) =", contextual_distance("ababa", "baab"),
+          "(paper: 8/15 =", 8 / 15, ")")
+
+    # --- why normalise?  two edits on short vs long strings -------------
+    print("\nTwo edits hurt a short string more than a long one:")
+    short_x, short_y = "ab", "ba"
+    long_x = "ab" * 100
+    long_y = "ba" + "ab" * 99
+    for label, d in (
+        ("d_E  ", lambda a, b: float(levenshtein_distance(a, b))),
+        ("d_C  ", contextual_distance),
+        ("d_YB ", yb_normalized_distance),
+        ("d_MV ", mv_normalized_distance),
+        ("d_max", max_normalized_distance),
+    ):
+        print(f"  {label}: short={d(short_x, short_y):.4f}   "
+              f"long={d(long_x, long_y):.4f}")
+
+    # --- the fast heuristic ----------------------------------------------
+    x, y = "contextual", "normalised"
+    exact = contextual_distance(x, y)
+    heuristic = contextual_distance_heuristic(x, y)
+    print(f"\nd_C({x!r}, {y!r})   = {exact:.6f}")
+    print(f"d_C,h({x!r}, {y!r}) = {heuristic:.6f}  "
+          f"({'equal' if abs(exact - heuristic) < 1e-12 else 'heuristic larger'})")
+
+    # --- inspecting the optimum: cost for every paid-operation count k ---
+    print("\nk-profile for (ababa -> baab):  [k: insertions, cost]")
+    for point in contextual_profile("ababa", "baab"):
+        print(f"  k={point.k}: ni={point.ni}, ns={point.ns}, nd={point.nd}, "
+              f"cost={point.cost:.4f}")
+
+    # --- the optimal path itself ------------------------------------------
+    print("\nThe optimal contextual path for (ababa -> baab), in canonical")
+    print("order (insertions first, then substitutions, deletions last):")
+    path = contextual_edit_path("ababa", "baab")
+    for op in path.ops:
+        if op.kind != "match":
+            print(f"  {op.kind:10s} at position {op.position}: "
+                  f"{op.before!r} -> {op.after!r}")
+    print(f"  total weight {path.contextual_weight:.4f} "
+          f"(= d_C, with {path.edit_weight} paid operations; "
+          f"d_E is {levenshtein_distance('ababa', 'baab')})")
+
+    # --- alignments -------------------------------------------------------
+    print("\nAn optimal alignment (| match, * substitute, + insert, - delete):")
+    for line in alignment("levenshtein", "contextual"):
+        print(" ", line)
+
+    # --- d_C is a metric; d_max is not ------------------------------------
+    universe = all_strings("ab", 3)
+    print("\nMetric check over all strings of length <= 3 on {a,b}:")
+    print("  d_C :", check_metric(contextual_distance, universe).summary())
+    print("  d_max:", check_metric(max_normalized_distance, universe).summary())
+
+    # --- everything in the registry ---------------------------------------
+    print("\nRegistered distances:")
+    for spec in list_distances():
+        metric = "metric" if spec.is_metric else "NOT a metric"
+        print(f"  {spec.name:22s} ({spec.display:5s}) -- {metric}; {spec.notes}")
+
+
+if __name__ == "__main__":
+    main()

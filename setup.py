@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e .` works without the `wheel` package.
+
+All real metadata lives in pyproject.toml; this file only exists because
+the offline environment cannot perform PEP 660 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

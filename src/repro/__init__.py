@@ -1,0 +1,85 @@
+"""repro -- a full reproduction of "A Contextual Normalised Edit Distance"
+(Colin de la Higuera & Luisa Micó, ICDE 2008).
+
+The package provides:
+
+* :mod:`repro.core` -- the contextual normalised edit distance ``d_C``
+  (exact Algorithm 1 and the quadratic heuristic ``d_C,h``) together with
+  every distance the paper compares against (``d_E``, ``d_MV``, ``d_YB``,
+  and the non-metric ratios ``d_sum``/``d_max``/``d_min``);
+* :mod:`repro.index` -- metric nearest-neighbour search structures (LAESA,
+  AESA, BK-tree, VP-tree, exhaustive scan) with distance-computation
+  accounting;
+* :mod:`repro.datasets` -- deterministic synthetic stand-ins for the
+  paper's three datasets (Spanish dictionary, Listeria genes, NIST digit
+  contour chain codes) plus the ``genqueries``-style perturbation tool;
+* :mod:`repro.analysis` -- distance histograms, Chávez intrinsic
+  dimensionality, exact-vs-heuristic agreement statistics, ASCII plots;
+* :mod:`repro.classify` -- 1-NN classification with the paper's
+  repeated-trial protocol;
+* :mod:`repro.experiments` -- one runnable module per table and figure
+  (``python -m repro.experiments --list``).
+
+Quickstart::
+
+    >>> from repro import contextual_distance, contextual_distance_heuristic
+    >>> round(contextual_distance("ababa", "baab"), 4)
+    0.5333
+    >>> contextual_distance_heuristic("hello", "hello")
+    0.0
+"""
+
+from .core import (
+    CostModel,
+    DistanceFunction,
+    EditOp,
+    EditPath,
+    MetricReport,
+    PAPER_ALL,
+    PAPER_NORMALISED,
+    alignment,
+    canonical_cost,
+    check_metric,
+    contextual_distance,
+    contextual_distance_heuristic,
+    contextual_profile,
+    edit_script,
+    get_distance,
+    get_spec,
+    levenshtein_distance,
+    list_distances,
+    max_normalized_distance,
+    min_normalized_distance,
+    mv_normalized_distance,
+    sum_normalized_distance,
+    yb_normalized_distance,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "contextual_distance",
+    "contextual_distance_heuristic",
+    "contextual_profile",
+    "canonical_cost",
+    "levenshtein_distance",
+    "mv_normalized_distance",
+    "yb_normalized_distance",
+    "max_normalized_distance",
+    "min_normalized_distance",
+    "sum_normalized_distance",
+    "alignment",
+    "edit_script",
+    "EditOp",
+    "EditPath",
+    "CostModel",
+    "MetricReport",
+    "check_metric",
+    "get_distance",
+    "get_spec",
+    "list_distances",
+    "DistanceFunction",
+    "PAPER_ALL",
+    "PAPER_NORMALISED",
+]

@@ -1,0 +1,55 @@
+"""``python -m repro``: a tiny distance calculator and package overview.
+
+Examples::
+
+    python -m repro                          # list distances
+    python -m repro ababa baab               # all distances for one pair
+    python -m repro ababa baab -d contextual # one distance
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from . import __version__
+from .core import get_spec, list_distances
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Contextual normalised edit distance "
+        "(de la Higuera & Micó, ICDE 2008) -- distance calculator.",
+    )
+    parser.add_argument("x", nargs="?", help="first string")
+    parser.add_argument("y", nargs="?", help="second string")
+    parser.add_argument(
+        "-d",
+        "--distance",
+        action="append",
+        help="distance name (repeatable; default: all registered)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.x is None or args.y is None:
+        print(f"repro {__version__} -- registered distances:\n")
+        for spec in list_distances():
+            metric = "metric    " if spec.is_metric else "not metric"
+            print(f"  {spec.name:22s} {spec.display:6s} [{metric}] {spec.notes}")
+        print(
+            "\nusage: python -m repro <x> <y> [-d name ...]"
+            "\nexperiments: python -m repro.experiments --list"
+        )
+        return 0
+
+    names = args.distance or [spec.name for spec in list_distances()]
+    width = max(len(name) for name in names)
+    for name in names:
+        spec = get_spec(name)  # raises KeyError with the known names
+        value = spec.function(args.x, args.y)
+        print(f"{name:{width}s} ({spec.display}): {value:.6f}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Analysis substrate: histograms, intrinsic dimensionality, agreement."""
+
+from .agreement import AgreementReport, heuristic_agreement
+from .dimension import intrinsic_dimensionality, intrinsic_dimensionality_of
+from .histogram import DistanceHistogram, pairwise_distance_sample
+from .plots import render_histograms, render_series
+
+__all__ = [
+    "DistanceHistogram",
+    "pairwise_distance_sample",
+    "intrinsic_dimensionality",
+    "intrinsic_dimensionality_of",
+    "AgreementReport",
+    "heuristic_agreement",
+    "render_histograms",
+    "render_series",
+]

@@ -1,0 +1,115 @@
+"""Terminal (ASCII) rendering of the paper's figures.
+
+Every figure reproduction prints its data both as numbers and as an ASCII
+chart, so a benchmark run is visually checkable without any plotting
+dependency.  Two renderers cover the paper's needs: overlaid histograms
+(Figures 1-2) and multi-series x/y charts (Figures 3-4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["render_histograms", "render_series"]
+
+#: Markers assigned to series, in order.
+_MARKERS = "ox+*#@%&"
+
+
+def render_histograms(
+    histograms: Sequence["DistanceHistogram"],  # noqa: F821 - doc type
+    width: int = 72,
+    height: int = 16,
+    normalise: bool = True,
+) -> str:
+    """Overlay one or more :class:`~repro.analysis.histogram.DistanceHistogram`.
+
+    Each histogram is drawn as a column profile with its own marker; a
+    legend line maps markers to labels.  Bins are resampled onto *width*
+    columns over the union of the value ranges.
+    """
+    if not histograms:
+        raise ValueError("no histograms to render")
+    lo = min(float(h.bin_edges[0]) for h in histograms)
+    hi = max(float(h.bin_edges[-1]) for h in histograms)
+    if hi <= lo:
+        hi = lo + 1.0
+    columns = np.linspace(lo, hi, width + 1)
+    profiles: List[np.ndarray] = []
+    for h in histograms:
+        weights = h.normalized_counts() if normalise else h.counts.astype(float)
+        centers = (h.bin_edges[:-1] + h.bin_edges[1:]) / 2.0
+        profile, _ = np.histogram(centers, bins=columns, weights=weights)
+        profiles.append(profile)
+    peak = max(float(p.max()) for p in profiles) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for series, profile in enumerate(profiles):
+        marker = _MARKERS[series % len(_MARKERS)]
+        for col in range(width):
+            level = int(round(profile[col] / peak * (height - 1)))
+            if profile[col] > 0 and level == 0:
+                level = 1  # keep tiny-but-nonzero mass visible
+            if level > 0:
+                row = height - 1 - level
+                if grid[row][col] == " ":
+                    grid[row][col] = marker
+    lines = ["".join(row).rstrip() for row in grid]
+    axis = f"{lo:<10.3g}{' ' * max(0, width - 20)}{hi:>10.3g}"
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {h.label or f'series {i}'}"
+        for i, h in enumerate(histograms)
+    )
+    return "\n".join(lines + ["-" * width, axis, legend])
+
+
+def render_series(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Scatter-plot several named ``(xs, ys)`` series on one ASCII grid.
+
+    Used for Figures 3 and 4 (distance computations / time vs number of
+    pivots).  Each series gets a marker; points landing on the same cell
+    keep the first marker drawn.
+    """
+    if not series:
+        raise ValueError("no series to render")
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    if not all_x:
+        raise ValueError("series contain no points")
+    x_lo, x_hi = min(all_x), max(all_x)
+    y_lo, y_hi = min(all_y), max(all_y)
+    if x_hi <= x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            col = int(round((x - x_lo) / (x_hi - x_lo) * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / (y_hi - y_lo) * (height - 1)))
+            if grid[row][col] == " ":
+                grid[row][col] = marker
+    lines = []
+    for r, row in enumerate(grid):
+        prefix = f"{y_hi:>10.4g} |" if r == 0 else (
+            f"{y_lo:>10.4g} |" if r == height - 1 else " " * 10 + " |"
+        )
+        lines.append(prefix + "".join(row).rstrip())
+    lines.append(" " * 10 + " +" + "-" * width)
+    lines.append(
+        " " * 10 + f"  {x_lo:<12.4g}{x_label:^{max(0, width - 28)}}{x_hi:>12.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(legend if not y_label else f"{legend}    (y: {y_label})")
+    return "\n".join(lines)

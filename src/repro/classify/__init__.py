@@ -1,0 +1,12 @@
+"""1-NN classification with the paper's repeated-trial protocol."""
+
+from .evaluation import TrialSummary, confusion_matrix, repeated_classification
+from .knn import ClassificationStats, NearestNeighborClassifier
+
+__all__ = [
+    "NearestNeighborClassifier",
+    "ClassificationStats",
+    "repeated_classification",
+    "confusion_matrix",
+    "TrialSummary",
+]

@@ -1,0 +1,117 @@
+"""The paper's repeated-trial evaluation protocol (Section 4.4).
+
+"All the experiments were repeated with ten different prototype sets (...)
+and 1000 different samples.  Therefore, results were obtained as an
+average over 10000 experiments."  :func:`repeated_classification` runs
+that protocol: for each trial a fresh stratified prototype (training) set
+is drawn, the remaining labelled data provides the queries, and error
+rates are averaged with their deviation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..datasets.base import Dataset
+from .knn import IndexFactory, NearestNeighborClassifier
+
+__all__ = ["TrialSummary", "repeated_classification", "confusion_matrix"]
+
+
+@dataclass(frozen=True)
+class TrialSummary:
+    """Mean and deviation of per-trial error rates, plus search costs."""
+
+    n_trials: int
+    error_rates: Tuple[float, ...]
+    mean_computations_per_query: float
+    mean_seconds_per_query: float
+
+    @property
+    def mean_error_rate(self) -> float:
+        return sum(self.error_rates) / len(self.error_rates)
+
+    @property
+    def error_rate_deviation(self) -> float:
+        """Sample standard deviation across trials (0 for one trial)."""
+        if len(self.error_rates) < 2:
+            return 0.0
+        mean = self.mean_error_rate
+        var = sum((e - mean) ** 2 for e in self.error_rates) / (
+            len(self.error_rates) - 1
+        )
+        return math.sqrt(var)
+
+    def summary(self) -> str:
+        return (
+            f"error {100.0 * self.mean_error_rate:.2f}% "
+            f"± {100.0 * self.error_rate_deviation:.2f} "
+            f"({self.n_trials} trials, "
+            f"{self.mean_computations_per_query:.1f} comps/query)"
+        )
+
+
+def repeated_classification(
+    data: Dataset,
+    distance: Callable[[Any, Any], float],
+    index_factory: Optional[IndexFactory] = None,
+    per_class: int = 100,
+    n_test: int = 1000,
+    n_trials: int = 10,
+    seed: int = 0xC1A55,
+    k: int = 1,
+) -> TrialSummary:
+    """Run *n_trials* independent prototype-set/query-set splits.
+
+    Each trial stratifies *per_class* training items per class; *n_test*
+    queries are sampled from the held-out remainder.  Deterministic in
+    *seed*.
+    """
+    if data.labels is None:
+        raise ValueError("repeated_classification requires a labelled dataset")
+    rng = random.Random(seed)
+    error_rates: List[float] = []
+    total_comps = 0
+    total_time = 0.0
+    total_queries = 0
+    for _ in range(n_trials):
+        train, rest = data.stratified_split(per_class, rng)
+        n_queries = min(n_test, len(rest))
+        if n_queries == 0:
+            raise ValueError(
+                "no held-out items left for queries; lower per_class"
+            )
+        picks = rng.sample(range(len(rest)), n_queries)
+        queries = [rest.items[i] for i in picks]
+        truths = [rest.labels[i] for i in picks]
+        classifier = NearestNeighborClassifier(
+            distance, index_factory=index_factory, k=k
+        ).fit(train.items, train.labels)
+        stats = classifier.evaluate(queries, truths)
+        error_rates.append(stats.error_rate)
+        total_comps += stats.distance_computations
+        total_time += stats.elapsed_seconds
+        total_queries += stats.n_queries
+    return TrialSummary(
+        n_trials=n_trials,
+        error_rates=tuple(error_rates),
+        mean_computations_per_query=total_comps / total_queries,
+        mean_seconds_per_query=total_time / total_queries,
+    )
+
+
+def confusion_matrix(
+    classifier: NearestNeighborClassifier,
+    items: Sequence[Any],
+    labels: Sequence[Any],
+) -> Dict[Tuple[Any, Any], int]:
+    """``(true_label, predicted_label) -> count`` over the given queries."""
+    matrix: Dict[Tuple[Any, Any], int] = {}
+    for item, truth in zip(items, labels):
+        predicted, _ = classifier.predict_one(item)
+        key = (truth, predicted)
+        matrix[key] = matrix.get(key, 0) + 1
+    return matrix

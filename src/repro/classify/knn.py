@@ -1,0 +1,134 @@
+"""Nearest-neighbour classification over any search index (Section 4.4).
+
+"When a new unlabelled test sample is used as a query, this object is
+classified with the same label as its nearest neighbour in the training
+set."  The classifier is parametric in the index factory, so the same code
+runs Table 2's LAESA column and its exhaustive-search column.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from ..index.base import NearestNeighborIndex, SearchStats
+from ..index.exhaustive import ExhaustiveIndex
+
+__all__ = ["NearestNeighborClassifier", "ClassificationStats"]
+
+IndexFactory = Callable[[Sequence[Any], Callable[[Any, Any], float]], NearestNeighborIndex]
+
+
+@dataclass(frozen=True)
+class ClassificationStats:
+    """Aggregate cost of classifying a batch of queries."""
+
+    n_queries: int
+    errors: int
+    distance_computations: int
+    elapsed_seconds: float
+
+    @property
+    def error_rate(self) -> float:
+        """Fraction of misclassified queries (the paper's Table 2 metric,
+        there expressed as a percentage)."""
+        return self.errors / self.n_queries if self.n_queries else 0.0
+
+    @property
+    def computations_per_query(self) -> float:
+        return (
+            self.distance_computations / self.n_queries if self.n_queries else 0.0
+        )
+
+    @property
+    def seconds_per_query(self) -> float:
+        return self.elapsed_seconds / self.n_queries if self.n_queries else 0.0
+
+
+class NearestNeighborClassifier:
+    """k-NN classifier (k=1 by default, as in the paper).
+
+    Parameters
+    ----------
+    distance:
+        Any distance function over the item type.
+    index_factory:
+        Builds the search structure from ``(items, distance)``; defaults to
+        exhaustive scan.  Pass e.g.
+        ``lambda items, d: LaesaIndex(items, d, n_pivots=40)`` for LAESA.
+    k:
+        Number of neighbours voting (majority, ties broken by the nearest
+        of the tied classes).
+    """
+
+    def __init__(
+        self,
+        distance: Callable[[Any, Any], float],
+        index_factory: Optional[IndexFactory] = None,
+        k: int = 1,
+    ) -> None:
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.distance = distance
+        self.index_factory = index_factory or ExhaustiveIndex
+        self.k = k
+        self._index: Optional[NearestNeighborIndex] = None
+        self._labels: Optional[List[Any]] = None
+
+    def fit(
+        self, items: Sequence[Any], labels: Sequence[Any]
+    ) -> "NearestNeighborClassifier":
+        """Index the training items; labels align by position."""
+        if len(items) != len(labels):
+            raise ValueError(
+                f"{len(items)} items but {len(labels)} labels"
+            )
+        if len(items) < self.k:
+            raise ValueError(
+                f"k={self.k} larger than training set of {len(items)}"
+            )
+        self._index = self.index_factory(items, self.distance)
+        self._labels = list(labels)
+        return self
+
+    def _require_fitted(self) -> NearestNeighborIndex:
+        if self._index is None or self._labels is None:
+            raise RuntimeError("classifier used before fit()")
+        return self._index
+
+    def predict_one(self, item: Any) -> Tuple[Any, SearchStats]:
+        """Classify one item; returns ``(label, per-query SearchStats)``."""
+        index = self._require_fitted()
+        results, stats = index.knn(item, self.k)
+        if self.k == 1:
+            return self._labels[results[0].index], stats
+        votes = Counter(self._labels[r.index] for r in results)
+        top = max(votes.values())
+        tied = {label for label, count in votes.items() if count == top}
+        for r in results:  # results are distance-sorted: nearest tied wins
+            if self._labels[r.index] in tied:
+                return self._labels[r.index], stats
+        raise AssertionError("unreachable: tie set comes from results")
+
+    def evaluate(
+        self, items: Sequence[Any], labels: Sequence[Any]
+    ) -> ClassificationStats:
+        """Classify every item and aggregate error rate and search cost."""
+        if len(items) != len(labels):
+            raise ValueError(f"{len(items)} items but {len(labels)} labels")
+        errors = 0
+        computations = 0
+        elapsed = 0.0
+        for item, truth in zip(items, labels):
+            predicted, stats = self.predict_one(item)
+            if predicted != truth:
+                errors += 1
+            computations += stats.distance_computations
+            elapsed += stats.elapsed_seconds
+        return ClassificationStats(
+            n_queries=len(items),
+            errors=errors,
+            distance_computations=computations,
+            elapsed_seconds=elapsed,
+        )

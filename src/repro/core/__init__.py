@@ -1,0 +1,130 @@
+"""Core string distances: the paper's contextual distance and every
+comparator it is evaluated against.
+
+Quick orientation:
+
+* :func:`contextual_distance` / :func:`contextual_distance_heuristic` --
+  the paper's contribution (Section 3) and its fast heuristic (Section 4.1);
+* :func:`levenshtein_distance` -- plain ``d_E``;
+* :func:`mv_normalized_distance` -- Marzal–Vidal ``d_MV``;
+* :func:`yb_normalized_distance` -- Yujian–Bo ``d_YB``;
+* :func:`max_normalized_distance` & friends -- the naive ratios of
+  Section 2.2 (not metrics);
+* :func:`get_distance` -- name-based registry used by the experiments.
+"""
+
+from .contextual import (
+    KPoint,
+    canonical_cost,
+    contextual_distance,
+    contextual_distance_heuristic,
+    contextual_edit_path,
+    contextual_profile,
+)
+from .generalized import (
+    CostModel,
+    UNIT_COSTS,
+    generalized_edit_distance,
+    internal_failure_example,
+    naive_contextual_generalized_internal,
+    naive_contextual_generalized_optimal,
+    padded_contextual_generalized,
+)
+from .harmonic import harmonic, harmonic_range
+from .levenshtein import (
+    alignment,
+    edit_script,
+    internal_path_length,
+    levenshtein_distance,
+    levenshtein_matrix,
+    levenshtein_within,
+)
+from .marzal_vidal import mv_normalized_distance, mv_normalized_distance_fractional
+from .metric import MetricReport, all_strings, check_metric
+from .paths import (
+    EditOp,
+    EditPath,
+    apply_ops,
+    contextual_op_cost,
+    path_contextual_weight,
+    path_edit_weight,
+    path_length,
+)
+from .ratios import (
+    TRIANGLE_COUNTEREXAMPLES,
+    max_normalized_distance,
+    min_normalized_distance,
+    sum_normalized_distance,
+    triangle_defect,
+)
+from .registry import (
+    PAPER_ALL,
+    PAPER_NORMALISED,
+    DistanceSpec,
+    get_distance,
+    get_spec,
+    list_distances,
+)
+from .types import DistanceFunction, StringLike, as_symbols
+from .yujian_bo import yb_generalized_distance, yb_normalized_distance
+
+__all__ = [
+    # contextual
+    "contextual_distance",
+    "contextual_distance_heuristic",
+    "contextual_edit_path",
+    "contextual_profile",
+    "canonical_cost",
+    "KPoint",
+    # levenshtein
+    "levenshtein_distance",
+    "levenshtein_within",
+    "levenshtein_matrix",
+    "edit_script",
+    "alignment",
+    "internal_path_length",
+    # other normalisations
+    "mv_normalized_distance",
+    "mv_normalized_distance_fractional",
+    "yb_normalized_distance",
+    "yb_generalized_distance",
+    "max_normalized_distance",
+    "min_normalized_distance",
+    "sum_normalized_distance",
+    "TRIANGLE_COUNTEREXAMPLES",
+    "triangle_defect",
+    # generalized
+    "CostModel",
+    "UNIT_COSTS",
+    "generalized_edit_distance",
+    "naive_contextual_generalized_internal",
+    "naive_contextual_generalized_optimal",
+    "padded_contextual_generalized",
+    "internal_failure_example",
+    # paths
+    "EditOp",
+    "EditPath",
+    "apply_ops",
+    "contextual_op_cost",
+    "path_contextual_weight",
+    "path_edit_weight",
+    "path_length",
+    # harmonic
+    "harmonic",
+    "harmonic_range",
+    # metric checking
+    "MetricReport",
+    "check_metric",
+    "all_strings",
+    # registry
+    "DistanceSpec",
+    "get_distance",
+    "get_spec",
+    "list_distances",
+    "PAPER_ALL",
+    "PAPER_NORMALISED",
+    # types
+    "DistanceFunction",
+    "StringLike",
+    "as_symbols",
+]

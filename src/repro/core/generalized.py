@@ -1,0 +1,334 @@
+"""Generalised (weighted) edit distances and the contextual extension's
+failure mode (the paper's "further works" remark).
+
+A :class:`CostModel` assigns positive weights to deletions, insertions and
+substitutions.  On top of it this module provides:
+
+* :func:`generalized_edit_distance` -- weighted Wagner–Fischer;
+* :func:`naive_contextual_generalized_internal` -- the *naive* extension of
+  the contextual idea to weighted operations, computed the way Algorithm 1
+  would (canonical internal paths only);
+* :func:`naive_contextual_generalized_optimal` -- the true optimum over all
+  rewriting paths (small-input Dijkstra);
+* :func:`internal_failure_example` -- a constructive demonstration of the
+  paper's closing remark: with weighted operations, the best path may
+  insert *cheap dummy symbols* purely to lengthen the string so that the
+  expensive substitutions are discounted, then erase them -- so internal
+  paths (and hence Algorithm 1's strategy) no longer suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Optional, Tuple
+
+from .types import StringLike, require_strings
+
+__all__ = [
+    "CostModel",
+    "UNIT_COSTS",
+    "generalized_edit_distance",
+    "naive_contextual_generalized_internal",
+    "naive_contextual_generalized_optimal",
+    "padded_contextual_generalized",
+    "internal_failure_example",
+    "InternalFailure",
+]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Weights for the three elementary operations.
+
+    ``substitution``/``insertion``/``deletion`` are mappings applied per
+    symbol (pair); missing entries fall back to the defaults.  Matching
+    symbols always cost 0 regardless of the substitution table.
+    """
+
+    substitution: Dict[Tuple[Hashable, Hashable], float] = field(
+        default_factory=dict
+    )
+    insertion: Dict[Hashable, float] = field(default_factory=dict)
+    deletion: Dict[Hashable, float] = field(default_factory=dict)
+    default_substitution: float = 1.0
+    default_insertion: float = 1.0
+    default_deletion: float = 1.0
+
+    def substitute(self, a: Hashable, b: Hashable) -> float:
+        """Cost of rewriting symbol *a* into *b* (0 when equal)."""
+        if a == b:
+            return 0.0
+        cost = self.substitution.get((a, b))
+        if cost is None:
+            cost = self.substitution.get((b, a))
+        return self.default_substitution if cost is None else cost
+
+    def insert(self, b: Hashable) -> float:
+        """Cost of inserting symbol *b*."""
+        return self.insertion.get(b, self.default_insertion)
+
+    def delete(self, a: Hashable) -> float:
+        """Cost of deleting symbol *a*."""
+        return self.deletion.get(a, self.default_deletion)
+
+
+#: The unit model: every paid operation costs 1 (plain Levenshtein).
+UNIT_COSTS = CostModel()
+
+
+def generalized_edit_distance(
+    x: StringLike, y: StringLike, costs: CostModel = UNIT_COSTS
+) -> float:
+    """Weighted edit distance (two-row Wagner–Fischer over *costs*)."""
+    x, y = require_strings(x, y)
+    m, n = len(x), len(y)
+    prev = [0.0] * (n + 1)
+    for j in range(1, n + 1):
+        prev[j] = prev[j - 1] + costs.insert(y[j - 1])
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        del_cost = costs.delete(xi)
+        cur = [prev[0] + del_cost] + [0.0] * n
+        for j in range(1, n + 1):
+            yj = y[j - 1]
+            best = prev[j - 1] + costs.substitute(xi, yj)
+            up = prev[j] + del_cost
+            if up < best:
+                best = up
+            left = cur[j - 1] + costs.insert(yj)
+            if left < best:
+                best = left
+            cur[j] = best
+        prev = cur
+    return prev[n]
+
+
+def _canonical_alignment_cost(
+    m: int,
+    n: int,
+    insert_weights: Tuple[float, ...],
+    delete_weights: Tuple[float, ...],
+    substitution_total: float,
+) -> float:
+    """Cost of an internal path with the given operation multiset under the
+    optimal temporal order.
+
+    Lemma 1 generalises to weighted operations: since every operation
+    ``u -> v`` costs ``w / max(|u|, |v|)`` and lengthening the string never
+    hurts, the optimum performs all insertions first, substitutions at the
+    peak length ``m + ni``, and deletions last.  Within the insertion
+    (resp. deletion) phase the lengths ``m+1..m+ni`` (resp. ``n+nd..n+1``)
+    are fixed, so by the rearrangement inequality the heaviest weights are
+    paired with the longest strings.
+    """
+    ni, nd = len(insert_weights), len(delete_weights)
+    peak = m + ni
+    total = 0.0
+    for rank, w in enumerate(sorted(insert_weights), start=1):
+        total += w / (m + rank)
+    if substitution_total:
+        total += substitution_total / peak
+    for rank, w in enumerate(sorted(delete_weights), start=1):
+        total += w / (n + rank)
+    return total
+
+
+def naive_contextual_generalized_internal(
+    x: StringLike, y: StringLike, costs: CostModel = UNIT_COSTS
+) -> float:
+    """Naive weighted contextual distance restricted to *internal* paths.
+
+    Every operation ``u -> v`` costs ``w(op) / max(|u|, |v|)``.  Internal
+    paths are exactly the alignments of ``x`` and ``y`` (Proposition 1),
+    with the temporal order chosen optimally; we enumerate every alignment
+    (grid path) recursively and evaluate its canonical-order cost.  For
+    unit costs this equals ``d_C`` -- the test-suite cross-checks that --
+    and for general costs it is the quantity an Algorithm-1-style method
+    would compute.  :func:`internal_failure_example` shows it can
+    *overestimate* the true optimum.  Exponential in the input lengths --
+    analysis tool only.
+    """
+    x, y = require_strings(x, y)
+    m, n = len(x), len(y)
+    if x == y:
+        return 0.0
+    best = float("inf")
+    inserts: list = []
+    deletes: list = []
+
+    def walk(i: int, j: int, substitution_total: float) -> None:
+        nonlocal best
+        if i == m and j == n:
+            cost = _canonical_alignment_cost(
+                m, n, tuple(inserts), tuple(deletes), substitution_total
+            )
+            if cost < best:
+                best = cost
+            return
+        if i < m:
+            deletes.append(costs.delete(x[i]))
+            walk(i + 1, j, substitution_total)
+            deletes.pop()
+        if j < n:
+            inserts.append(costs.insert(y[j]))
+            walk(i, j + 1, substitution_total)
+            inserts.pop()
+        if i < m and j < n:
+            walk(i + 1, j + 1, substitution_total + costs.substitute(x[i], y[j]))
+
+    walk(0, 0, 0.0)
+    return best
+
+
+def naive_contextual_generalized_optimal(
+    x: StringLike,
+    y: StringLike,
+    costs: CostModel = UNIT_COSTS,
+    alphabet: Optional[Tuple[Hashable, ...]] = None,
+    max_length: Optional[int] = None,
+) -> float:
+    """True optimum of the naive weighted contextual distance.
+
+    Dijkstra over the full rewrite graph (strings up to ``max_length``,
+    default ``|x| + |y|``), allowing *non-internal* moves such as inserting
+    cheap dummy symbols.  Exponential state space -- small inputs only
+    (this is an analysis/verification tool, not a production distance).
+    """
+    from .reference import dijkstra_rewrite
+
+    def op_cost(length_before, kind, before, after):
+        if kind == "insert":
+            return costs.insert(after) / (length_before + 1)
+        if kind == "delete":
+            return costs.delete(before) / length_before
+        return costs.substitute(before, after) / length_before
+
+    return dijkstra_rewrite(
+        x, y, op_cost, alphabet=alphabet, max_length=max_length
+    )
+
+
+def padded_contextual_generalized(
+    x: StringLike,
+    y: StringLike,
+    costs: CostModel = UNIT_COSTS,
+    max_padding: int = 8,
+    dummy_alphabet: Optional[Tuple[Hashable, ...]] = None,
+) -> float:
+    """Weighted contextual distance over the *padded-internal* path family.
+
+    A constructive answer to the paper's closing remark: since the
+    weighted optimum may insert cheap dummy symbols to dilute expensive
+    substitutions, extend the internal family with explicit padding --
+    insert ``p`` copies of the cheapest dummy symbol first (lengths
+    ``m+1 .. m+p``), run the canonical internal path on the lengthened
+    strings, and delete the dummies last (lengths ``n+p .. n+1``).  The
+    minimum over alignments and ``p <= max_padding`` is returned.
+
+    Properties (all covered by tests):
+
+    * never worse than :func:`naive_contextual_generalized_internal`
+      (``p = 0`` reproduces it);
+    * never better than the true optimum
+      (:func:`naive_contextual_generalized_optimal`);
+    * recovers the optimum on the paper's failure example;
+    * for unit costs, padding never helps (Theorem 1), so it equals
+      ``d_C`` exactly.
+
+    Like the other ``*_generalized`` functions this enumerates alignments
+    and is exponential -- an analysis tool for small strings, not a
+    production distance.
+    """
+    if max_padding < 0:
+        raise ValueError(f"max_padding must be >= 0, got {max_padding}")
+    x, y = require_strings(x, y)
+    m, n = len(x), len(y)
+    if x == y:
+        return 0.0
+    if dummy_alphabet is None:
+        symbols = set(x) | set(y)
+        symbols.update(costs.insertion)
+        symbols.update(costs.deletion)
+        dummy_alphabet = tuple(symbols) if symbols else ("#",)
+    dummy = min(dummy_alphabet, key=lambda s: costs.insert(s) + costs.delete(s))
+    ins_w = costs.insert(dummy)
+    del_w = costs.delete(dummy)
+
+    best = float("inf")
+    inserts: list = []
+    deletes: list = []
+
+    def walk(i: int, j: int, substitution_total: float, padding: int) -> None:
+        nonlocal best
+        if i == m and j == n:
+            pad_in = sum(ins_w / (m + t) for t in range(1, padding + 1))
+            pad_out = sum(del_w / (n + t) for t in range(1, padding + 1))
+            cost = pad_in + pad_out + _canonical_alignment_cost(
+                m + padding, n + padding,
+                tuple(inserts), tuple(deletes), substitution_total,
+            )
+            if cost < best:
+                best = cost
+            return
+        if i < m:
+            deletes.append(costs.delete(x[i]))
+            walk(i + 1, j, substitution_total, padding)
+            deletes.pop()
+        if j < n:
+            inserts.append(costs.insert(y[j]))
+            walk(i, j + 1, substitution_total, padding)
+            inserts.pop()
+        if i < m and j < n:
+            walk(
+                i + 1, j + 1,
+                substitution_total + costs.substitute(x[i], y[j]),
+                padding,
+            )
+
+    for padding in range(max_padding + 1):
+        walk(0, 0, 0.0, padding)
+    return best
+
+
+@dataclass(frozen=True)
+class InternalFailure:
+    """A witness that internal paths are not optimal for weighted contexts."""
+
+    x: str
+    y: str
+    costs: CostModel
+    internal_cost: float
+    optimal_cost: float
+
+    @property
+    def gap(self) -> float:
+        """How much the internal-only strategy overpays."""
+        return self.internal_cost - self.optimal_cost
+
+
+def internal_failure_example() -> InternalFailure:
+    """Reproduce the paper's conclusion remark with concrete numbers.
+
+    Substituting ``a -> b`` costs 10; the dummy symbol ``c`` costs 0.1 to
+    insert or delete.  Going from ``"a"`` to ``"b"`` the best *internal*
+    path pays ``10`` (substitute in a length-1 string), whereas inserting
+    three ``c``'s first dilutes the substitution to ``10/4`` and the
+    clean-up deletions are nearly free -- a strictly cheaper non-internal
+    path, so Lemma 1 / Algorithm 1 do not carry over to weighted costs.
+    """
+    costs = CostModel(
+        substitution={("a", "b"): 10.0},
+        insertion={"c": 0.1, "b": 10.0},
+        deletion={"c": 0.1, "a": 10.0},
+        default_substitution=10.0,
+        default_insertion=10.0,
+        default_deletion=10.0,
+    )
+    x, y = "a", "b"
+    internal = naive_contextual_generalized_internal(x, y, costs)
+    optimal = naive_contextual_generalized_optimal(
+        x, y, costs, alphabet=("a", "b", "c"), max_length=4
+    )
+    return InternalFailure(
+        x=x, y=y, costs=costs, internal_cost=internal, optimal_cost=optimal
+    )

@@ -1,0 +1,211 @@
+"""The Levenshtein (edit) distance ``d_E`` and its supporting machinery.
+
+Implements the classic Wagner–Fischer dynamic programme [Wagner & Fisher
+1974], plus the pieces the rest of the library builds on:
+
+* :func:`levenshtein_distance` -- the distance itself (two-row DP, with an
+  optional numpy anti-diagonal kernel for long inputs);
+* :func:`levenshtein_matrix` -- the full ``(|x|+1) x (|y|+1)`` DP table,
+  needed by the contextual heuristic and by Marzal--Vidal;
+* :func:`edit_script` -- one optimal internal edit path recovered from the
+  table (used for alignments and for ``l_E``, the *marked path length* of
+  the paper's Example 3);
+* :func:`alignment` -- a column-wise alignment view for pretty-printing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from .paths import EditOp, EditPath
+from .types import StringLike, require_strings
+
+__all__ = [
+    "levenshtein_distance",
+    "levenshtein_within",
+    "levenshtein_matrix",
+    "edit_script",
+    "alignment",
+    "internal_path_length",
+]
+
+#: Above this (len(x)+len(y)) threshold the numpy kernel wins over pure Python.
+_NUMPY_THRESHOLD = 128
+
+
+def levenshtein_distance(x: StringLike, y: StringLike) -> int:
+    """Return ``d_E(x, y)``: the minimum number of single-symbol insertions,
+    deletions and substitutions turning *x* into *y*.
+
+    >>> levenshtein_distance("abaa", "aab")
+    2
+    """
+    x, y = require_strings(x, y)
+    if len(x) < len(y):
+        x, y = y, x  # keep the inner row short
+    if not y:
+        return len(x)
+    if len(x) + len(y) >= _NUMPY_THRESHOLD:
+        from ._kernels import levenshtein_numpy
+
+        return levenshtein_numpy(x, y)
+    previous = list(range(len(y) + 1))
+    for i, xi in enumerate(x, start=1):
+        current = [i]
+        append = current.append
+        prev_diag = i - 1  # previous[j-1] before this row overwrote it
+        for j, yj in enumerate(y, start=1):
+            cost_diag = prev_diag if xi == yj else prev_diag + 1
+            prev_diag = previous[j]
+            append(min(cost_diag, prev_diag + 1, current[j - 1] + 1))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_within(
+    x: StringLike, y: StringLike, bound: int
+) -> Optional[int]:
+    """Return ``d_E(x, y)`` if it is at most *bound*, else ``None``.
+
+    Ukkonen's banded DP: only cells with ``|i - j| <= bound`` can lie on a
+    path of cost ``<= bound``, so each row costs ``O(bound)`` and the whole
+    check ``O(bound * min(|x|, |y|))`` -- the workhorse behind dictionary
+    lookups with a small tolerated error (see ``examples/spellcheck.py``
+    for the metric-index alternative).
+
+    >>> levenshtein_within("abaa", "aab", 2)
+    2
+    >>> levenshtein_within("abaa", "aab", 1) is None
+    True
+    """
+    if bound < 0:
+        raise ValueError(f"bound must be >= 0, got {bound}")
+    x, y = require_strings(x, y)
+    m, n = len(x), len(y)
+    if abs(m - n) > bound:
+        return None
+    if n == 0:
+        return m if m <= bound else None
+    infinity = bound + 1
+    previous = [j if j <= bound else infinity for j in range(n + 1)]
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        lo = max(1, i - bound)
+        hi = min(n, i + bound)
+        current = [infinity] * (n + 1)
+        if i <= bound:
+            current[0] = i
+        row_min = current[0]
+        for j in range(lo, hi + 1):
+            yj = y[j - 1]
+            best = previous[j - 1] + (0 if xi == yj else 1)
+            up = previous[j] + 1
+            if up < best:
+                best = up
+            left = current[j - 1] + 1
+            if left < best:
+                best = left
+            if best > infinity:
+                best = infinity
+            current[j] = best
+            if best < row_min:
+                row_min = best
+        if row_min > bound:
+            return None  # every surviving cell already exceeds the bound
+        previous = current
+    return previous[n] if previous[n] <= bound else None
+
+
+def levenshtein_matrix(x: StringLike, y: StringLike) -> List[List[int]]:
+    """Return the full Wagner–Fischer table ``d`` with
+    ``d[i][j] = d_E(x[:i], y[:j])``.
+
+    The table is the substrate for path recovery (:func:`edit_script`) and
+    for the contextual heuristic's ``ni`` companion table.
+    """
+    x, y = require_strings(x, y)
+    rows = len(x) + 1
+    cols = len(y) + 1
+    d = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        d[i][0] = i
+    d[0] = list(range(cols))
+    for i in range(1, rows):
+        xi = x[i - 1]
+        row = d[i]
+        above = d[i - 1]
+        for j in range(1, cols):
+            cost_diag = above[j - 1] + (0 if xi == y[j - 1] else 1)
+            row[j] = min(cost_diag, above[j] + 1, row[j - 1] + 1)
+    return d
+
+
+def edit_script(x: StringLike, y: StringLike) -> EditPath:
+    """Recover one optimal internal edit path from *x* to *y*.
+
+    Ties are broken to prefer, in order: match/substitution, then
+    insertion, then deletion.  Matches are recorded as zero-cost ``match``
+    operations so the returned path is the *marked* internal path of the
+    paper (its length is ``l_E``).
+
+    Positions refer to the *evolving* string when the operations are
+    applied left-to-right: at the step that handles alignment column
+    ``(i, j)`` the string is ``y[:j] + x[i:]``, so matches, substitutions
+    and insertions act at position ``j`` and deletions at position ``j``
+    as well (the first not-yet-processed symbol).  This makes the script
+    directly replayable with :func:`repro.core.paths.apply_ops`.
+    """
+    x, y = require_strings(x, y)
+    d = levenshtein_matrix(x, y)
+    ops: List[EditOp] = []
+    i, j = len(x), len(y)
+    while i > 0 or j > 0:
+        here = d[i][j]
+        if i > 0 and j > 0 and x[i - 1] == y[j - 1] and here == d[i - 1][j - 1]:
+            ops.append(EditOp("match", j - 1, x[i - 1], y[j - 1]))
+            i -= 1
+            j -= 1
+        elif i > 0 and j > 0 and here == d[i - 1][j - 1] + 1:
+            ops.append(EditOp("substitute", j - 1, x[i - 1], y[j - 1]))
+            i -= 1
+            j -= 1
+        elif j > 0 and here == d[i][j - 1] + 1:
+            ops.append(EditOp("insert", j - 1, None, y[j - 1]))
+            j -= 1
+        else:
+            ops.append(EditOp("delete", j, x[i - 1], None))
+            i -= 1
+    ops.reverse()
+    return EditPath(tuple(ops), source=x, target=y)
+
+
+def internal_path_length(x: StringLike, y: StringLike) -> int:
+    """Return ``l_E(pi)`` for an optimal marked path: the number of
+    alignment columns (paid operations *plus* zero-cost matches).
+
+    This is the denominator Marzal–Vidal normalise by along a path; for an
+    optimal Levenshtein path it equals ``len(edit_script(x, y))``.
+    """
+    return len(edit_script(x, y).ops)
+
+
+def alignment(x: StringLike, y: StringLike) -> Tuple[str, str, str]:
+    """Return a three-line alignment view ``(top, middle, bottom)``.
+
+    The middle line marks each column: ``|`` match, ``*`` substitution,
+    ``+`` insertion, ``-`` deletion.  Symbols are rendered with ``str``;
+    gaps with ``.``.  Intended for small demonstrations and doctests:
+
+    >>> alignment("abaa", "aab")
+    ('abaa', '|-|*', 'a.ab')
+    """
+    path = edit_script(x, y)
+    top: List[str] = []
+    mid: List[str] = []
+    bot: List[str] = []
+    marks = {"match": "|", "substitute": "*", "insert": "+", "delete": "-"}
+    for op in path.ops:
+        top.append("." if op.before is None else str(op.before))
+        bot.append("." if op.after is None else str(op.after))
+        mid.append(marks[op.kind])
+    return "".join(top), "".join(mid), "".join(bot)

@@ -1,0 +1,193 @@
+"""Marzal–Vidal normalised edit distance ``d_MV`` [Marzal & Vidal 1993].
+
+``d_MV(x, y) = min over editing paths pi of  W(pi) / L(pi)``
+
+where ``W`` is the path's edit weight and ``L`` its *length* -- the number
+of elementary operations including zero-cost matches (the paper's
+``l_E(pi)``).  Note the minimum is over *paths*, not ``min W / min L``:
+a longer, slightly-more-expensive path can win the ratio, which is exactly
+why the computation needs a dedicated DP.
+
+Two solvers are provided:
+
+* :func:`mv_normalized_distance` -- the exact cubic DP of the original
+  paper: tabulate ``W[i][j][L]`` (minimum weight over paths of length
+  exactly ``L``) and minimise ``W[m][n][L] / L`` over ``L``; the ``L`` axis
+  is numpy-vectorised.
+* :func:`mv_normalized_distance_fractional` -- Dinkelbach-style fractional
+  programming: repeatedly solve the *parametric* problem
+  ``min_pi W(pi) - lam * L(pi)`` (a plain quadratic DP) and update ``lam``
+  to the achieved ratio; converges in a handful of iterations.
+
+With unit costs ``d_MV`` takes values in ``[0, 1]``.  Marzal and Vidal
+proved it is *not* a metric for general cost matrices; whether the
+unit-cost case is a metric is open (Section 2.2 of the reproduced paper);
+the test-suite probes the triangle inequality by sampling.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from .generalized import CostModel, UNIT_COSTS
+from .types import StringLike, require_strings
+
+__all__ = [
+    "mv_normalized_distance",
+    "mv_normalized_distance_fractional",
+]
+
+_INF = float("inf")
+
+
+def _weight_by_length_final(
+    x: StringLike, y: StringLike, costs: CostModel
+) -> np.ndarray:
+    """Return ``W[m][n][:]``: minimal path weight for each exact length L."""
+    m, n = len(x), len(y)
+    ll = m + n + 1  # L ranges over 0..m+n
+    prev = np.full((n + 1, ll), _INF)
+    for j in range(n + 1):  # from the empty prefix: j insertions
+        prev[j, j] = sum(costs.insert(y[t]) for t in range(j))
+
+    def shifted(vec: np.ndarray) -> np.ndarray:
+        out = np.empty_like(vec)
+        out[0] = _INF
+        out[1:] = vec[:-1]
+        return out
+
+    cur = np.empty_like(prev)
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        del_cost = costs.delete(xi)
+        cur[0, :] = _INF
+        cur[0, i] = prev[0, i - 1] + del_cost  # i deletions, length i
+        for j in range(1, n + 1):
+            yj = y[j - 1]
+            diag = shifted(prev[j - 1]) + costs.substitute(xi, yj)
+            best = np.minimum(diag, shifted(prev[j]) + del_cost)
+            np.minimum(best, shifted(cur[j - 1]) + costs.insert(yj), out=best)
+            cur[j] = best
+        prev, cur = cur, prev
+    return prev[n]
+
+
+#: Above this (len(x)+len(y)) threshold solver="auto" switches from the
+#: cubic DP to the (equally exact, much faster) Dinkelbach iteration.
+_FRACTIONAL_THRESHOLD = 80
+
+
+def mv_normalized_distance(
+    x: StringLike,
+    y: StringLike,
+    costs: CostModel = UNIT_COSTS,
+    solver: str = "auto",
+) -> float:
+    """Exact ``d_MV(x, y)``.
+
+    ``solver`` selects the algorithm: ``"dp"`` is the original cubic
+    weight-by-length DP, ``"fractional"`` the Dinkelbach iteration (exact
+    as well -- the test-suite cross-checks them on thousands of pairs), and
+    ``"auto"`` (default) uses Dinkelbach, which is strictly faster at every
+    length while returning the same value.
+
+    >>> mv_normalized_distance("abaa", "aab")  # d_E = 2 over a 4-column path
+    0.5
+    """
+    x, y = require_strings(x, y)
+    m, n = len(x), len(y)
+    if m == 0 and n == 0:
+        return 0.0
+    if solver == "auto":
+        solver = "fractional"
+    if solver == "fractional":
+        return mv_normalized_distance_fractional(x, y, costs)
+    if solver != "dp":
+        raise ValueError(f"unknown solver {solver!r}; use auto, dp or fractional")
+    final = _weight_by_length_final(x, y, costs)
+    lengths = np.arange(m + n + 1, dtype=float)
+    lengths[0] = np.nan  # L = 0 is only feasible for two empty strings
+    with np.errstate(invalid="ignore"):
+        ratios = final / lengths
+    best = np.nanmin(ratios[1:]) if m + n >= 1 else 0.0
+    return float(best)
+
+
+def _parametric_best_path(
+    x: StringLike, y: StringLike, lam: float, costs: CostModel
+) -> Tuple[float, int]:
+    """Solve ``min_pi W(pi) - lam * L(pi)``; return (W, L) of the argmin.
+
+    A standard quadratic alignment DP where every operation's cost is
+    shifted by ``-lam`` (matches cost ``-lam``); ``(W, L)`` of the winning
+    path are carried through the table.
+    """
+    m, n = len(x), len(y)
+    # Each cell holds (score, weight, length); score = weight - lam * length.
+    prev = [(0.0, 0.0, 0)] * (n + 1)
+    acc_w = 0.0
+    for j in range(1, n + 1):
+        acc_w += costs.insert(y[j - 1])
+        prev[j] = (acc_w - lam * j, acc_w, j)
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        del_cost = costs.delete(xi)
+        first_w = prev[0][1] + del_cost
+        cur = [(first_w - lam * i, first_w, i)] + [(0.0, 0.0, 0)] * n
+        for j in range(1, n + 1):
+            yj = y[j - 1]
+            sub_cost = costs.substitute(xi, yj)
+            s_diag, w_diag, l_diag = prev[j - 1]
+            cand = (s_diag + sub_cost - lam, w_diag + sub_cost, l_diag + 1)
+            s_up, w_up, l_up = prev[j]
+            up = (s_up + del_cost - lam, w_up + del_cost, l_up + 1)
+            if up[0] < cand[0]:
+                cand = up
+            s_left, w_left, l_left = cur[j - 1]
+            ins_cost = costs.insert(yj)
+            left = (s_left + ins_cost - lam, w_left + ins_cost, l_left + 1)
+            if left[0] < cand[0]:
+                cand = left
+            cur[j] = cand
+        prev = cur
+    _, weight, length = prev[n]
+    return weight, length
+
+
+def mv_normalized_distance_fractional(
+    x: StringLike,
+    y: StringLike,
+    costs: CostModel = UNIT_COSTS,
+    max_iterations: int = 64,
+    tolerance: float = 1e-12,
+) -> float:
+    """``d_MV`` via Dinkelbach fractional programming.
+
+    Starts from ``lam = 0`` and repeats ``lam <- W(pi*) / L(pi*)`` where
+    ``pi*`` minimises the parametric score; the sequence of ratios is
+    non-increasing and reaches the optimum in finitely many steps.  Agrees
+    with :func:`mv_normalized_distance` (the tests verify this) while doing
+    only a few quadratic passes.
+    """
+    x, y = require_strings(x, y)
+    if len(x) == 0 and len(y) == 0:
+        return 0.0
+    use_numpy = costs is UNIT_COSTS and len(x) + len(y) >= _FRACTIONAL_THRESHOLD
+    if use_numpy:
+        from ._kernels import parametric_alignment_numpy
+
+    lam = 0.0
+    for _ in range(max_iterations):
+        if use_numpy:
+            weight, length = parametric_alignment_numpy(x, y, lam)
+        else:
+            weight, length = _parametric_best_path(x, y, lam, costs)
+        if length == 0:  # pragma: no cover - both strings empty, handled above
+            return 0.0
+        ratio = weight / length
+        if abs(ratio - lam) <= tolerance:
+            return ratio
+        lam = ratio
+    return lam  # pragma: no cover - Dinkelbach converges well before this

@@ -1,0 +1,170 @@
+"""Distance registry: the named distance functions every experiment uses.
+
+The paper compares five or six distances throughout Section 4; the
+experiment harness, benchmarks and examples all refer to them by the short
+names registered here so that a table/figure reproduction is a list of
+names, not a list of imports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .contextual import contextual_distance, contextual_distance_heuristic
+from .levenshtein import levenshtein_distance
+from .marzal_vidal import mv_normalized_distance
+from .ratios import (
+    max_normalized_distance,
+    min_normalized_distance,
+    sum_normalized_distance,
+)
+from .types import DistanceFunction, StringLike
+from .yujian_bo import yb_normalized_distance
+
+__all__ = ["DistanceSpec", "get_distance", "get_spec", "list_distances",
+           "PAPER_NORMALISED", "PAPER_ALL"]
+
+
+@dataclass(frozen=True)
+class DistanceSpec:
+    """Registry entry for a named distance.
+
+    ``is_metric`` records the paper's classification (used to annotate
+    experiment output; LAESA is formally sound only for metrics).
+    ``display`` is the label used in rendered tables/figures, matching the
+    paper's notation.
+    """
+
+    name: str
+    display: str
+    function: DistanceFunction
+    is_metric: bool
+    normalised: bool
+    notes: str = ""
+
+
+def _levenshtein_float(x: StringLike, y: StringLike) -> float:
+    return float(levenshtein_distance(x, y))
+
+
+_REGISTRY: Dict[str, DistanceSpec] = {}
+
+
+def _register(spec: DistanceSpec) -> None:
+    if spec.name in _REGISTRY:
+        raise ValueError(f"duplicate distance name: {spec.name}")
+    _REGISTRY[spec.name] = spec
+
+
+_register(
+    DistanceSpec(
+        name="levenshtein",
+        display="dE",
+        function=_levenshtein_float,
+        is_metric=True,
+        normalised=False,
+        notes="plain Levenshtein distance (Wagner-Fischer)",
+    )
+)
+_register(
+    DistanceSpec(
+        name="contextual",
+        display="dC",
+        function=contextual_distance,
+        is_metric=True,
+        normalised=True,
+        notes="exact contextual normalised edit distance (Algorithm 1, cubic)",
+    )
+)
+_register(
+    DistanceSpec(
+        name="contextual_heuristic",
+        display="dC,h",
+        function=contextual_distance_heuristic,
+        is_metric=False,
+        normalised=True,
+        notes="quadratic heuristic; upper bound on dC, equal ~90% of the time",
+    )
+)
+_register(
+    DistanceSpec(
+        name="marzal_vidal",
+        display="dMV",
+        function=mv_normalized_distance,
+        is_metric=False,
+        normalised=True,
+        notes="normalised edit distance of Marzal & Vidal 1993 "
+        "(metricity open for unit costs)",
+    )
+)
+_register(
+    DistanceSpec(
+        name="yujian_bo",
+        display="dYB",
+        function=yb_normalized_distance,
+        is_metric=True,
+        normalised=True,
+        notes="normalised Levenshtein metric of Yujian & Bo 2007",
+    )
+)
+_register(
+    DistanceSpec(
+        name="dmax",
+        display="dmax",
+        function=max_normalized_distance,
+        is_metric=False,
+        normalised=True,
+        notes="dE / max(|x|,|y|); not a metric (Section 2.2)",
+    )
+)
+_register(
+    DistanceSpec(
+        name="dsum",
+        display="dsum",
+        function=sum_normalized_distance,
+        is_metric=False,
+        normalised=True,
+        notes="dE / (|x|+|y|); not a metric (Section 2.2)",
+    )
+)
+_register(
+    DistanceSpec(
+        name="dmin",
+        display="dmin",
+        function=min_normalized_distance,
+        is_metric=False,
+        normalised=True,
+        notes="dE / min(|x|,|y|); not a metric (Section 2.2)",
+    )
+)
+
+#: The normalised distances of Figure 2 / Table 1, in the paper's order.
+PAPER_NORMALISED: Tuple[str, ...] = (
+    "yujian_bo",
+    "contextual_heuristic",
+    "marzal_vidal",
+    "dmax",
+)
+
+#: The full comparison set of Figures 3/4 and Tables 1/2.
+PAPER_ALL: Tuple[str, ...] = PAPER_NORMALISED + ("levenshtein",)
+
+
+def get_spec(name: str) -> DistanceSpec:
+    """Return the :class:`DistanceSpec` registered under *name*."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown distance {name!r}; known: {known}") from None
+
+
+def get_distance(name: str) -> DistanceFunction:
+    """Return the distance function registered under *name*."""
+    return get_spec(name).function
+
+
+def list_distances() -> List[DistanceSpec]:
+    """All registered distances, in registration order."""
+    return list(_REGISTRY.values())

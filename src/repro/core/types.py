@@ -1,0 +1,52 @@
+"""Shared types and input normalisation for string distances.
+
+Every distance in this library accepts *symbol sequences*: ``str`` (each
+character is a symbol), or any ``Sequence`` of hashable symbols (tuples of
+Freeman chain-code directions, lists of codon strings, ...).  Internally the
+algorithms only compare symbols for equality, so nothing more than
+``Sequence[Hashable]`` is required.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Sequence, Tuple, Union
+
+__all__ = [
+    "Symbols",
+    "StringLike",
+    "DistanceFunction",
+    "as_symbols",
+    "require_strings",
+]
+
+#: A normalised symbol sequence (what the kernels consume).
+Symbols = Union[str, Tuple[Hashable, ...]]
+
+#: Anything a public distance function accepts.
+StringLike = Union[str, Sequence[Hashable]]
+
+#: The signature shared by every distance in the library.
+DistanceFunction = Callable[[StringLike, StringLike], float]
+
+
+def as_symbols(value: StringLike) -> Symbols:
+    """Normalise *value* to something indexable with O(1) ``len``.
+
+    Strings pass through untouched (they are already immutable symbol
+    sequences); other sequences are converted to tuples so that downstream
+    code can safely hash, slice and cache them.
+    """
+    if isinstance(value, str):
+        return value
+    if isinstance(value, tuple):
+        return value
+    if isinstance(value, Sequence):
+        return tuple(value)
+    raise TypeError(
+        f"expected a string or a sequence of symbols, got {type(value).__name__}"
+    )
+
+
+def require_strings(x: StringLike, y: StringLike) -> Tuple[Symbols, Symbols]:
+    """Normalise a pair of inputs, raising a uniform error for bad types."""
+    return as_symbols(x), as_symbols(y)

@@ -1,0 +1,41 @@
+"""Deterministic synthetic stand-ins for the paper's three datasets.
+
+* :func:`spanish_dictionary` -- Markov-generated Spanish-like words
+  (substitute for the SISAP 86 062-word dictionary);
+* :func:`listeria_genes` -- codon-structured low-GC DNA with mutated
+  families (substitute for the SISAP Listeria gene set);
+* :func:`handwritten_digits` -- distorted stroke glyphs traced into
+  Freeman chain codes (substitute for NIST SD3 contour strings);
+* :func:`perturbed_queries` -- genqueries-style query sets.
+
+Each substitution is documented in DESIGN.md Section 4 together with the
+argument for why it preserves the behaviour the experiments measure.
+"""
+
+from .base import Dataset
+from .contours import FREEMAN_OFFSETS, freeman_chain_code, largest_component
+from .digits import digit_contour, handwritten_digits
+from .dna import listeria_genes
+from .glyphs import DIGIT_SKELETONS, WriterStyle, render_digit, sample_style
+from .markov import MarkovGenerator
+from .perturb import perturb, perturbed_queries
+from .words import SPANISH_SEED_LEXICON, spanish_dictionary
+
+__all__ = [
+    "Dataset",
+    "spanish_dictionary",
+    "SPANISH_SEED_LEXICON",
+    "listeria_genes",
+    "handwritten_digits",
+    "digit_contour",
+    "render_digit",
+    "sample_style",
+    "WriterStyle",
+    "DIGIT_SKELETONS",
+    "freeman_chain_code",
+    "largest_component",
+    "FREEMAN_OFFSETS",
+    "MarkovGenerator",
+    "perturb",
+    "perturbed_queries",
+]

@@ -1,0 +1,127 @@
+"""Dataset containers and deterministic sampling/splitting.
+
+Every generator in this package returns a :class:`Dataset`: an ordered
+collection of string items with optional class labels and provenance
+metadata.  All randomness flows through explicit ``random.Random``
+instances so experiments are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["Dataset"]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable labelled (or unlabelled) string dataset.
+
+    ``items[i]`` is the i-th string; ``labels[i]`` (when present) its
+    class.  ``metadata`` records how the data was generated (seed, scale
+    parameters) so experiment outputs are self-describing.
+    """
+
+    name: str
+    items: Tuple[Any, ...]
+    labels: Optional[Tuple[Any, ...]] = None
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.labels is not None and len(self.labels) != len(self.items):
+            raise ValueError(
+                f"{len(self.labels)} labels for {len(self.items)} items"
+            )
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __getitem__(self, i: int) -> Any:
+        return self.items[i]
+
+    @property
+    def classes(self) -> List[Any]:
+        """Sorted distinct labels (empty when unlabelled)."""
+        if self.labels is None:
+            return []
+        return sorted(set(self.labels))
+
+    def sample(self, n: int, rng: random.Random) -> "Dataset":
+        """Return *n* items drawn without replacement (labels follow)."""
+        if n > len(self.items):
+            raise ValueError(f"cannot sample {n} from {len(self.items)} items")
+        picks = rng.sample(range(len(self.items)), n)
+        return Dataset(
+            name=f"{self.name}[sample:{n}]",
+            items=tuple(self.items[i] for i in picks),
+            labels=None
+            if self.labels is None
+            else tuple(self.labels[i] for i in picks),
+            metadata=dict(self.metadata),
+        )
+
+    def split(
+        self, first: int, rng: random.Random
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Shuffle and split into (first, rest) -- for unlabelled data."""
+        if first > len(self.items):
+            raise ValueError(f"cannot take {first} of {len(self.items)} items")
+        order = list(range(len(self.items)))
+        rng.shuffle(order)
+        head, tail = order[:first], order[first:]
+
+        def take(ids: List[int], tag: str) -> "Dataset":
+            return Dataset(
+                name=f"{self.name}[{tag}]",
+                items=tuple(self.items[i] for i in ids),
+                labels=None
+                if self.labels is None
+                else tuple(self.labels[i] for i in ids),
+                metadata=dict(self.metadata),
+            )
+
+        return take(head, "head"), take(tail, "tail")
+
+    def stratified_split(
+        self, per_class: int, rng: random.Random
+    ) -> Tuple["Dataset", "Dataset"]:
+        """Split a labelled dataset into (train, rest) with exactly
+        *per_class* training items per class -- the paper's "100 by class"
+        prototype-set protocol of Section 4.4."""
+        if self.labels is None:
+            raise ValueError("stratified_split requires labels")
+        by_class: Dict[Any, List[int]] = {}
+        for i, label in enumerate(self.labels):
+            by_class.setdefault(label, []).append(i)
+        train_ids: List[int] = []
+        rest_ids: List[int] = []
+        for label in sorted(by_class, key=repr):
+            ids = by_class[label]
+            if len(ids) < per_class:
+                raise ValueError(
+                    f"class {label!r} has {len(ids)} items; need {per_class}"
+                )
+            rng.shuffle(ids)
+            train_ids.extend(ids[:per_class])
+            rest_ids.extend(ids[per_class:])
+
+        def take(ids: List[int], tag: str) -> "Dataset":
+            return Dataset(
+                name=f"{self.name}[{tag}]",
+                items=tuple(self.items[i] for i in ids),
+                labels=tuple(self.labels[i] for i in ids),
+                metadata=dict(self.metadata),
+            )
+
+        return take(train_ids, "train"), take(rest_ids, "rest")
+
+    def length_statistics(self) -> Dict[str, float]:
+        """Min/mean/max item length -- used in experiment provenance."""
+        lengths = [len(item) for item in self.items]
+        return {
+            "min": float(min(lengths)),
+            "mean": sum(lengths) / len(lengths),
+            "max": float(max(lengths)),
+        }

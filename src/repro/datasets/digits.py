@@ -1,0 +1,81 @@
+"""Synthetic handwritten-digit contour dataset (NIST SD3 substitute).
+
+Pipeline: stroke skeleton -> random writer distortion -> bitmap ->
+largest-component Moore trace -> Freeman chain code.  Items are chain-code
+strings over the alphabet ``'0'..'7'``; labels are the digits 0-9.  At the
+default 28x28 grid contours are ~50-90 symbols long, matching the regime
+where the paper's digit experiments operate (strings of comparable but
+varying length, genuine class structure, heavy writer variation).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .base import Dataset
+from .contours import freeman_chain_code
+from .glyphs import WriterStyle, render_digit
+
+__all__ = ["digit_contour", "handwritten_digits"]
+
+#: Contours shorter than this are re-drawn (degenerate renderings).
+_MIN_CONTOUR = 8
+
+
+def digit_contour(
+    digit: int,
+    rng: random.Random,
+    grid: int = 28,
+    style: Optional[WriterStyle] = None,
+) -> str:
+    """Render one distorted *digit* and return its Freeman chain code.
+
+    Retries with fresh styles if a pathological distortion produces a
+    degenerate (near-empty) bitmap, so the result is always a usable
+    contour string.
+    """
+    for _ in range(32):
+        image = render_digit(digit, rng, grid=grid, style=style)
+        code = freeman_chain_code(image)
+        if len(code) >= _MIN_CONTOUR:
+            return code
+        style = None  # retry with a new random style
+    raise RuntimeError(
+        f"could not render a usable contour for digit {digit}"
+    )  # pragma: no cover - retries always succeed in practice
+
+
+def handwritten_digits(
+    per_class: int = 100,
+    seed: int = 1995,
+    grid: int = 28,
+) -> Dataset:
+    """Generate ``10 * per_class`` labelled digit contour strings.
+
+    Every sample gets its own random writer style, so intra-class variation
+    (size, slant, rotation, stroke width) is substantial -- compare the
+    paper's Figure 5 showing wildly different '8's and '0's.  Deterministic
+    in *seed*.
+    """
+    if per_class < 1:
+        raise ValueError(f"per_class must be >= 1, got {per_class}")
+    rng = random.Random(seed)
+    items: List[str] = []
+    labels: List[int] = []
+    for digit in range(10):
+        for _ in range(per_class):
+            items.append(digit_contour(digit, rng, grid=grid))
+            labels.append(digit)
+    return Dataset(
+        name="handwritten-digits(synthetic)",
+        items=tuple(items),
+        labels=tuple(labels),
+        metadata={
+            "seed": seed,
+            "per_class": per_class,
+            "grid": grid,
+            "alphabet": "01234567",
+            "substitute_for": "NIST SPECIAL DATABASE 3 contour strings",
+        },
+    )

@@ -1,0 +1,193 @@
+"""Stroke-skeleton digit glyphs and their rasterisation.
+
+Substitute for NIST SPECIAL DATABASE 3: each digit 0-9 is defined as a set
+of connected polyline strokes in the unit square; a *writer style* (random
+rotation, slant, anisotropic scale, stroke thickness and per-point jitter)
+distorts the skeleton before rendering, mirroring the paper's observation
+that "orientation and sizes are widely different from scribe to scribe".
+The rendered bitmaps are then traced into Freeman chain codes by
+:mod:`.contours`, giving the same *representation* the paper's contour
+strings use (an 8-symbol alphabet).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["DIGIT_SKELETONS", "WriterStyle", "sample_style", "render_digit"]
+
+Point = Tuple[float, float]
+Polyline = Tuple[Point, ...]
+
+
+def _arc(
+    cx: float,
+    cy: float,
+    rx: float,
+    ry: float,
+    start_deg: float,
+    end_deg: float,
+    n_points: int = 16,
+) -> Polyline:
+    """Sample an elliptic arc as a polyline (degrees, counter-clockwise)."""
+    points = []
+    for t in range(n_points + 1):
+        angle = math.radians(start_deg + (end_deg - start_deg) * t / n_points)
+        points.append((cx + rx * math.cos(angle), cy + ry * math.sin(angle)))
+    return tuple(points)
+
+
+def _line(*points: Point) -> Polyline:
+    return tuple(points)
+
+
+#: Connected stroke skeletons for the digits, in unit coordinates
+#: (x right, y up).  Every digit's strokes intersect, so the rendered
+#: bitmap is a single connected component and has one outer contour.
+DIGIT_SKELETONS: Dict[int, Tuple[Polyline, ...]] = {
+    0: (_arc(0.5, 0.5, 0.30, 0.44, 0, 360, 28),),
+    1: (_line((0.32, 0.72), (0.52, 0.95), (0.52, 0.05)),),
+    2: (
+        _arc(0.5, 0.70, 0.28, 0.24, 165, -15, 14)
+        + _line((0.74, 0.62), (0.22, 0.05))[1:],
+        _line((0.22, 0.05), (0.80, 0.05)),
+    ),
+    3: (
+        _arc(0.48, 0.72, 0.26, 0.22, 150, -80, 14),
+        _arc(0.48, 0.28, 0.28, 0.24, 80, -150, 14),
+    ),
+    4: (
+        _line((0.66, 0.95), (0.66, 0.05)),
+        _line((0.66, 0.95), (0.20, 0.35)),
+        _line((0.20, 0.35), (0.85, 0.35)),
+    ),
+    5: (
+        _line((0.78, 0.95), (0.26, 0.95), (0.26, 0.55)),
+        _arc(0.50, 0.32, 0.30, 0.27, 115, -160, 16),
+    ),
+    6: (
+        _line((0.72, 0.92), (0.45, 0.72), (0.29, 0.48), (0.24, 0.30)),
+        _arc(0.50, 0.28, 0.26, 0.23, 0, 360, 24),
+    ),
+    7: (_line((0.20, 0.95), (0.80, 0.95), (0.40, 0.05)),),
+    8: (
+        _arc(0.5, 0.70, 0.24, 0.21, 0, 360, 22),
+        _arc(0.5, 0.28, 0.28, 0.24, 0, 360, 24),
+    ),
+    9: (
+        _arc(0.5, 0.68, 0.26, 0.22, 0, 360, 22),
+        _line((0.76, 0.68), (0.73, 0.35), (0.58, 0.05)),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class WriterStyle:
+    """Per-sample distortion parameters (one synthetic "scribe hand")."""
+
+    rotation_deg: float = 0.0
+    slant: float = 0.0  # horizontal shear: x' = x + slant * (y - 0.5)
+    scale_x: float = 1.0
+    scale_y: float = 1.0
+    thickness: float = 1.6  # stroke half-width in pixels, at grid=28
+    jitter: float = 0.012  # per-point displacement (unit coordinates)
+
+
+def sample_style(rng: random.Random) -> WriterStyle:
+    """Draw a writer style with NIST-like variability."""
+    return WriterStyle(
+        rotation_deg=rng.gauss(0.0, 9.0),
+        slant=rng.gauss(0.0, 0.18),
+        scale_x=rng.uniform(0.72, 1.05),
+        scale_y=rng.uniform(0.78, 1.05),
+        thickness=rng.uniform(1.25, 2.2),
+        jitter=rng.uniform(0.004, 0.02),
+    )
+
+
+def _transform(
+    strokes: Sequence[Polyline], style: WriterStyle, rng: random.Random
+) -> List[List[Point]]:
+    """Apply jitter, shear, scale and rotation around the glyph centre."""
+    angle = math.radians(style.rotation_deg)
+    cos_a, sin_a = math.cos(angle), math.sin(angle)
+    out: List[List[Point]] = []
+    for stroke in strokes:
+        transformed: List[Point] = []
+        for (x, y) in stroke:
+            x += rng.gauss(0.0, style.jitter)
+            y += rng.gauss(0.0, style.jitter)
+            x += style.slant * (y - 0.5)  # shear
+            x = 0.5 + (x - 0.5) * style.scale_x  # anisotropic scale
+            y = 0.5 + (y - 0.5) * style.scale_y
+            dx, dy = x - 0.5, y - 0.5  # rotation about the centre
+            transformed.append(
+                (0.5 + cos_a * dx - sin_a * dy, 0.5 + sin_a * dx + cos_a * dy)
+            )
+        out.append(transformed)
+    return out
+
+
+def _draw_segment(
+    image: np.ndarray,
+    p0: Point,
+    p1: Point,
+    half_width: float,
+) -> None:
+    """Stamp a thick segment onto *image* (distance-to-segment test)."""
+    grid = image.shape[0]
+    x0, y0 = p0
+    x1, y1 = p1
+    lo_c = max(0, int(math.floor(min(x0, x1) - half_width - 1)))
+    hi_c = min(grid - 1, int(math.ceil(max(x0, x1) + half_width + 1)))
+    lo_r = max(0, int(math.floor(min(y0, y1) - half_width - 1)))
+    hi_r = min(grid - 1, int(math.ceil(max(y0, y1) + half_width + 1)))
+    if lo_c > hi_c or lo_r > hi_r:
+        return
+    cols = np.arange(lo_c, hi_c + 1, dtype=float)
+    rows = np.arange(lo_r, hi_r + 1, dtype=float)
+    cc, rr = np.meshgrid(cols, rows)
+    vx, vy = x1 - x0, y1 - y0
+    seg_len_sq = vx * vx + vy * vy
+    if seg_len_sq == 0.0:
+        dist_sq = (cc - x0) ** 2 + (rr - y0) ** 2
+    else:
+        t = ((cc - x0) * vx + (rr - y0) * vy) / seg_len_sq
+        np.clip(t, 0.0, 1.0, out=t)
+        dist_sq = (cc - (x0 + t * vx)) ** 2 + (rr - (y0 + t * vy)) ** 2
+    image[lo_r : hi_r + 1, lo_c : hi_c + 1] |= dist_sq <= half_width * half_width
+
+
+def render_digit(
+    digit: int,
+    rng: random.Random,
+    grid: int = 28,
+    style: WriterStyle = None,
+) -> np.ndarray:
+    """Render one distorted digit as a ``grid x grid`` boolean bitmap.
+
+    Row 0 is the *top* of the glyph (image convention); the unit-square
+    skeleton (y up) is flipped accordingly.  When *style* is None a random
+    writer style is drawn from *rng*.
+    """
+    if digit not in DIGIT_SKELETONS:
+        raise ValueError(f"digit must be 0..9, got {digit}")
+    if style is None:
+        style = sample_style(rng)
+    strokes = _transform(DIGIT_SKELETONS[digit], style, rng)
+    image = np.zeros((grid, grid), dtype=bool)
+    margin = 2.5
+    span = grid - 2 * margin
+    half_width = style.thickness * grid / 28.0
+    for stroke in strokes:
+        pixels = [
+            (margin + x * span, margin + (1.0 - y) * span) for (x, y) in stroke
+        ]
+        for p0, p1 in zip(pixels, pixels[1:]):
+            _draw_segment(image, p0, p1, half_width)
+    return image

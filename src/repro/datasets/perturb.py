@@ -1,0 +1,82 @@
+"""genqueries-style query generation by edit perturbation.
+
+The paper's Section 4.3 builds dictionary query sets "using the program
+genqueries ... with a perturbation of two operations over the training
+dataset".  :func:`perturb` applies exactly *k* random edit operations to a
+string; :func:`perturbed_queries` draws base strings from a dataset and
+perturbs each.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from .base import Dataset
+
+__all__ = ["perturb", "perturbed_queries"]
+
+
+def perturb(
+    string: str,
+    operations: int,
+    rng: random.Random,
+    alphabet: Optional[Sequence[str]] = None,
+) -> str:
+    """Apply exactly *operations* random edit operations to *string*.
+
+    Each operation is drawn uniformly from {insert, delete, substitute}
+    (deletion/substitution only when the current string is non-empty);
+    inserted/substituted symbols come from *alphabet* (default: the
+    symbols of *string*).  Note the edit distance to the original is *at
+    most* ``operations`` -- random edits can cancel out, exactly as with
+    the original genqueries tool.
+    """
+    if operations < 0:
+        raise ValueError(f"operations must be >= 0, got {operations}")
+    symbols = list(alphabet) if alphabet else sorted(set(string))
+    if not symbols:
+        symbols = ["a"]
+    current = list(string)
+    for _ in range(operations):
+        choices = ["insert"]
+        if current:
+            choices += ["delete", "substitute"]
+        op = rng.choice(choices)
+        if op == "insert":
+            current.insert(rng.randint(0, len(current)), rng.choice(symbols))
+        elif op == "delete":
+            current.pop(rng.randrange(len(current)))
+        else:
+            pos = rng.randrange(len(current))
+            current[pos] = rng.choice(symbols)
+    return "".join(current)
+
+
+def perturbed_queries(
+    source: Dataset,
+    n_queries: int,
+    rng: random.Random,
+    operations: int = 2,
+    alphabet: Optional[Sequence[str]] = None,
+) -> List[str]:
+    """Draw *n_queries* strings from *source* (with replacement) and
+    perturb each with exactly *operations* edit operations.
+
+    When *alphabet* is omitted it is pooled over the whole dataset, so
+    insertions can introduce symbols the base string lacks (as genqueries
+    does)."""
+    if alphabet is None:
+        pooled = set()
+        for item in source.items:
+            pooled.update(item)
+        alphabet = sorted(pooled)
+    return [
+        perturb(
+            source.items[rng.randrange(len(source.items))],
+            operations,
+            rng,
+            alphabet,
+        )
+        for _ in range(n_queries)
+    ]

@@ -1,0 +1,132 @@
+"""Synthetic Spanish dictionary (substitute for the SISAP 86 062-word file).
+
+The real benchmark is not redistributable here, so we train an order-2
+character Markov model (:mod:`.markov`) on an embedded seed lexicon of
+genuine Spanish words and sample a deduplicated dictionary from it.  What
+the paper's dictionary experiments consume is the *distribution of word
+lengths and letter statistics* -- both are inherited from the seed lexicon
+(alphabet of ~30 letters incl. accents, lengths ~2-15, mean ~8-9).
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import Dataset
+from .markov import MarkovGenerator
+
+__all__ = ["SPANISH_SEED_LEXICON", "spanish_dictionary"]
+
+#: A seed lexicon of genuine Spanish words (common vocabulary plus a spread
+#: of longer derived forms so generated lengths cover the same range as the
+#: SISAP dictionary).
+SPANISH_SEED_LEXICON = tuple(
+    dict.fromkeys(  # deduplicate while preserving order
+        """
+    el la los las un una unos unas de del en con por para sin sobre entre
+    hasta desde hacia según durante mediante contra ante bajo cabe so tras
+    yo tú él ella nosotros vosotros ellos ellas usted ustedes me te se nos
+    os le les lo mi tu su nuestro vuestro suyo mío tuyo este ese aquel esta
+    esa aquella esto eso aquello alguien nadie algo nada cada cual quien
+    cuyo donde cuando como cuanto ser estar haber tener hacer poder decir
+    ir ver dar saber querer llegar pasar deber poner parecer quedar creer
+    hablar llevar dejar seguir encontrar llamar venir pensar salir volver
+    tomar conocer vivir sentir tratar mirar contar empezar esperar buscar
+    existir entrar trabajar escribir perder producir ocurrir entender
+    pedir recibir recordar terminar permitir aparecer conseguir comenzar
+    servir sacar necesitar mantener resultar leer caer cambiar presentar
+    crear abrir considerar oír acabar convertir ganar formar traer partir
+    morir aceptar realizar suponer comprender lograr explicar preguntar
+    tocar reconocer estudiar alcanzar nacer dirigir correr utilizar pagar
+    ayudar gustar jugar escuchar cumplir ofrecer descubrir levantar
+    intentar usar decidir repetir olvidar valer comer mostrar ocupar
+    mover continuar suceder fijar referir acercar dedicar aprender
+    comprar subir evitar interesar cerrar echar responder sufrir importar
+    obtener observar indicar imaginar soler detener desarrollar señalar
+    elegir preparar proponer demostrar significar reunir faltar acompañar
+    desear enseñar construir vender representar desaparecer mandar andar
+    preferir asegurar crecer surgir matar entregar colocar establecer
+    guardar iniciar bastar comunicar casa tiempo año día vez hombre mujer
+    vida momento forma parte estado mundo país manera lugar persona hora
+    trabajo punto cosa tipo gobierno ejemplo caso niño agua noche nombre
+    tierra campo historia sistema cuerpo paz guerra idea ojo palabra
+    familia problema mano grupo zona mes ciudad derecho fuerza obra
+    cabeza razón puerta amigo muerte dinero política situación papel
+    relación aire educación calle fondo interés efecto libro acción modo
+    respuesta clase música economía verdad función principio luz sangre
+    región base medida fuego mente experiencia artículo conjunto cultura
+    energía carácter viaje presión desarrollo seguridad resultado orden
+    realidad sociedad empresa centro sentido comunidad condición especie
+    árbol corazón jardín pequeño grande bueno malo nuevo viejo mayor
+    mejor peor mucho poco todo otro mismo propio cierto claro blanco
+    negro rojo verde azul amarillo alto bajo largo corto ancho fácil
+    difícil posible imposible importante necesario internacional nacional
+    social político económico cultural natural general especial personal
+    profesional tradicional universitario extraordinario revolucionario
+    responsabilidad administración investigación comunicación información
+    organización civilización representación internacionalización
+    aproximadamente desafortunadamente independientemente características
+    constitucionalidad institucionalización desproporcionado
+    electrodoméstico otorrinolaringólogo paralelepípedo
+    ventana mesa silla camino montaña río playa bosque cielo estrella
+    luna sol viento lluvia nieve fuente piedra puente torre castillo
+    iglesia plaza mercado tienda escuela hospital biblioteca museo teatro
+    cine restaurante cocina comida bebida pan queso carne pescado fruta
+    verdura naranja manzana plátano uva limón tomate cebolla ajo aceite
+    vino leche café azúcar sal pimienta caballo perro gato pájaro pez
+    vaca toro cerdo oveja cabra gallina conejo ratón serpiente tortuga
+    mariposa abeja hormiga araña mosca zapato camisa pantalón falda
+    vestido sombrero abrigo guante calcetín corbata reloj anillo collar
+    espejo cuchillo tenedor cuchara plato vaso taza botella caja bolsa
+    papel lápiz pluma cuaderno carta sello periódico revista televisión
+    radio teléfono ordenador máquina coche autobús tren avión barco
+    bicicleta motocicleta carretera semáforo gasolina médico enfermera
+    abogado ingeniero arquitecto profesor estudiante escritor pintor
+    músico actor cantante bailarín cocinero camarero vendedor policía
+    bombero soldado rey reina príncipe princesa presidente ministro
+    alcalde juez testigo ladrón preso culpable inocente
+    """.split()
+    )
+)
+
+
+def spanish_dictionary(
+    n_words: int = 8000,
+    seed: int = 2008,
+    order: int = 2,
+    include_seed_words: bool = True,
+) -> Dataset:
+    """Generate a deduplicated Spanish-like dictionary of *n_words* words.
+
+    ``include_seed_words`` mixes the genuine seed lexicon into the output
+    (they are valid dictionary words); the rest is sampled from the Markov
+    model until *n_words* distinct words exist.  Deterministic in *seed*.
+    """
+    if n_words < 1:
+        raise ValueError(f"n_words must be >= 1, got {n_words}")
+    rng = random.Random(seed)
+    model = MarkovGenerator(order=order).train(SPANISH_SEED_LEXICON)
+    words = set()
+    if include_seed_words:
+        words.update(SPANISH_SEED_LEXICON[: min(n_words, len(SPANISH_SEED_LEXICON))])
+    attempts = 0
+    max_attempts = 200 * n_words
+    while len(words) < n_words:
+        words.add(model.generate(rng, min_length=2, max_length=22))
+        attempts += 1
+        if attempts > max_attempts:  # pragma: no cover - generous bound
+            raise RuntimeError(
+                f"could not generate {n_words} distinct words "
+                f"(got {len(words)} after {attempts} samples)"
+            )
+    items = tuple(sorted(words)[:n_words])
+    return Dataset(
+        name="spanish-dictionary(synthetic)",
+        items=items,
+        metadata={
+            "seed": seed,
+            "order": order,
+            "n_words": n_words,
+            "substitute_for": "SISAP Spanish dictionary (86062 words)",
+        },
+    )

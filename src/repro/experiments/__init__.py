@@ -1,0 +1,63 @@
+"""One runnable module per table/figure of the paper's evaluation.
+
+========  ============================================================
+id        artefact
+========  ============================================================
+fig1      Figure 1 -- d_C vs d_C,h histograms (dictionary)
+sec4.1    in-text agreement statistics of the heuristic
+fig2      Figure 2 -- normalised-distance histograms (genes)
+tab1      Table 1 -- intrinsic dimensionality (5 distances x 3 datasets)
+fig3      Figure 3 -- LAESA sweep on the dictionary
+fig4      Figure 4 -- LAESA sweep on digit contours
+tab2      Table 2 -- 1-NN digit classification error
+speed     ablation -- per-pair distance computation cost
+kgap      in-text: offset of the optimal k from d_E (heuristic rationale)
+========  ============================================================
+
+Run any of them with ``python -m repro.experiments <id> [--scale s]`` or
+call ``repro.experiments.run(id, scale)`` programmatically; every result
+object has ``render()`` producing the paper-style table/figure as text.
+"""
+
+from typing import Union
+
+from . import (
+    agreement,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    kprofile,
+    speed,
+    table1,
+    table2,
+)
+from .config import SCALES, ExperimentScale, get_scale
+
+__all__ = ["EXPERIMENTS", "run", "SCALES", "ExperimentScale", "get_scale"]
+
+#: id -> (module.run, one-line description)
+EXPERIMENTS = {
+    "fig1": (figure1.run, "Figure 1: d_C vs d_C,h histograms (dictionary)"),
+    "sec4.1": (agreement.run, "Section 4.1: heuristic agreement statistics"),
+    "fig2": (figure2.run, "Figure 2: distance histograms on genes"),
+    "tab1": (table1.run, "Table 1: intrinsic dimensionality"),
+    "fig3": (figure3.run, "Figure 3: LAESA sweep on the dictionary"),
+    "fig4": (figure4.run, "Figure 4: LAESA sweep on digit contours"),
+    "tab2": (table2.run, "Table 2: 1-NN digit classification error"),
+    "fig5": (figure5.run, "Figure 5: writer variation among sample digits"),
+    "speed": (speed.run, "Ablation: per-pair distance computation cost"),
+    "kgap": (kprofile.run, "Section 4.1: offset of the optimal k from d_E"),
+}
+
+
+def run(experiment_id: str, scale: Union[str, ExperimentScale] = "default"):
+    """Run one experiment by id; returns its result object."""
+    try:
+        runner, _ = EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from None
+    return runner(scale=scale)

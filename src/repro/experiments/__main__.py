@@ -1,0 +1,77 @@
+"""CLI for the experiment suite.
+
+Examples::
+
+    python -m repro.experiments --list
+    python -m repro.experiments tab1
+    python -m repro.experiments fig3 --scale smoke
+    python -m repro.experiments all --scale default
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import EXPERIMENTS, run
+from .config import SCALES
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id ({', '.join(EXPERIMENTS)}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        default="default",
+        choices=sorted(SCALES),
+        help="size preset (default: default)",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments"
+    )
+    parser.add_argument(
+        "--save",
+        metavar="DIR",
+        help="also write <id>.txt/.json (and .csv for sweeps) under DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list or not args.experiment:
+        for key, (_, description) in EXPERIMENTS.items():
+            print(f"{key:8s} {description}")
+        return 0
+
+    ids = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for experiment_id in ids:
+        if experiment_id not in EXPERIMENTS:
+            print(
+                f"unknown experiment {experiment_id!r}; "
+                f"known: {', '.join(EXPERIMENTS)}",
+                file=sys.stderr,
+            )
+            return 2
+        started = time.perf_counter()
+        result = run(experiment_id, scale=args.scale)
+        elapsed = time.perf_counter() - started
+        print(result.render())
+        print(f"\n[{experiment_id} completed in {elapsed:.1f}s at scale "
+              f"'{args.scale}']\n")
+        if args.save:
+            from .export import export_result
+
+            safe_id = experiment_id.replace(".", "_")
+            for path in export_result(result, args.save, safe_id):
+                print(f"[saved {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

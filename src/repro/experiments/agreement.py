@@ -1,0 +1,76 @@
+"""Section 4.1's in-text claim: heuristic agreement across datasets.
+
+"In experiments over the used benchmarks, d_C,h(x, y) = d_C(x, y) in 90%
+of the cases, with differences ranging from 0.03 for the dictionary to
+0.008 for the contour strings."  This experiment measures the agreement
+rate and gap statistics on all three (synthetic) datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from ..analysis import AgreementReport, heuristic_agreement
+from .config import ExperimentScale, get_scale
+from .data import agreement_genes_for, dictionary_for, digits_for
+from .tables import Table
+
+__all__ = ["AgreementResult", "run"]
+
+
+@dataclass(frozen=True)
+class AgreementResult:
+    """Per-dataset agreement reports."""
+
+    scale: str
+    reports: Dict[str, AgreementReport]
+
+    def render(self) -> str:
+        table = Table(
+            title="Section 4.1 -- agreement of d_C,h with d_C",
+            headers=[
+                "dataset",
+                "pairs",
+                "equal %",
+                "mean gap (diff only)",
+                "max gap",
+            ],
+        )
+        for name, report in self.reports.items():
+            table.add_row(
+                name,
+                report.n_pairs,
+                100.0 * report.agreement_rate,
+                report.mean_gap_when_diff,
+                report.max_gap,
+            )
+        table.notes.append(
+            "paper: equal in ~90% of cases; differences 0.03 (dictionary) "
+            "down to 0.008 (contour strings)"
+        )
+        return table.render()
+
+
+def run(
+    scale: Union[str, ExperimentScale] = "default", seed: int = 41
+) -> AgreementResult:
+    """Measure exact-vs-heuristic agreement on all three datasets."""
+    cfg = get_scale(scale)
+    rng = random.Random(seed)
+    reports: Dict[str, AgreementReport] = {}
+    datasets = {
+        "dictionary": dictionary_for(cfg),
+        "digit contours": digits_for(cfg),
+        "genes (capped length)": agreement_genes_for(cfg),
+    }
+    for name, data in datasets.items():
+        pairs = cfg.agreement_pairs
+        if name.startswith("genes"):
+            # exact d_C is cubic; genes are long, so fewer pairs suffice
+            pairs = max(10, pairs // 10)
+        reports[name] = heuristic_agreement(
+            data.items, n_pairs=pairs, rng=random.Random(rng.randrange(2**31))
+        )
+    return AgreementResult(scale=cfg.name, reports=reports)

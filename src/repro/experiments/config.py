@@ -1,0 +1,209 @@
+"""Experiment scale presets.
+
+Four presets ship:
+
+* ``smoke``  -- seconds; used by the test-suite to exercise every
+  experiment end-to-end;
+* ``bench``  -- tens of seconds to ~2 minutes per experiment; the
+  pytest-benchmark suite's default (override with REPRO_BENCH_SCALE);
+* ``default`` -- minutes per experiment on a laptop; produces stable
+  shapes (EXPERIMENTS.md records a default-scale run);
+* ``paper``  -- the published sample counts (8000 dictionary samples,
+  ~1000 genes/digits, 1000x1000 LAESA trials, pivots to 300).  Hours of
+  pure-Python compute; provided for completeness and documented in
+  EXPERIMENTS.md.
+
+Every experiment takes ``scale`` as a preset name or an
+:class:`ExperimentScale` instance, so custom trade-offs are one dataclass
+away.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+__all__ = ["ExperimentScale", "SCALES", "get_scale"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """All size knobs for the experiment suite (see module docstring)."""
+
+    name: str
+    # shared synthetic datasets
+    dictionary_words: int
+    gene_count: int
+    gene_max_length: int
+    digits_per_class: int
+    digit_grid: int
+    # figure 1 (exact-vs-heuristic histograms, dictionary)
+    fig1_samples: int
+    fig1_max_pairs: int
+    fig1_bins: int
+    # section 4.1 (agreement statistics)
+    agreement_pairs: int
+    agreement_gene_max_length: int
+    # figure 2 / table 1 (histograms and intrinsic dimensionality)
+    hist_words: int
+    hist_digits: int
+    hist_genes: int
+    hist_max_pairs: int
+    hist_bins: int
+    # figure 3 (LAESA sweep, dictionary)
+    laesa_train: int
+    laesa_queries: int
+    laesa_trials: int
+    pivot_counts: Tuple[int, ...]
+    # figure 4 (LAESA sweep, digit contours)
+    digits_laesa_train: int
+    digits_laesa_queries: int
+    digits_laesa_trials: int
+    digits_pivot_counts: Tuple[int, ...]
+    # table 2 (digit classification)
+    classify_per_class: int
+    classify_test: int
+    classify_trials: int
+    classify_pivots: int
+    # speed ablation
+    speed_pairs: int
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(
+        name="smoke",
+        dictionary_words=300,
+        gene_count=24,
+        gene_max_length=90,
+        digits_per_class=4,
+        digit_grid=20,
+        fig1_samples=40,
+        fig1_max_pairs=150,
+        fig1_bins=24,
+        agreement_pairs=25,
+        agreement_gene_max_length=90,
+        hist_words=50,
+        hist_digits=20,
+        hist_genes=16,
+        hist_max_pairs=200,
+        hist_bins=24,
+        laesa_train=60,
+        laesa_queries=12,
+        laesa_trials=1,
+        pivot_counts=(0, 4, 8),
+        digits_laesa_train=30,
+        digits_laesa_queries=6,
+        digits_laesa_trials=1,
+        digits_pivot_counts=(0, 4),
+        classify_per_class=2,
+        classify_test=8,
+        classify_trials=1,
+        classify_pivots=4,
+        speed_pairs=12,
+    ),
+    "bench": ExperimentScale(
+        name="bench",
+        dictionary_words=2000,
+        gene_count=60,
+        gene_max_length=400,
+        digits_per_class=25,
+        digit_grid=24,
+        fig1_samples=150,
+        fig1_max_pairs=8000,
+        fig1_bins=40,
+        agreement_pairs=150,
+        agreement_gene_max_length=200,
+        hist_words=250,
+        hist_digits=150,
+        hist_genes=60,
+        hist_max_pairs=1500,
+        hist_bins=40,
+        laesa_train=300,
+        laesa_queries=80,
+        laesa_trials=2,
+        pivot_counts=(0, 10, 25, 50, 100),
+        digits_laesa_train=150,
+        digits_laesa_queries=30,
+        digits_laesa_trials=1,
+        digits_pivot_counts=(0, 10, 25, 50),
+        classify_per_class=8,
+        classify_test=30,
+        classify_trials=2,
+        classify_pivots=25,
+        speed_pairs=40,
+    ),
+    "default": ExperimentScale(
+        name="default",
+        dictionary_words=4000,
+        gene_count=90,
+        gene_max_length=500,
+        digits_per_class=40,
+        digit_grid=24,
+        fig1_samples=250,
+        fig1_max_pairs=20000,
+        fig1_bins=48,
+        agreement_pairs=400,
+        agreement_gene_max_length=240,
+        hist_words=400,
+        hist_digits=300,
+        hist_genes=90,
+        hist_max_pairs=3000,
+        hist_bins=48,
+        laesa_train=500,
+        laesa_queries=150,
+        laesa_trials=3,
+        pivot_counts=(0, 10, 25, 50, 100, 150),
+        digits_laesa_train=300,
+        digits_laesa_queries=60,
+        digits_laesa_trials=2,
+        digits_pivot_counts=(0, 10, 25, 50, 100),
+        classify_per_class=12,
+        classify_test=50,
+        classify_trials=2,
+        classify_pivots=40,
+        speed_pairs=60,
+    ),
+    "paper": ExperimentScale(
+        name="paper",
+        dictionary_words=80000,
+        gene_count=1000,
+        gene_max_length=3000,
+        digits_per_class=200,
+        digit_grid=28,
+        fig1_samples=8000,
+        fig1_max_pairs=500000,
+        fig1_bins=100,
+        agreement_pairs=5000,
+        agreement_gene_max_length=600,
+        hist_words=8000,
+        hist_digits=1000,
+        hist_genes=1000,
+        hist_max_pairs=500000,
+        hist_bins=100,
+        laesa_train=1000,
+        laesa_queries=1000,
+        laesa_trials=10,
+        pivot_counts=tuple(range(0, 301, 25)),
+        digits_laesa_train=1000,
+        digits_laesa_queries=1000,
+        digits_laesa_trials=10,
+        digits_pivot_counts=tuple(range(0, 301, 25)),
+        classify_per_class=100,
+        classify_test=1000,
+        classify_trials=10,
+        classify_pivots=100,
+        speed_pairs=1000,
+    ),
+}
+
+
+def get_scale(scale: Union[str, ExperimentScale]) -> ExperimentScale:
+    """Resolve a preset name (or pass an instance through)."""
+    if isinstance(scale, ExperimentScale):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise KeyError(
+            f"unknown scale {scale!r}; known: {sorted(SCALES)}"
+        ) from None

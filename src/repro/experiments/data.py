@@ -1,0 +1,51 @@
+"""Per-scale dataset construction, cached within the process.
+
+All experiments share the same three synthetic datasets; building them is
+deterministic in the scale, so results are cached on the scale's identity
+to keep multi-experiment runs (and the benchmark suite) fast.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from ..datasets import Dataset, handwritten_digits, listeria_genes, spanish_dictionary
+from .config import ExperimentScale
+
+__all__ = ["dictionary_for", "genes_for", "digits_for", "agreement_genes_for"]
+
+
+@lru_cache(maxsize=8)
+def _dictionary(n_words: int) -> Dataset:
+    return spanish_dictionary(n_words=n_words, seed=2008)
+
+
+@lru_cache(maxsize=8)
+def _genes(n_genes: int, max_length: int) -> Dataset:
+    return listeria_genes(n_genes=n_genes, seed=1926, max_length=max_length)
+
+
+@lru_cache(maxsize=8)
+def _digits(per_class: int, grid: int) -> Dataset:
+    return handwritten_digits(per_class=per_class, seed=1995, grid=grid)
+
+
+def dictionary_for(scale: ExperimentScale) -> Dataset:
+    """The synthetic Spanish dictionary at this scale."""
+    return _dictionary(scale.dictionary_words)
+
+
+def genes_for(scale: ExperimentScale) -> Dataset:
+    """The synthetic gene set at this scale."""
+    return _genes(scale.gene_count, scale.gene_max_length)
+
+
+def agreement_genes_for(scale: ExperimentScale) -> Dataset:
+    """Shorter genes for the exact-vs-heuristic comparison (exact ``d_C``
+    is cubic, so Section 4.1's gene pairs use a capped length)."""
+    return _genes(scale.gene_count, scale.agreement_gene_max_length)
+
+
+def digits_for(scale: ExperimentScale) -> Dataset:
+    """The synthetic digit-contour dataset at this scale."""
+    return _digits(scale.digits_per_class, scale.digit_grid)

@@ -1,0 +1,99 @@
+"""Exporting experiment results to JSON / CSV.
+
+Every experiment's result object is a (possibly nested) dataclass;
+:func:`result_to_dict` converts one into plain JSON-serialisable data
+(numpy arrays become lists, numpy scalars become Python numbers), and
+:func:`export_result` writes both the rendered text artefact and the JSON
+next to each other.  LAESA sweeps additionally export a tidy CSV, one row
+per (distance, pivot count), for external plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+import numpy as np
+
+from .laesa_sweep import LaesaSweepResult
+
+__all__ = ["result_to_dict", "export_result", "sweep_to_csv"]
+
+
+def _plain(value: Any) -> Any:
+    """Recursively convert dataclasses / numpy values to JSON-safe data."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: _plain(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, np.ndarray):
+        return [_plain(v) for v in value.tolist()]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, float) and value != value:  # NaN -> null
+        return None
+    return value
+
+
+def result_to_dict(result: Any) -> Dict[str, Any]:
+    """Convert an experiment result object to JSON-serialisable data."""
+    if not (dataclasses.is_dataclass(result) and not isinstance(result, type)):
+        raise TypeError(
+            f"expected a dataclass result, got {type(result).__name__}"
+        )
+    return _plain(result)
+
+
+def sweep_to_csv(result: LaesaSweepResult, path: Union[str, Path]) -> None:
+    """Write a LAESA sweep as tidy CSV: one row per (distance, pivots)."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["distance", "pivots", "computations", "computations_dev",
+             "seconds", "seconds_dev"]
+        )
+        for name, series in result.series.items():
+            for i, pivots in enumerate(result.pivot_counts):
+                writer.writerow(
+                    [name, pivots, series.computations[i],
+                     series.computations_dev[i], series.seconds[i],
+                     series.seconds_dev[i]]
+                )
+
+
+def export_result(
+    result: Any, directory: Union[str, Path], name: str
+) -> List[Path]:
+    """Write ``<name>.txt`` (rendered), ``<name>.json`` and, for sweeps,
+    ``<name>.csv`` under *directory*; returns the written paths."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+
+    text_path = directory / f"{name}.txt"
+    text_path.write_text(result.render() + "\n", encoding="utf-8")
+    written.append(text_path)
+
+    json_path = directory / f"{name}.json"
+    json_path.write_text(
+        json.dumps(result_to_dict(result), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    written.append(json_path)
+
+    if isinstance(result, LaesaSweepResult):
+        csv_path = directory / f"{name}.csv"
+        sweep_to_csv(result, csv_path)
+        written.append(csv_path)
+    return written

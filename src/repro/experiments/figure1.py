@@ -1,0 +1,107 @@
+"""Figure 1: histograms of ``d_C`` and ``d_C,h`` on the dictionary.
+
+The paper overlays the distance histograms of the exact contextual
+distance and its heuristic over Spanish-dictionary samples and observes
+"both distances have a very similar behaviour (the intrinsic
+dimensionality in both cases is similar)".  This reproduction draws the
+same overlay and reports the histogram intersection, both intrinsic
+dimensionalities, and the share of identical values.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from ..analysis import DistanceHistogram, render_histograms
+from ..core import contextual_distance, contextual_distance_heuristic
+from .config import ExperimentScale, get_scale
+from .data import dictionary_for
+from .tables import Table
+
+__all__ = ["Figure1Result", "run"]
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """Exact and heuristic histograms plus their similarity measures."""
+
+    scale: str
+    exact: DistanceHistogram
+    heuristic: DistanceHistogram
+    overlap: float
+    equal_fraction: float
+
+    def render(self) -> str:
+        table = Table(
+            title="Figure 1 -- d_C vs d_C,h distance histograms (dictionary)",
+            headers=["distance", "mean", "variance", "intrinsic dim (rho)"],
+        )
+        table.add_row(
+            "dC", self.exact.mean, self.exact.variance,
+            self.exact.intrinsic_dimensionality,
+        )
+        table.add_row(
+            "dC,h", self.heuristic.mean, self.heuristic.variance,
+            self.heuristic.intrinsic_dimensionality,
+        )
+        table.notes.append(
+            f"histogram intersection {self.overlap:.3f} "
+            f"(1.0 = identical); values identical on "
+            f"{100.0 * self.equal_fraction:.1f}% of pairs"
+        )
+        table.notes.append(
+            "paper: the two histograms nearly coincide (Figure 1), "
+            "agreement ~90% (Section 4.1)"
+        )
+        chart = render_histograms([self.exact, self.heuristic])
+        return f"{table.render()}\n\n{chart}"
+
+
+def run(scale: Union[str, ExperimentScale] = "default", seed: int = 1) -> Figure1Result:
+    """Sample dictionary pairs, histogram ``d_C`` and ``d_C,h``."""
+    cfg = get_scale(scale)
+    rng = random.Random(seed)
+    words = dictionary_for(cfg).sample(cfg.fig1_samples, rng)
+    n = len(words)
+    total_pairs = n * (n - 1) // 2
+    exact_values = []
+    heuristic_values = []
+    equal = 0
+    if total_pairs <= cfg.fig1_max_pairs:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    else:
+        pairs = []
+        for _ in range(cfg.fig1_max_pairs):
+            i = rng.randrange(n)
+            j = rng.randrange(n - 1)
+            if j >= i:
+                j += 1
+            pairs.append((i, j))
+    for i, j in pairs:
+        e = contextual_distance(words.items[i], words.items[j])
+        h = contextual_distance_heuristic(words.items[i], words.items[j])
+        exact_values.append(e)
+        heuristic_values.append(h)
+        if abs(h - e) <= 1e-9:
+            equal += 1
+    exact_values = np.asarray(exact_values)
+    heuristic_values = np.asarray(heuristic_values)
+    hi = float(max(exact_values.max(), heuristic_values.max()))
+    value_range = (0.0, hi if hi > 0 else 1.0)
+    exact_hist = DistanceHistogram.from_values(
+        exact_values, label="dC", bins=cfg.fig1_bins, value_range=value_range
+    )
+    heuristic_hist = DistanceHistogram.from_values(
+        heuristic_values, label="dC,h", bins=cfg.fig1_bins, value_range=value_range
+    )
+    return Figure1Result(
+        scale=cfg.name,
+        exact=exact_hist,
+        heuristic=heuristic_hist,
+        overlap=exact_hist.overlap(heuristic_hist),
+        equal_fraction=equal / len(pairs),
+    )

@@ -1,0 +1,46 @@
+"""Figure 4: LAESA effort vs pivot count on handwritten digit contours.
+
+Same sweep as Figure 3 but on the digit-contour dataset, with held-out
+contours (different synthetic "writers") as queries.  The paper highlights
+that the *average number of distance computations* for the contextual
+distance is similar to Levenshtein's across two very different datasets.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple, Union
+
+from ..core import PAPER_ALL
+from .config import ExperimentScale, get_scale
+from .data import digits_for
+from .laesa_sweep import LaesaSweepResult, run_sweep
+
+__all__ = ["run"]
+
+
+def run(
+    scale: Union[str, ExperimentScale] = "default", seed: int = 5
+) -> LaesaSweepResult:
+    """Sweep LAESA pivot counts over digit contours for all five distances."""
+    cfg = get_scale(scale)
+    digits = digits_for(cfg)
+
+    def make_trial(rng: random.Random) -> Tuple[List, List]:
+        pool = list(range(len(digits)))
+        rng.shuffle(pool)
+        n_train = min(cfg.digits_laesa_train, len(pool) - 1)
+        n_queries = min(cfg.digits_laesa_queries, len(pool) - n_train)
+        train = [digits.items[i] for i in pool[:n_train]]
+        queries = [digits.items[i] for i in pool[n_train : n_train + n_queries]]
+        return train, queries
+
+    return run_sweep(
+        title="Figure 4 (handwritten digits)",
+        scale_name=cfg.name,
+        distance_names=PAPER_ALL,
+        pivot_counts=cfg.digits_pivot_counts,
+        n_trials=cfg.digits_laesa_trials,
+        seed=seed,
+        make_trial=make_trial,
+    )

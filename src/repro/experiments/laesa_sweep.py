@@ -1,0 +1,171 @@
+"""Shared machinery for Figures 3 and 4: LAESA pivot-count sweeps.
+
+For each trial, a training set is drawn and a query set built; for every
+distance and every pivot count, each query's nearest neighbour is searched
+with LAESA and the number of distance computations and the search time are
+averaged.  Max-min pivot selection is nested, so each (trial, distance)
+selects pivots once at the maximum count and slices for smaller counts.
+
+Every LAESA answer is spot-checked against the exhaustive result for
+metric distances (a correctness tripwire, not a benchmark-time cost: only
+the first trial's first pivot count is checked).
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from ..analysis import render_series
+from ..core import get_spec
+from ..index import ExhaustiveIndex, LaesaIndex, select_pivots
+from .tables import Table
+
+__all__ = ["SweepSeries", "LaesaSweepResult", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepSeries:
+    """Mean and deviation per pivot count, for one distance."""
+
+    distance: str
+    computations: Tuple[float, ...]
+    computations_dev: Tuple[float, ...]
+    seconds: Tuple[float, ...]
+    seconds_dev: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class LaesaSweepResult:
+    """All series of one sweep (one paper figure)."""
+
+    title: str
+    scale: str
+    pivot_counts: Tuple[int, ...]
+    series: Dict[str, SweepSeries]
+    n_train: int
+
+    def render(self) -> str:
+        table = Table(
+            title=f"{self.title} -- LAESA distance computations per query",
+            headers=["distance"] + [f"p={p}" for p in self.pivot_counts],
+        )
+        for name, s in self.series.items():
+            table.add_row(name, *[f"{c:.1f}" for c in s.computations])
+        table.notes.append(
+            f"training set size {self.n_train}; exhaustive search would "
+            f"compute {self.n_train} distances per query"
+        )
+        time_table = Table(
+            title=f"{self.title} -- LAESA search time per query (ms)",
+            headers=["distance"] + [f"p={p}" for p in self.pivot_counts],
+        )
+        for name, s in self.series.items():
+            time_table.add_row(name, *[f"{1000.0 * t:.2f}" for t in s.seconds])
+        comp_chart = render_series(
+            {
+                name: (list(self.pivot_counts), list(s.computations))
+                for name, s in self.series.items()
+            },
+            x_label="number of pivots",
+            y_label="distance computations",
+        )
+        time_chart = render_series(
+            {
+                name: (list(self.pivot_counts), [1000.0 * t for t in s.seconds])
+                for name, s in self.series.items()
+            },
+            x_label="number of pivots",
+            y_label="time (ms)",
+        )
+        return (
+            f"{table.render()}\n\n{comp_chart}\n\n"
+            f"{time_table.render()}\n\n{time_chart}"
+        )
+
+
+def run_sweep(
+    title: str,
+    scale_name: str,
+    distance_names: Sequence[str],
+    pivot_counts: Sequence[int],
+    n_trials: int,
+    seed: int,
+    make_trial: Callable[[random.Random], Tuple[List, List]],
+) -> LaesaSweepResult:
+    """Run the sweep.  ``make_trial(rng) -> (train_items, queries)``."""
+    pivot_counts = tuple(sorted(set(pivot_counts)))
+    max_pivots = pivot_counts[-1]
+    per_distance: Dict[str, Dict[int, List[Tuple[float, float]]]] = {
+        name: {p: [] for p in pivot_counts} for name in distance_names
+    }
+    master = random.Random(seed)
+    checked = False
+    n_train = 0
+    for _ in range(n_trials):
+        trial_rng = random.Random(master.randrange(2**31))
+        train, queries = make_trial(trial_rng)
+        n_train = len(train)
+        effective_max = min(max_pivots, len(train))
+        for name in distance_names:
+            spec = get_spec(name)
+            pivot_indices, pivot_rows = select_pivots(
+                train,
+                spec.function,
+                effective_max,
+                strategy="maxmin",
+                rng=random.Random(trial_rng.randrange(2**31)),
+            )
+            for p in pivot_counts:
+                p_eff = min(p, effective_max)
+                index = LaesaIndex.from_pivots(
+                    train, spec.function, pivot_indices[:p_eff], pivot_rows[:p_eff]
+                )
+                comp_total = 0
+                time_total = 0.0
+                for query in queries:
+                    result, stats = index.nearest(query)
+                    comp_total += stats.distance_computations
+                    time_total += stats.elapsed_seconds
+                per_distance[name][p].append(
+                    (comp_total / len(queries), time_total / len(queries))
+                )
+                if not checked and spec.is_metric:
+                    # correctness tripwire: LAESA must agree with a scan
+                    exhaustive = ExhaustiveIndex(train, spec.function)
+                    truth, _ = exhaustive.nearest(queries[0])
+                    found, _ = index.nearest(queries[0])
+                    if abs(truth.distance - found.distance) > 1e-9:
+                        raise AssertionError(
+                            f"LAESA disagrees with exhaustive search for "
+                            f"{name}: {found.distance} vs {truth.distance}"
+                        )
+                    checked = True
+    series: Dict[str, SweepSeries] = {}
+    for name in distance_names:
+        display = get_spec(name).display
+        comps, comp_devs, secs, sec_devs = [], [], [], []
+        for p in pivot_counts:
+            trials = per_distance[name][p]
+            cs = [c for c, _ in trials]
+            ts = [t for _, t in trials]
+            comps.append(statistics.fmean(cs))
+            secs.append(statistics.fmean(ts))
+            comp_devs.append(statistics.pstdev(cs) if len(cs) > 1 else 0.0)
+            sec_devs.append(statistics.pstdev(ts) if len(ts) > 1 else 0.0)
+        series[display] = SweepSeries(
+            distance=display,
+            computations=tuple(comps),
+            computations_dev=tuple(comp_devs),
+            seconds=tuple(secs),
+            seconds_dev=tuple(sec_devs),
+        )
+    return LaesaSweepResult(
+        title=title,
+        scale=scale_name,
+        pivot_counts=pivot_counts,
+        series=series,
+        n_train=n_train,
+    )

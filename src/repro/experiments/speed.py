@@ -1,0 +1,94 @@
+"""Ablation: per-pair computation cost of each distance.
+
+Section 4.3 notes "the computation time of the contextual distance is
+around twice the computation time of the Levenshtein distance, but this
+is compensated by a largely inferior number of times the distance has
+effectively to be computed".  This experiment times every registered
+distance on the same pair sample from each dataset and reports the ratio
+to Levenshtein.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Tuple, Union
+
+from ..core import get_spec
+from .config import ExperimentScale, get_scale
+from .data import dictionary_for, digits_for
+from .tables import Table
+
+__all__ = ["SpeedResult", "run"]
+
+#: "contextual" is added to the registry list so the exact algorithm's
+#: cubic cost is visible next to the heuristic's quadratic one.
+_DISTANCES = ("levenshtein", "contextual_heuristic", "contextual",
+              "marzal_vidal", "yujian_bo", "dmax")
+
+
+@dataclass(frozen=True)
+class SpeedResult:
+    """Mean per-pair seconds per (dataset, distance)."""
+
+    scale: str
+    seconds: Dict[str, Dict[str, float]]  # dataset -> distance -> s/pair
+
+    def render(self) -> str:
+        table = Table(
+            title="Ablation -- distance computation time per pair",
+            headers=["dataset", "distance", "us/pair", "ratio vs dE"],
+        )
+        for dataset, per_distance in self.seconds.items():
+            base = per_distance["levenshtein"]
+            for name, secs in per_distance.items():
+                table.add_row(
+                    dataset,
+                    get_spec(name).display,
+                    1e6 * secs,
+                    secs / base if base > 0 else float("nan"),
+                )
+        table.notes.append(
+            "paper: d_C,h costs ~2x d_E per computation; the exact d_C is "
+            "cubic and much slower (which is why Section 4 uses d_C,h)"
+        )
+        return table.render()
+
+
+def _time_pairs(
+    pairs: List[Tuple[str, str]], distance
+) -> float:
+    started = time.perf_counter()
+    for x, y in pairs:
+        distance(x, y)
+    return (time.perf_counter() - started) / len(pairs)
+
+
+def run(
+    scale: Union[str, ExperimentScale] = "default", seed: int = 7
+) -> SpeedResult:
+    """Time every distance on shared pair samples (dictionary + digits)."""
+    cfg = get_scale(scale)
+    rng = random.Random(seed)
+    datasets = {
+        "dictionary": dictionary_for(cfg),
+        "digit contours": digits_for(cfg),
+    }
+    seconds: Dict[str, Dict[str, float]] = {}
+    for dataset_name, data in datasets.items():
+        n = len(data)
+        pairs = []
+        for _ in range(cfg.speed_pairs):
+            i = rng.randrange(n)
+            j = rng.randrange(n - 1)
+            if j >= i:
+                j += 1
+            pairs.append((data.items[i], data.items[j]))
+        per_distance: Dict[str, float] = {}
+        for name in _DISTANCES:
+            fn = get_spec(name).function
+            fn(*pairs[0])  # warm caches outside the timed region
+            per_distance[name] = _time_pairs(pairs, fn)
+        seconds[dataset_name] = per_distance
+    return SpeedResult(scale=cfg.name, seconds=seconds)

@@ -1,0 +1,52 @@
+"""Minimal aligned-text tables for experiment output."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+__all__ = ["Table"]
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.001):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """An aligned text table with a title and optional footnotes."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells; table has {len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        formatted = [[_format_cell(c) for c in row] for row in self.rows]
+        widths = [len(h) for h in self.headers]
+        for row in formatted:
+            for col, cell in enumerate(row):
+                widths[col] = max(widths[col], len(cell))
+        header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(self.headers))
+        rule = "-" * len(header)
+        lines = [self.title, "=" * len(self.title), header, rule]
+        for row in formatted:
+            lines.append(
+                "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+            )
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""Metric nearest-neighbour search structures.
+
+LAESA (:class:`LaesaIndex`) is the algorithm the paper benchmarks in
+Figures 3 and 4; :class:`ExhaustiveIndex` is the Table 2 baseline;
+:class:`AesaIndex`, :class:`BKTreeIndex` and :class:`VPTreeIndex` cover the
+"other methods that also use the metric properties" the paper alludes to.
+Every index reports per-query :class:`SearchStats` (distance computations
+and wall-clock time), which is the currency of the paper's evaluation.
+"""
+
+from .aesa import AesaIndex
+from .base import CountingDistance, NearestNeighborIndex, SearchResult, SearchStats
+from .bktree import BKTreeIndex
+from .exhaustive import ExhaustiveIndex
+from .laesa import LaesaIndex
+from .pivots import PIVOT_STRATEGIES, select_pivots
+from .vptree import VPTreeIndex
+
+__all__ = [
+    "NearestNeighborIndex",
+    "SearchResult",
+    "SearchStats",
+    "CountingDistance",
+    "ExhaustiveIndex",
+    "LaesaIndex",
+    "AesaIndex",
+    "BKTreeIndex",
+    "VPTreeIndex",
+    "select_pivots",
+    "PIVOT_STRATEGIES",
+]

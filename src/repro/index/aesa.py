@@ -1,0 +1,98 @@
+"""AESA: Approximating and Eliminating Search Algorithm [Vidal 1986].
+
+The ancestor of LAESA: stores the *full* pairwise distance matrix, so
+every already-compared item tightens the lower bound of every candidate.
+Search costs an essentially constant number of distance computations, but
+preprocessing is quadratic in both time and memory -- the trade-off LAESA
+was invented to fix (Rico-Juan & Micó 2003 compare the two on string
+distances, which is the ablation ``benchmarks/bench_index_structures.py``
+reproduces).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Sequence
+
+import numpy as np
+
+from .base import NearestNeighborIndex, SearchResult
+
+__all__ = ["AesaIndex"]
+
+
+class AesaIndex(NearestNeighborIndex):
+    """AESA with the full ``n x n`` matrix computed at build time."""
+
+    def __init__(
+        self, items: Sequence[Any], distance: Callable[[Any, Any], float]
+    ) -> None:
+        super().__init__(items, distance)
+        n = len(self.items)
+        matrix = np.zeros((n, n), dtype=float)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = self._counter(self.items[i], self.items[j])
+                matrix[i, j] = d
+                matrix[j, i] = d
+        self.matrix = matrix
+        self.preprocessing_computations = self._counter.take()
+
+    def _range_search(self, query, radius: float) -> List[SearchResult]:
+        """Range search with the full-matrix bounds: repeatedly compare the
+        undecided item with the smallest lower bound, tighten everyone's
+        bounds with the new distance, and discard items whose bound
+        exceeds *radius*."""
+        distance = self._counter
+        items = self.items
+        n = len(items)
+        bounds = np.zeros(n, dtype=float)
+        undecided = np.ones(n, dtype=bool)
+        hits: List[SearchResult] = []
+        while undecided.any():
+            masked = np.where(undecided, bounds, np.inf)
+            current = int(np.argmin(masked))
+            undecided[current] = False
+            d = distance(query, items[current])
+            if d <= radius:
+                hits.append(
+                    SearchResult(item=items[current], index=current, distance=d)
+                )
+            np.maximum(bounds, np.abs(self.matrix[current] - d), out=bounds)
+            undecided &= bounds <= radius
+        hits.sort(key=lambda r: r.distance)
+        return hits
+
+    def _search(self, query, k: int) -> List[SearchResult]:
+        distance = self._counter
+        items = self.items
+        n = len(items)
+        alive = np.ones(n, dtype=bool)
+        bounds = np.zeros(n, dtype=float)
+        best: List = []
+
+        def kth_best() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        current = 0
+        while True:
+            alive[current] = False
+            d = distance(query, items[current])
+            if len(best) < k:
+                heapq.heappush(best, (-d, current))
+            elif -best[0][0] > d:
+                heapq.heapreplace(best, (-d, current))
+            # every compared item is a pivot in AESA
+            np.maximum(bounds, np.abs(self.matrix[current] - d), out=bounds)
+            radius = kth_best()
+            if radius < float("inf"):
+                alive &= bounds <= radius
+            if not alive.any():
+                break
+            masked = np.where(alive, bounds, np.inf)
+            current = int(np.argmin(masked))
+        ordered = sorted(((-nd, idx) for nd, idx in best))
+        return [
+            SearchResult(item=items[idx], index=idx, distance=d)
+            for d, idx in ordered
+        ]

@@ -1,0 +1,146 @@
+"""Shared interfaces for nearest-neighbour indexes.
+
+The paper's Section 4.3 measures *the number of distance computations* and
+the wall-clock time a fast search algorithm spends per query -- so the
+central object here is :class:`CountingDistance`, a wrapper that counts
+every evaluation, and every index reports a :class:`SearchStats` per query.
+
+All indexes share the same contract:
+
+* built from a list of items and a distance function (plus structure
+  parameters);
+* ``nearest(query)`` returns ``(SearchResult, SearchStats)``;
+* ``knn(query, k)`` returns ``(list[SearchResult], SearchStats)`` with the
+  results sorted by distance;
+* building may itself compute distances; those are reported separately in
+  ``preprocessing_computations`` (LAESA is "linear preprocessing", AESA
+  quadratic -- that trade-off is part of what the benchmarks show).
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, List, Sequence, Tuple, TypeVar
+
+__all__ = [
+    "SearchResult",
+    "SearchStats",
+    "CountingDistance",
+    "NearestNeighborIndex",
+]
+
+Item = TypeVar("Item")
+Distance = Callable[[Any, Any], float]
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """One neighbour: the item, its position in the indexed list, and its
+    distance from the query."""
+
+    item: Any
+    index: int
+    distance: float
+
+
+@dataclass(frozen=True)
+class SearchStats:
+    """Per-query accounting: how many distance evaluations the search
+    performed and how long it took."""
+
+    distance_computations: int
+    elapsed_seconds: float
+
+
+class CountingDistance:
+    """Wrap a distance function, counting every call.
+
+    The counter can be read and reset between queries; indexes use one
+    instance per structure so preprocessing and search costs can be
+    separated.
+    """
+
+    def __init__(self, distance: Distance) -> None:
+        self._distance = distance
+        self.calls = 0
+
+    def __call__(self, x: Any, y: Any) -> float:
+        self.calls += 1
+        return self._distance(x, y)
+
+    def take(self) -> int:
+        """Return the current count and reset it to zero."""
+        calls = self.calls
+        self.calls = 0
+        return calls
+
+
+class NearestNeighborIndex(ABC, Generic[Item]):
+    """Base class: counted distance, timing, and the k-NN-from-1-NN glue."""
+
+    def __init__(self, items: Sequence[Item], distance: Distance) -> None:
+        if not items:
+            raise ValueError("cannot index an empty collection")
+        self.items: List[Item] = list(items)
+        self._counter = CountingDistance(distance)
+        self.preprocessing_computations = 0
+
+    @abstractmethod
+    def _search(self, query: Item, k: int) -> List[SearchResult]:
+        """Return the k nearest neighbours, sorted by distance."""
+
+    def _range_search(self, query: Item, radius: float) -> List[SearchResult]:
+        """Return every item within *radius*; default scans linearly.
+
+        Subclasses with pruning structures override this with a
+        triangle-inequality-aware version.
+        """
+        distance = self._counter
+        hits = []
+        for idx, item in enumerate(self.items):
+            d = distance(query, item)
+            if d <= radius:
+                hits.append(SearchResult(item=item, index=idx, distance=d))
+        hits.sort(key=lambda r: r.distance)
+        return hits
+
+    def range_search(
+        self, query: Item, radius: float
+    ) -> Tuple[List[SearchResult], SearchStats]:
+        """All items with ``d(query, item) <= radius``, closest first."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        self._counter.take()
+        started = time.perf_counter()
+        results = self._range_search(query, radius)
+        elapsed = time.perf_counter() - started
+        stats = SearchStats(
+            distance_computations=self._counter.take(),
+            elapsed_seconds=elapsed,
+        )
+        return results, stats
+
+    def nearest(self, query: Item) -> Tuple[SearchResult, SearchStats]:
+        """Return the nearest neighbour of *query* with per-query stats."""
+        results, stats = self.knn(query, 1)
+        return results[0], stats
+
+    def knn(self, query: Item, k: int) -> Tuple[List[SearchResult], SearchStats]:
+        """Return the *k* nearest neighbours of *query*, closest first."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        if k > len(self.items):
+            raise ValueError(
+                f"k={k} exceeds the {len(self.items)} indexed items"
+            )
+        self._counter.take()
+        started = time.perf_counter()
+        results = self._search(query, k)
+        elapsed = time.perf_counter() - started
+        stats = SearchStats(
+            distance_computations=self._counter.take(),
+            elapsed_seconds=elapsed,
+        )
+        return results, stats

@@ -1,0 +1,34 @@
+"""Exhaustive (linear-scan) nearest-neighbour search.
+
+The baseline of Table 2's right column: computes the distance from the
+query to every indexed item.  Needs no metric properties, so it is the
+ground truth every triangle-inequality-based index is validated against.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List
+
+from .base import NearestNeighborIndex, SearchResult
+
+__all__ = ["ExhaustiveIndex"]
+
+
+class ExhaustiveIndex(NearestNeighborIndex):
+    """Linear scan over all items; ``n`` distance computations per query."""
+
+    def _search(self, query, k: int) -> List[SearchResult]:
+        distance = self._counter
+        heap = []  # max-heap of the k best via negated distances
+        for idx, item in enumerate(self.items):
+            d = distance(query, item)
+            if len(heap) < k:
+                heapq.heappush(heap, (-d, idx))
+            elif -heap[0][0] > d:
+                heapq.heapreplace(heap, (-d, idx))
+        best = sorted(((-nd, idx) for nd, idx in heap))
+        return [
+            SearchResult(item=self.items[idx], index=idx, distance=d)
+            for d, idx in best
+        ]

@@ -1,0 +1,114 @@
+"""Vantage-point tree [Yianilos 1993] for arbitrary metrics.
+
+The real-valued counterpart of the BK-tree: each node picks a vantage
+point, computes the median distance ``mu`` of its subset, and splits the
+subset into inside (``d <= mu``) and outside (``d > mu``) children; the
+triangle inequality prunes whole subtrees at query time.  Included as an
+ablation point next to LAESA/AESA -- unlike LAESA it needs no pivot-count
+parameter, but its pruning uses one vantage point per level instead of a
+global pivot set.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+import statistics
+from typing import Any, Callable, List, Optional, Sequence
+
+from .base import NearestNeighborIndex, SearchResult
+
+__all__ = ["VPTreeIndex"]
+
+
+class _Node:
+    __slots__ = ("index", "radius", "inside", "outside")
+
+    def __init__(self, index: int, radius: float, inside, outside) -> None:
+        self.index = index
+        self.radius = radius
+        self.inside = inside
+        self.outside = outside
+
+
+class VPTreeIndex(NearestNeighborIndex):
+    """VP-tree with median splits and random vantage points."""
+
+    def __init__(
+        self,
+        items: Sequence[Any],
+        distance: Callable[[Any, Any], float],
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        super().__init__(items, distance)
+        self._rng = rng if rng is not None else random.Random(0x7EE5)
+        self._root = self._build(list(range(len(self.items))))
+        self.preprocessing_computations = self._counter.take()
+
+    def _build(self, indices: List[int]):
+        if not indices:
+            return None
+        vantage = indices[self._rng.randrange(len(indices))]
+        rest = [i for i in indices if i != vantage]
+        if not rest:
+            return _Node(vantage, 0.0, None, None)
+        distances = [self._counter(self.items[vantage], self.items[i]) for i in rest]
+        mu = statistics.median(distances)
+        inside = [i for i, d in zip(rest, distances) if d <= mu]
+        outside = [i for i, d in zip(rest, distances) if d > mu]
+        return _Node(vantage, mu, self._build(inside), self._build(outside))
+
+    def _range_search(self, query, radius: float) -> List[SearchResult]:
+        """Subtree-pruned range query around *query*."""
+        hits: List[SearchResult] = []
+
+        def visit(node) -> None:
+            if node is None:
+                return
+            d = self._counter(query, self.items[node.index])
+            if d <= radius:
+                hits.append(
+                    SearchResult(
+                        item=self.items[node.index], index=node.index, distance=d
+                    )
+                )
+            if d - radius <= node.radius:
+                visit(node.inside)
+            if d + radius > node.radius:
+                visit(node.outside)
+
+        visit(self._root)
+        hits.sort(key=lambda r: r.distance)
+        return hits
+
+    def _search(self, query, k: int) -> List[SearchResult]:
+        best: List = []
+
+        def kth_best() -> float:
+            return -best[0][0] if len(best) == k else float("inf")
+
+        def visit(node) -> None:
+            if node is None:
+                return
+            d = self._counter(query, self.items[node.index])
+            if len(best) < k:
+                heapq.heappush(best, (-d, node.index))
+            elif -best[0][0] > d:
+                heapq.heapreplace(best, (-d, node.index))
+            radius = kth_best()
+            # visit the likelier side first, prune the other when possible
+            if d <= node.radius:
+                visit(node.inside)
+                if d + kth_best() > node.radius:
+                    visit(node.outside)
+            else:
+                visit(node.outside)
+                if d - kth_best() <= node.radius:
+                    visit(node.inside)
+
+        visit(self._root)
+        ordered = sorted(((-nd, idx) for nd, idx in best))
+        return [
+            SearchResult(item=self.items[idx], index=idx, distance=d)
+            for d, idx in ordered
+        ]

@@ -1,0 +1,45 @@
+"""Exact-vs-heuristic agreement reports."""
+
+import random
+
+import pytest
+
+from repro.analysis import heuristic_agreement
+
+
+def test_report_fields(rng):
+    items = ["casa", "cosa", "caso", "cesta", "masa", "pasa"]
+    report = heuristic_agreement(items, n_pairs=30, rng=rng)
+    assert report.n_pairs == 30
+    assert 0 <= report.n_equal <= 30
+    assert 0.0 <= report.agreement_rate <= 1.0
+    assert report.mean_gap >= 0.0
+    assert report.max_gap >= report.mean_gap
+
+
+def test_high_agreement_on_words():
+    gen = random.Random(0)
+    items = [
+        "".join(gen.choice("abcd") for _ in range(gen.randint(2, 8)))
+        for _ in range(40)
+    ]
+    report = heuristic_agreement(items, n_pairs=200, rng=random.Random(1))
+    assert report.agreement_rate > 0.6  # paper reports ~0.9
+
+
+def test_needs_two_items(rng):
+    with pytest.raises(ValueError):
+        heuristic_agreement(["solo"], n_pairs=5, rng=rng)
+
+
+def test_summary_mentions_rate(rng):
+    items = ["aa", "ab", "ba", "bb"]
+    report = heuristic_agreement(items, n_pairs=10, rng=rng)
+    assert "%" in report.summary()
+
+
+def test_deterministic():
+    items = ["word", "ward", "cord", "care", "core"]
+    a = heuristic_agreement(items, n_pairs=20, rng=random.Random(5))
+    b = heuristic_agreement(items, n_pairs=20, rng=random.Random(5))
+    assert a == b

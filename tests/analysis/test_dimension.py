@@ -1,0 +1,47 @@
+"""Chávez intrinsic dimensionality."""
+
+import pytest
+
+from repro.analysis import intrinsic_dimensionality, intrinsic_dimensionality_of
+from repro.core import get_distance
+
+
+def test_formula():
+    assert intrinsic_dimensionality(2.0, 1.0) == pytest.approx(2.0)
+    assert intrinsic_dimensionality(2.0, 1.0, chavez_factor=False) == pytest.approx(4.0)
+
+
+def test_zero_variance_is_infinite():
+    assert intrinsic_dimensionality(1.0, 0.0) == float("inf")
+
+
+def test_negative_variance_rejected():
+    with pytest.raises(ValueError):
+        intrinsic_dimensionality(1.0, -0.5)
+
+
+def test_concentration_raises_dimension():
+    # same mean, smaller spread -> higher rho (harder space)
+    assert intrinsic_dimensionality(10.0, 0.5) > intrinsic_dimensionality(10.0, 5.0)
+
+
+def test_of_items():
+    items = ["aaa", "aab", "abb", "bbb", "aba", "bab"]
+    rho = intrinsic_dimensionality_of(items, get_distance("levenshtein"))
+    assert rho > 0.0
+
+
+def test_dyb_more_concentrated_than_de_on_varied_lengths():
+    """A small in-vitro version of the paper's Table 1 claim."""
+    import random
+
+    rng = random.Random(0)
+    items = [
+        "".join(rng.choice("acgt") for _ in range(rng.randint(5, 60)))
+        for _ in range(40)
+    ]
+    rho_yb = intrinsic_dimensionality_of(items, get_distance("yujian_bo"))
+    rho_ch = intrinsic_dimensionality_of(
+        items, get_distance("contextual_heuristic")
+    )
+    assert rho_ch < rho_yb

@@ -1,0 +1,83 @@
+"""Distance histograms and pairwise sampling."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.analysis import DistanceHistogram, pairwise_distance_sample
+from repro.core import get_distance
+
+
+class TestPairwiseSample:
+    def test_all_pairs_when_small(self):
+        items = ["a", "ab", "abc", "abcd"]
+        values = pairwise_distance_sample(items, get_distance("levenshtein"))
+        assert len(values) == 6  # C(4, 2)
+
+    def test_sampled_when_capped(self):
+        items = [f"w{i}" for i in range(50)]
+        values = pairwise_distance_sample(
+            items, get_distance("levenshtein"), max_pairs=100,
+            rng=random.Random(0),
+        )
+        assert len(values) == 100
+
+    def test_no_self_pairs(self):
+        # distance 0 can only come from duplicate items; with distinct
+        # items every sampled value is positive
+        items = [f"unique{i}" for i in range(20)]
+        values = pairwise_distance_sample(
+            items, get_distance("levenshtein"), max_pairs=300,
+            rng=random.Random(1),
+        )
+        assert (values > 0).all()
+
+    def test_needs_two_items(self):
+        with pytest.raises(ValueError):
+            pairwise_distance_sample(["solo"], get_distance("levenshtein"))
+
+
+class TestDistanceHistogram:
+    def test_from_values_statistics(self):
+        values = np.array([1.0, 2.0, 3.0, 4.0])
+        hist = DistanceHistogram.from_values(values, label="t", bins=4)
+        assert hist.mean == pytest.approx(2.5)
+        assert hist.variance == pytest.approx(np.var(values))
+        assert hist.n_values == 4
+        assert hist.counts.sum() == 4
+
+    def test_empty_values_rejected(self):
+        with pytest.raises(ValueError):
+            DistanceHistogram.from_values(np.array([]))
+
+    def test_normalized_counts_sum_to_one(self):
+        hist = DistanceHistogram.from_values(np.array([1.0, 1.5, 9.0]), bins=5)
+        assert hist.normalized_counts().sum() == pytest.approx(1.0)
+
+    def test_intrinsic_dimensionality_property(self):
+        values = np.array([2.0, 2.0, 2.0, 4.0])
+        hist = DistanceHistogram.from_values(values, bins=3)
+        expected = hist.mean**2 / (2 * hist.variance)
+        assert hist.intrinsic_dimensionality == pytest.approx(expected)
+
+    def test_overlap_identical(self):
+        values = np.array([1.0, 2.0, 2.5, 3.0])
+        a = DistanceHistogram.from_values(values, bins=6, value_range=(0, 4))
+        b = DistanceHistogram.from_values(values, bins=6, value_range=(0, 4))
+        assert a.overlap(b) == pytest.approx(1.0)
+
+    def test_overlap_disjoint(self):
+        a = DistanceHistogram.from_values(
+            np.array([0.1, 0.2]), bins=10, value_range=(0, 1)
+        )
+        b = DistanceHistogram.from_values(
+            np.array([0.8, 0.9]), bins=10, value_range=(0, 1)
+        )
+        assert a.overlap(b) == pytest.approx(0.0)
+
+    def test_overlap_requires_same_binning(self):
+        a = DistanceHistogram.from_values(np.array([1.0]), bins=4)
+        b = DistanceHistogram.from_values(np.array([2.0]), bins=4)
+        with pytest.raises(ValueError):
+            a.overlap(b)

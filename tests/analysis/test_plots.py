@@ -1,0 +1,65 @@
+"""ASCII renderers for figures."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import DistanceHistogram, render_histograms, render_series
+
+
+@pytest.fixture
+def hist():
+    return DistanceHistogram.from_values(
+        np.array([0.2, 0.4, 0.4, 0.6, 0.8]), label="demo", bins=8
+    )
+
+
+class TestHistogramRendering:
+    def test_contains_legend(self, hist):
+        out = render_histograms([hist])
+        assert "demo" in out
+
+    def test_multiple_series_get_distinct_markers(self, hist):
+        other = DistanceHistogram.from_values(
+            np.array([1.0, 1.5]), label="other", bins=8
+        )
+        out = render_histograms([hist, other])
+        assert "o = demo" in out
+        assert "x = other" in out
+
+    def test_dimensions(self, hist):
+        out = render_histograms([hist], width=40, height=8)
+        lines = out.splitlines()
+        assert all(len(line) <= 80 for line in lines)
+        assert len(lines) >= 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_histograms([])
+
+
+class TestSeriesRendering:
+    def test_contains_markers_and_labels(self):
+        out = render_series(
+            {"dE": ([0, 10, 20], [100, 50, 40]), "dC,h": ([0, 10, 20], [100, 30, 20])},
+            x_label="pivots",
+        )
+        assert "o = dE" in out
+        assert "x = dC,h" in out
+        assert "pivots" in out
+
+    def test_axis_bounds_shown(self):
+        out = render_series({"s": ([0, 300], [1, 800])})
+        assert "300" in out
+        assert "800" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_series({})
+
+    def test_single_point_series(self):
+        out = render_series({"p": ([5], [7])})
+        assert "o = p" in out
+
+    def test_constant_series(self):
+        out = render_series({"flat": ([0, 1, 2], [3, 3, 3])})
+        assert "flat" in out

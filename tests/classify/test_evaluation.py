@@ -1,0 +1,93 @@
+"""The repeated-trial protocol and confusion matrices."""
+
+import random
+
+import pytest
+
+from repro.classify import (
+    NearestNeighborClassifier,
+    confusion_matrix,
+    repeated_classification,
+)
+from repro.core import get_distance
+from repro.datasets import Dataset
+
+
+def _toy_dataset(per_class=12, seed=0):
+    """Two well-separated synthetic classes of strings."""
+    rng = random.Random(seed)
+    items, labels = [], []
+    for _ in range(per_class):
+        items.append("aaaa" + "".join(rng.choice("ab") for _ in range(2)))
+        labels.append("A")
+        items.append("zzzz" + "".join(rng.choice("yz") for _ in range(2)))
+        labels.append("Z")
+    return Dataset(name="toy", items=tuple(items), labels=tuple(labels))
+
+
+class TestRepeatedClassification:
+    def test_perfect_separation(self):
+        data = _toy_dataset()
+        summary = repeated_classification(
+            data,
+            get_distance("levenshtein"),
+            per_class=4,
+            n_test=10,
+            n_trials=3,
+            seed=1,
+        )
+        assert summary.mean_error_rate == 0.0
+        assert summary.n_trials == 3
+        assert len(summary.error_rates) == 3
+
+    def test_requires_labels(self):
+        data = Dataset(name="u", items=("a", "b", "c"))
+        with pytest.raises(ValueError):
+            repeated_classification(data, get_distance("levenshtein"))
+
+    def test_deterministic_in_seed(self):
+        data = _toy_dataset()
+        a = repeated_classification(
+            data, get_distance("levenshtein"), per_class=4, n_test=8,
+            n_trials=2, seed=7,
+        )
+        b = repeated_classification(
+            data, get_distance("levenshtein"), per_class=4, n_test=8,
+            n_trials=2, seed=7,
+        )
+        assert a.error_rates == b.error_rates
+
+    def test_deviation_zero_for_single_trial(self):
+        data = _toy_dataset()
+        summary = repeated_classification(
+            data, get_distance("levenshtein"), per_class=4, n_test=8,
+            n_trials=1, seed=2,
+        )
+        assert summary.error_rate_deviation == 0.0
+
+    def test_summary_text(self):
+        data = _toy_dataset()
+        summary = repeated_classification(
+            data, get_distance("levenshtein"), per_class=4, n_test=8,
+            n_trials=2, seed=3,
+        )
+        assert "error" in summary.summary()
+        assert "trials" in summary.summary()
+
+    def test_per_class_exhausting_data(self):
+        data = _toy_dataset(per_class=3)
+        with pytest.raises(ValueError):
+            repeated_classification(
+                data, get_distance("levenshtein"), per_class=3, n_test=5,
+                n_trials=1, seed=4,
+            )
+
+
+class TestConfusionMatrix:
+    def test_diagonal_for_perfect_classifier(self):
+        data = _toy_dataset()
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        clf.fit(data.items, data.labels)
+        matrix = confusion_matrix(clf, data.items[:8], data.labels[:8])
+        assert all(truth == predicted for truth, predicted in matrix)
+        assert sum(matrix.values()) == 8

@@ -1,0 +1,92 @@
+"""Nearest-neighbour classifier."""
+
+import pytest
+
+from repro.classify import NearestNeighborClassifier
+from repro.core import get_distance
+from repro.index import LaesaIndex
+
+TRAIN = ["aaaa", "aaab", "aaba", "bbbb", "bbba", "bbab"]
+LABELS = ["A", "A", "A", "B", "B", "B"]
+
+
+class TestFit:
+    def test_predict_before_fit(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        with pytest.raises(RuntimeError):
+            clf.predict_one("aaaa")
+
+    def test_label_mismatch(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        with pytest.raises(ValueError):
+            clf.fit(["a", "b"], ["A"])
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            NearestNeighborClassifier(get_distance("levenshtein"), k=0)
+
+    def test_k_larger_than_train(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"), k=5)
+        with pytest.raises(ValueError):
+            clf.fit(["a", "b"], ["A", "B"])
+
+
+class TestPredict:
+    def test_obvious_classes(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        clf.fit(TRAIN, LABELS)
+        assert clf.predict_one("aaaa")[0] == "A"
+        assert clf.predict_one("bbbb")[0] == "B"
+        assert clf.predict_one("aaab")[0] == "A"
+
+    def test_stats_returned(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        clf.fit(TRAIN, LABELS)
+        _, stats = clf.predict_one("abab")
+        assert stats.distance_computations == len(TRAIN)
+
+    def test_laesa_factory(self):
+        clf = NearestNeighborClassifier(
+            get_distance("levenshtein"),
+            index_factory=lambda items, d: LaesaIndex(items, d, n_pivots=2),
+        )
+        clf.fit(TRAIN, LABELS)
+        assert clf.predict_one("aaaa")[0] == "A"
+
+    def test_k3_majority(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"), k=3)
+        clf.fit(TRAIN, LABELS)
+        assert clf.predict_one("aaaa")[0] == "A"
+
+    def test_k2_tie_broken_by_nearest(self):
+        train = ["aa", "zz"]
+        labels = ["A", "Z"]
+        clf = NearestNeighborClassifier(get_distance("levenshtein"), k=2)
+        clf.fit(train, labels)
+        # both classes get one vote; the closer neighbour (aa) wins
+        assert clf.predict_one("aa")[0] == "A"
+
+
+class TestEvaluate:
+    def test_error_rate(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        clf.fit(TRAIN, LABELS)
+        stats = clf.evaluate(["aaaa", "bbbb"], ["A", "B"])
+        assert stats.error_rate == 0.0
+        stats = clf.evaluate(["aaaa", "bbbb"], ["B", "A"])
+        assert stats.error_rate == 1.0
+
+    def test_aggregates(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        clf.fit(TRAIN, LABELS)
+        stats = clf.evaluate(["aaaa", "abab", "bbbb"], ["A", "A", "B"])
+        assert stats.n_queries == 3
+        assert stats.distance_computations == 3 * len(TRAIN)
+        assert stats.computations_per_query == pytest.approx(len(TRAIN))
+        assert stats.seconds_per_query >= 0.0
+
+    def test_length_mismatch(self):
+        clf = NearestNeighborClassifier(get_distance("levenshtein"))
+        clf.fit(TRAIN, LABELS)
+        with pytest.raises(ValueError):
+            clf.evaluate(["a"], ["A", "B"])

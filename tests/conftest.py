@@ -1,0 +1,34 @@
+"""Shared fixtures and hypothesis strategies for the test-suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+#: Tiny strings over a binary alphabet: cheap enough for Dijkstra oracles.
+tiny_strings = st.text(alphabet="ab", max_size=5)
+
+#: Small strings over a 3-letter alphabet: metric sampling, DP cross-checks.
+small_strings = st.text(alphabet="abc", max_size=8)
+
+#: Word-like strings (dictionary regime).
+word_strings = st.text(alphabet="abcde", min_size=1, max_size=12)
+
+
+@pytest.fixture
+def rng():
+    """A deterministic Random instance, fresh per test."""
+    return random.Random(0xBEEF)
+
+
+@pytest.fixture(scope="session")
+def small_word_list():
+    """A deterministic list of distinct short words (index-layer tests)."""
+    gen = random.Random(1234)
+    words = {
+        "".join(gen.choice("abcde") for _ in range(gen.randint(2, 9)))
+        for _ in range(240)
+    }
+    return sorted(words)

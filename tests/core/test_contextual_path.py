@@ -1,0 +1,73 @@
+"""Recovery of optimal contextual edit paths (Algorithm 1 backtracking)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.contextual import contextual_distance, contextual_edit_path
+from repro.core.paths import apply_ops
+
+from ..conftest import small_strings, tiny_strings
+
+
+class TestReplay:
+    @given(small_strings, small_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_path_lands_on_target(self, x, y):
+        path = contextual_edit_path(x, y)
+        assert apply_ops(x, path.ops) == tuple(y)
+
+    @given(tiny_strings, tiny_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_path_weight_is_the_distance(self, x, y):
+        path = contextual_edit_path(x, y)
+        assert path.contextual_weight == pytest.approx(
+            contextual_distance(x, y)
+        )
+
+    def test_paper_example_4(self):
+        path = contextual_edit_path("ababa", "baab")
+        assert path.contextual_weight == pytest.approx(8 / 15)
+        assert apply_ops("ababa", path.ops) == tuple("baab")
+
+
+class TestCanonicalOrder:
+    def test_insertions_before_substitutions_before_deletions(self):
+        path = contextual_edit_path("abcd", "xbcz" + "q")
+        kinds = [op.kind for op in path.ops if op.kind != "match"]
+        order = {"insert": 0, "substitute": 1, "delete": 2}
+        ranks = [order[k] for k in kinds]
+        assert ranks == sorted(ranks)
+
+    def test_identity_path_is_all_matches(self):
+        path = contextual_edit_path("same", "same")
+        assert all(op.kind == "match" for op in path.ops)
+        assert path.contextual_weight == 0.0
+        assert apply_ops("same", path.ops) == tuple("same")
+
+    def test_empty_to_string(self):
+        path = contextual_edit_path("", "abc")
+        assert all(op.kind == "insert" for op in path.ops)
+        assert apply_ops("", path.ops) == tuple("abc")
+
+    def test_string_to_empty(self):
+        path = contextual_edit_path("abc", "")
+        assert all(op.kind == "delete" for op in path.ops)
+        assert apply_ops("abc", path.ops) == ()
+
+
+class TestUsesExtraOperationsWhenCheaper:
+    def test_prefers_insert_delete_over_substitutions(self):
+        # ab -> ba: the optimum uses an insertion (cost 2/3), not two
+        # substitutions (cost 1)
+        path = contextual_edit_path("ab", "ba")
+        kinds = {op.kind for op in path.ops}
+        assert "insert" in kinds
+        assert path.contextual_weight == pytest.approx(2 / 3)
+
+    def test_edit_weight_can_exceed_levenshtein(self):
+        from repro.core.levenshtein import levenshtein_distance
+
+        # whenever the optimal k is larger than d_E the recovered path
+        # must reflect it
+        path = contextual_edit_path("ab", "ba")
+        assert path.edit_weight >= levenshtein_distance("ab", "ba")

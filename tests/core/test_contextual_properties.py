@@ -1,0 +1,99 @@
+"""Property-based tests: the contextual distance is a metric (Theorem 1)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.contextual import (
+    contextual_distance,
+    contextual_distance_heuristic,
+)
+from repro.core.metric import all_strings, check_metric
+
+from ..conftest import small_strings, tiny_strings
+
+
+class TestMetricAxioms:
+    @given(small_strings)
+    def test_identity_of_indiscernibles_self(self, x):
+        assert contextual_distance(x, x) == 0.0
+
+    @given(small_strings, small_strings)
+    def test_positivity(self, x, y):
+        d = contextual_distance(x, y)
+        if x == y:
+            assert d == 0.0
+        else:
+            assert d > 0.0
+
+    @given(small_strings, small_strings)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, x, y):
+        assert contextual_distance(x, y) == pytest.approx(
+            contextual_distance(y, x)
+        )
+
+    @given(tiny_strings, tiny_strings, tiny_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_triangle_inequality(self, x, y, z):
+        dxz = contextual_distance(x, z)
+        dxy = contextual_distance(x, y)
+        dyz = contextual_distance(y, z)
+        assert dxz <= dxy + dyz + 1e-9
+
+    def test_exhaustive_metric_check_small_universe(self):
+        # every string over {a,b} of length <= 3: 15 points, all triples
+        points = all_strings("ab", 3)
+        report = check_metric(contextual_distance, points)
+        assert report.is_metric, report.summary()
+
+
+class TestScalingProperties:
+    @given(small_strings, small_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_upper_bound_by_levenshtein_scaled(self, x, y):
+        # every operation costs at most 1 (and at least 1/(|x|+|y|)), so
+        # d_C <= d_E and d_C >= d_E / (|x|+|y|) for non-identical strings
+        from repro.core.levenshtein import levenshtein_distance
+
+        d_c = contextual_distance(x, y)
+        d_e = levenshtein_distance(x, y)
+        assert d_c <= d_e + 1e-9
+        if x != y:
+            assert d_c >= d_e / (len(x) + len(y)) - 1e-9
+
+    @given(small_strings, small_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_yb_lower_bound(self, x, y):
+        # the k-pruning bound: cost(k) >= 2k/(|x|+|y|+k), minimised at
+        # k = d_E -- so d_C >= d_YB always.  (This is also why the pruned
+        # DP is sound.)
+        from repro.core.yujian_bo import yb_normalized_distance
+
+        assert contextual_distance(x, y) >= yb_normalized_distance(x, y) - 1e-9
+
+    def test_concatenation_dilutes(self):
+        # padding both strings with a long shared suffix reduces d_C
+        base = contextual_distance("abc", "acb")
+        padded = contextual_distance("abc" + "z" * 20, "acb" + "z" * 20)
+        assert padded < base
+
+
+class TestHeuristicMetricBehaviour:
+    """d_C,h is *not* proven to be a metric, but must stay sane."""
+
+    @given(small_strings, small_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_symmetric(self, x, y):
+        assert contextual_distance_heuristic(x, y) == pytest.approx(
+            contextual_distance_heuristic(y, x)
+        )
+
+    @given(small_strings)
+    def test_heuristic_identity(self, x):
+        assert contextual_distance_heuristic(x, x) == 0.0
+
+    @given(small_strings, small_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_heuristic_positive(self, x, y):
+        if x != y:
+            assert contextual_distance_heuristic(x, y) > 0.0

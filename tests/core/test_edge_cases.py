@@ -1,0 +1,108 @@
+"""Pathological inputs across the distance suite.
+
+Repetitive strings, single-symbol alphabets, extreme length ratios, and
+degenerate pairs stress the DP boundaries that random sampling rarely
+hits.
+"""
+
+import pytest
+
+from repro.core import (
+    contextual_distance,
+    contextual_distance_heuristic,
+    harmonic,
+    harmonic_range,
+    levenshtein_distance,
+    mv_normalized_distance,
+    yb_normalized_distance,
+)
+
+
+class TestRepetitiveStrings:
+    def test_unary_alphabet_prefix(self):
+        # aaaa -> aa: two deletions at lengths 4 and 3
+        assert contextual_distance("aaaa", "aa") == pytest.approx(
+            1 / 4 + 1 / 3
+        )
+
+    def test_unary_alphabet_growth(self):
+        # aa -> aaaa: two insertions at lengths 3 and 4
+        assert contextual_distance("aa", "aaaa") == pytest.approx(
+            harmonic_range(2, 4)
+        )
+
+    def test_long_runs_equal(self):
+        x = "ab" * 200
+        assert contextual_distance(x, x) == 0.0
+        assert contextual_distance_heuristic(x, x) == 0.0
+
+    def test_periodic_shift(self):
+        # abab..ab vs baba..ba of the same length: heuristic stays above
+        # exact and both stay well below 1 (one cheap insertion + deletion)
+        x = "ab" * 30
+        y = "ba" * 30
+        exact = contextual_distance(x, y)
+        heuristic = contextual_distance_heuristic(x, y)
+        assert exact <= heuristic + 1e-12
+        assert exact < 0.2
+
+
+class TestExtremeLengthRatios:
+    def test_one_symbol_vs_long(self):
+        y = "a" * 50
+        # keep the 'a', insert 49 more: sum_{i=2}^{50} 1/i
+        assert contextual_distance("a", y) == pytest.approx(
+            harmonic_range(1, 50)
+        )
+
+    def test_disjoint_one_vs_long(self):
+        y = "b" * 30
+        d = contextual_distance("a", y)
+        # must beat naive delete-then-build (1 + H(30)) by inserting first
+        assert d < 1.0 + harmonic(30)
+        assert d > 0.0
+
+    def test_empty_against_everything(self):
+        for n in (1, 7, 40):
+            assert contextual_distance("", "z" * n) == pytest.approx(harmonic(n))
+            assert yb_normalized_distance("", "z" * n) == 1.0
+            assert mv_normalized_distance("", "z" * n) == 1.0
+
+
+class TestHeuristicStress:
+    def test_heuristic_equals_exact_on_pure_indels(self):
+        # when only insertions (or only deletions) are needed, k = d_E is
+        # forced, so the heuristic is provably exact
+        assert contextual_distance_heuristic("abc", "abcdef") == pytest.approx(
+            contextual_distance("abc", "abcdef")
+        )
+        assert contextual_distance_heuristic("abcdef", "abc") == pytest.approx(
+            contextual_distance("abcdef", "abc")
+        )
+
+    def test_heuristic_on_maximally_different(self):
+        x = "a" * 20
+        y = "b" * 20
+        # d_E = 20 substitutions at length 20: heuristic cost <= 1 + slack
+        h = contextual_distance_heuristic(x, y)
+        assert h <= 1.0 + 1e-9
+        assert contextual_distance(x, y) <= h
+
+
+class TestConsistencyAcrossDistances:
+    @pytest.mark.parametrize(
+        "x,y",
+        [("", ""), ("q", "q"), ("ab" * 40, "ab" * 40)],
+    )
+    def test_all_zero_on_identity(self, x, y):
+        assert levenshtein_distance(x, y) == 0
+        assert contextual_distance(x, y) == 0.0
+        assert contextual_distance_heuristic(x, y) == 0.0
+        assert mv_normalized_distance(x, y) == 0.0
+        assert yb_normalized_distance(x, y) == 0.0
+
+    def test_known_orderings_on_asymmetric_pair(self):
+        x, y = "short", "a considerably longer string"
+        # d_YB <= d_C (the pruning bound) and d_MV <= 1 <= ... sanity web
+        assert yb_normalized_distance(x, y) <= contextual_distance(x, y) + 1e-9
+        assert mv_normalized_distance(x, y) <= 1.0

@@ -1,0 +1,160 @@
+"""Weighted edit distances and the contextual extension's failure mode."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.contextual import contextual_distance
+from repro.core.generalized import (
+    CostModel,
+    UNIT_COSTS,
+    generalized_edit_distance,
+    internal_failure_example,
+    naive_contextual_generalized_internal,
+    naive_contextual_generalized_optimal,
+)
+from repro.core.levenshtein import levenshtein_distance
+
+from ..conftest import tiny_strings
+
+
+class TestCostModel:
+    def test_defaults(self):
+        assert UNIT_COSTS.substitute("a", "b") == 1.0
+        assert UNIT_COSTS.substitute("a", "a") == 0.0
+        assert UNIT_COSTS.insert("x") == 1.0
+        assert UNIT_COSTS.delete("x") == 1.0
+
+    def test_symmetric_lookup(self):
+        costs = CostModel(substitution={("a", "b"): 0.3})
+        assert costs.substitute("a", "b") == 0.3
+        assert costs.substitute("b", "a") == 0.3
+
+    def test_specific_overrides_default(self):
+        costs = CostModel(insertion={"q": 9.0}, default_insertion=2.0)
+        assert costs.insert("q") == 9.0
+        assert costs.insert("z") == 2.0
+
+
+class TestGeneralizedEditDistance:
+    @given(tiny_strings, tiny_strings)
+    def test_unit_model_is_levenshtein(self, x, y):
+        assert generalized_edit_distance(x, y) == pytest.approx(
+            float(levenshtein_distance(x, y))
+        )
+
+    def test_weighted_example(self):
+        costs = CostModel(substitution={("a", "b"): 0.2})
+        assert generalized_edit_distance("a", "b", costs) == pytest.approx(0.2)
+
+    def test_substitution_vs_indel_choice(self):
+        # when substitution is pricier than delete+insert, take the latter
+        costs = CostModel(default_substitution=5.0)
+        assert generalized_edit_distance("a", "b", costs) == pytest.approx(2.0)
+
+    def test_empty_strings(self):
+        costs = CostModel(default_insertion=0.5)
+        assert generalized_edit_distance("", "abc", costs) == pytest.approx(1.5)
+        assert generalized_edit_distance("abc", "", costs) == pytest.approx(3.0)
+
+
+class TestNaiveContextualGeneralisation:
+    @given(tiny_strings, tiny_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_unit_internal_equals_contextual(self, x, y):
+        # with unit costs, internal paths are optimal (Proposition 1), so
+        # the generalised-internal computation must equal d_C exactly
+        assert naive_contextual_generalized_internal(x, y) == pytest.approx(
+            contextual_distance(x, y)
+        )
+
+    def test_optimal_never_exceeds_internal(self):
+        costs = CostModel(substitution={("a", "b"): 4.0})
+        internal = naive_contextual_generalized_internal("ab", "bb", costs)
+        optimal = naive_contextual_generalized_optimal(
+            "ab", "bb", costs, max_length=4
+        )
+        assert optimal <= internal + 1e-9
+
+    def test_paper_conclusion_failure_example(self):
+        # the conclusion's remark: cheap dummy insertions beat any internal
+        # path once substitutions are expensive
+        failure = internal_failure_example()
+        assert failure.internal_cost == pytest.approx(10.0)
+        assert failure.optimal_cost < failure.internal_cost - 5.0
+        assert failure.gap > 0
+
+    def test_failure_example_structure(self):
+        failure = internal_failure_example()
+        # the optimal path inserts 3 c's: 0.1*(1/2+1/3+1/4) each way plus
+        # the diluted substitution 10/4
+        expected = 2 * 0.1 * (1 / 2 + 1 / 3 + 1 / 4) + 10 / 4
+        assert failure.optimal_cost == pytest.approx(expected)
+
+
+class TestPaddedContextual:
+    """The padded-internal family: the repo's constructive follow-up to
+    the paper's future-work remark."""
+
+    def _failure_costs(self):
+        return CostModel(
+            substitution={("a", "b"): 10.0},
+            insertion={"c": 0.1, "b": 10.0},
+            deletion={"c": 0.1, "a": 10.0},
+            default_substitution=10.0,
+            default_insertion=10.0,
+            default_deletion=10.0,
+        )
+
+    def test_recovers_failure_example_optimum(self):
+        from repro.core.generalized import padded_contextual_generalized
+
+        costs = self._failure_costs()
+        padded = padded_contextual_generalized(
+            "a", "b", costs, max_padding=3, dummy_alphabet=("a", "b", "c")
+        )
+        optimal = naive_contextual_generalized_optimal(
+            "a", "b", costs, alphabet=("a", "b", "c"), max_length=4
+        )
+        assert padded == pytest.approx(optimal)
+
+    def test_never_worse_than_internal(self):
+        from repro.core.generalized import padded_contextual_generalized
+
+        costs = self._failure_costs()
+        for x, y in [("a", "b"), ("ab", "ba"), ("aa", "bb")]:
+            padded = padded_contextual_generalized(
+                x, y, costs, max_padding=4, dummy_alphabet=("a", "b", "c")
+            )
+            internal = naive_contextual_generalized_internal(x, y, costs)
+            assert padded <= internal + 1e-12
+
+    def test_never_better_than_true_optimum(self):
+        from repro.core.generalized import padded_contextual_generalized
+
+        costs = self._failure_costs()
+        for x, y in [("a", "b"), ("ab", "b")]:
+            padded = padded_contextual_generalized(
+                x, y, costs, max_padding=3, dummy_alphabet=("a", "b", "c")
+            )
+            optimal = naive_contextual_generalized_optimal(
+                x, y, costs, alphabet=("a", "b", "c"),
+                max_length=len(x) + len(y) + 3,
+            )
+            assert padded >= optimal - 1e-9
+
+    @given(tiny_strings, tiny_strings)
+    @settings(max_examples=25, deadline=None)
+    def test_unit_costs_padding_never_helps(self, x, y):
+        from repro.core.generalized import padded_contextual_generalized
+
+        # Theorem 1's proof shows longer intermediate strings don't pay
+        # under unit costs, so padding must leave d_C unchanged
+        assert padded_contextual_generalized(
+            x, y, max_padding=3
+        ) == pytest.approx(contextual_distance(x, y))
+
+    def test_validation(self):
+        from repro.core.generalized import padded_contextual_generalized
+
+        with pytest.raises(ValueError):
+            padded_contextual_generalized("a", "b", max_padding=-1)

@@ -1,0 +1,59 @@
+"""Harmonic-number table: values, growth, partial sums."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.harmonic import HarmonicTable, harmonic, harmonic_range
+
+
+def test_first_values():
+    assert harmonic(0) == 0.0
+    assert harmonic(1) == 1.0
+    assert harmonic(2) == pytest.approx(1.5)
+    assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+
+
+def test_negative_raises():
+    with pytest.raises(ValueError):
+        harmonic(-1)
+
+
+def test_range_is_difference_of_harmonics():
+    assert harmonic_range(4, 9) == pytest.approx(harmonic(9) - harmonic(4))
+
+
+def test_range_empty_and_reversed():
+    assert harmonic_range(5, 5) == 0.0
+    assert harmonic_range(7, 3) == 0.0
+
+
+def test_range_negative_raises():
+    with pytest.raises(ValueError):
+        harmonic_range(-1, 4)
+
+
+def test_table_grows_on_demand():
+    table = HarmonicTable(initial_size=4)
+    assert table.value(1000) == pytest.approx(
+        sum(1.0 / i for i in range(1, 1001))
+    )
+
+
+def test_matches_log_asymptotics():
+    # H(n) ~ ln n + gamma; check within loose bounds for a big n
+    n = 50000
+    gamma = 0.5772156649
+    assert harmonic(n) == pytest.approx(math.log(n) + gamma, abs=1e-4)
+
+
+@given(st.integers(0, 300), st.integers(0, 300))
+def test_range_matches_direct_sum(low, high):
+    expected = sum(1.0 / i for i in range(low + 1, high + 1))
+    assert harmonic_range(low, high) == pytest.approx(expected)
+
+
+@given(st.integers(0, 200))
+def test_monotone(n):
+    assert harmonic(n + 1) > harmonic(n)

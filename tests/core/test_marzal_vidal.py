@@ -1,0 +1,120 @@
+"""Marzal-Vidal normalised edit distance: both solvers vs brute force."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.generalized import CostModel
+from repro.core.marzal_vidal import (
+    mv_normalized_distance,
+    mv_normalized_distance_fractional,
+)
+from repro.core.reference import brute_force_marzal_vidal
+
+from ..conftest import small_strings, tiny_strings
+
+
+class TestValues:
+    def test_identity(self):
+        assert mv_normalized_distance("abc", "abc") == 0.0
+        assert mv_normalized_distance("", "") == 0.0
+
+    def test_empty_vs_string(self):
+        # |y| insertions over a length-|y| path: ratio 1
+        assert mv_normalized_distance("", "xyz") == pytest.approx(1.0)
+
+    def test_completely_different(self):
+        assert mv_normalized_distance("aa", "bb") == pytest.approx(1.0)
+
+    def test_abaa_aab(self):
+        # d_E = 2 over a marked path of length 4 -> 0.5; longer paths with
+        # more matches cannot do better here
+        assert mv_normalized_distance("abaa", "aab") == pytest.approx(0.5)
+
+    def test_ratio_can_beat_min_weight_over_min_length(self):
+        # the defining subtlety: min W/L may use a path longer than the
+        # Levenshtein-optimal one.  For ab -> ba:  substitution path gives
+        # 2/2 = 1; delete+match+insert gives 2/3 < 1.
+        assert mv_normalized_distance("ab", "ba") == pytest.approx(2 / 3)
+
+    def test_range(self):
+        assert 0.0 <= mv_normalized_distance("abcde", "xy") <= 1.0
+
+
+class TestSolversAgree:
+    @given(tiny_strings, tiny_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_dp_matches_brute_force(self, x, y):
+        assert mv_normalized_distance(x, y, solver="dp") == pytest.approx(
+            brute_force_marzal_vidal(x, y)
+        )
+
+    @given(tiny_strings, tiny_strings)
+    @settings(max_examples=80, deadline=None)
+    def test_fractional_matches_brute_force(self, x, y):
+        assert mv_normalized_distance_fractional(x, y) == pytest.approx(
+            brute_force_marzal_vidal(x, y)
+        )
+
+    @given(small_strings, small_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_dp_matches_fractional(self, x, y):
+        assert mv_normalized_distance(x, y, solver="dp") == pytest.approx(
+            mv_normalized_distance(x, y, solver="fractional")
+        )
+
+    def test_long_strings_numpy_path(self):
+        import random
+
+        rng = random.Random(3)
+        for _ in range(10):
+            x = "".join(rng.choice("acgt") for _ in range(rng.randint(50, 90)))
+            y = "".join(rng.choice("acgt") for _ in range(rng.randint(50, 90)))
+            assert mv_normalized_distance(x, y, solver="dp") == pytest.approx(
+                mv_normalized_distance(x, y, solver="fractional")
+            )
+
+    def test_unknown_solver(self):
+        with pytest.raises(ValueError):
+            mv_normalized_distance("a", "b", solver="magic")
+
+
+class TestGeneralizedCosts:
+    def test_weighted_substitution(self):
+        costs = CostModel(substitution={("a", "b"): 0.5})
+        # a -> b: cheapest ratio is the 1-op substitution path: 0.5/1
+        assert mv_normalized_distance("a", "b", costs=costs) == pytest.approx(0.5)
+
+    def test_weighted_solvers_agree(self):
+        import random
+
+        costs = CostModel(
+            substitution={("a", "b"): 0.25, ("b", "c"): 2.0},
+            insertion={"c": 0.5},
+            deletion={"a": 3.0},
+        )
+        rng = random.Random(9)
+        for _ in range(40):
+            x = "".join(rng.choice("abc") for _ in range(rng.randint(0, 6)))
+            y = "".join(rng.choice("abc") for _ in range(rng.randint(0, 6)))
+            dp = mv_normalized_distance(x, y, costs=costs, solver="dp")
+            fr = mv_normalized_distance(x, y, costs=costs, solver="fractional")
+            assert dp == pytest.approx(fr), (x, y)
+
+
+class TestProperties:
+    @given(small_strings, small_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, x, y):
+        assert mv_normalized_distance(x, y) == pytest.approx(
+            mv_normalized_distance(y, x)
+        )
+
+    @given(small_strings, small_strings)
+    @settings(max_examples=40, deadline=None)
+    def test_bounded_by_one(self, x, y):
+        assert 0.0 <= mv_normalized_distance(x, y) <= 1.0 + 1e-12
+
+    @given(small_strings, small_strings)
+    def test_zero_iff_equal(self, x, y):
+        d = mv_normalized_distance(x, y)
+        assert (d == 0.0) == (x == y)

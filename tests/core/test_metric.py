@@ -1,0 +1,76 @@
+"""Metric-axiom checker: finds the paper's violations, passes the metrics."""
+
+from repro.core.levenshtein import levenshtein_distance
+from repro.core.metric import MetricReport, all_strings, check_metric
+from repro.core.ratios import max_normalized_distance, sum_normalized_distance
+
+
+class TestAllStrings:
+    def test_counts(self):
+        # sum of 2^l for l = 0..3 = 15
+        assert len(all_strings("ab", 3)) == 15
+        assert len(all_strings("abc", 2)) == 1 + 3 + 9
+
+    def test_contains_empty(self):
+        assert "" in all_strings("ab", 2)
+
+    def test_ordering_by_length(self):
+        strings = all_strings("ab", 2)
+        lengths = [len(s) for s in strings]
+        assert lengths == sorted(lengths)
+
+
+class TestCheckMetric:
+    def test_levenshtein_is_metric(self):
+        report = check_metric(
+            lambda x, y: float(levenshtein_distance(x, y)), all_strings("ab", 3)
+        )
+        assert report.is_metric
+        assert "no violation" in report.summary()
+
+    def test_dsum_not_metric(self):
+        report = check_metric(sum_normalized_distance, all_strings("ab", 3))
+        assert not report.is_metric
+        assert report.triangle_violations
+        assert "triangle" in report.summary()
+
+    def test_dmax_not_metric(self):
+        report = check_metric(max_normalized_distance, all_strings("ab", 3))
+        assert not report.is_metric
+
+    def test_detects_identity_violation(self):
+        def degenerate(x, y):
+            return 0.0  # everything at distance zero
+
+        report = check_metric(degenerate, ["a", "b", "c"])
+        assert report.identity_violations
+        assert not report.is_metric
+
+    def test_detects_asymmetry(self):
+        def asymmetric(x, y):
+            return float(len(x)) if x != y else 0.0
+
+        report = check_metric(asymmetric, ["a", "bb"])
+        assert report.symmetry_violations
+
+    def test_nonzero_self_distance(self):
+        def bad_self(x, y):
+            return 1.0
+
+        report = check_metric(bad_self, ["a", "b"])
+        assert (("a", "a") in report.identity_violations) or (
+            ("b", "b") in report.identity_violations
+        )
+
+    def test_max_violations_cap(self):
+        report = check_metric(
+            sum_normalized_distance, all_strings("ab", 4), max_violations=2
+        )
+        assert len(report.triangle_violations) <= 2
+
+    def test_report_is_dataclass_with_counts(self):
+        report = check_metric(
+            lambda x, y: float(levenshtein_distance(x, y)), ["a", "b"]
+        )
+        assert isinstance(report, MetricReport)
+        assert report.points_checked == 2

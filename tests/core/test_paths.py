@@ -1,0 +1,144 @@
+"""Edit operations, paths, and the three path weights."""
+
+import pytest
+
+from repro.core.levenshtein import edit_script
+from repro.core.paths import (
+    EditOp,
+    EditPath,
+    apply_ops,
+    contextual_op_cost,
+    path_contextual_weight,
+    path_edit_weight,
+    path_length,
+)
+
+
+class TestEditOp:
+    def test_valid_ops(self):
+        EditOp("insert", 0, None, "a")
+        EditOp("delete", 0, "a", None)
+        EditOp("substitute", 0, "a", "b")
+        EditOp("match", 0, "a", "a")
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            EditOp("transpose", 0, "a", "b")
+
+    def test_insert_requires_symbol(self):
+        with pytest.raises(ValueError):
+            EditOp("insert", 0, None, None)
+
+    def test_delete_requires_symbol(self):
+        with pytest.raises(ValueError):
+            EditOp("delete", 0, None, None)
+
+    def test_match_requires_equal(self):
+        with pytest.raises(ValueError):
+            EditOp("match", 0, "a", "b")
+
+    def test_substitute_requires_distinct(self):
+        with pytest.raises(ValueError):
+            EditOp("substitute", 0, "a", "a")
+
+    def test_paid_flags(self):
+        assert not EditOp("match", 0, "a", "a").is_paid
+        assert EditOp("substitute", 0, "a", "b").is_paid
+        assert EditOp("insert", 0, None, "b").is_paid
+        assert EditOp("delete", 0, "b", None).is_paid
+
+
+class TestApplyOps:
+    def test_insert_positions(self):
+        assert apply_ops("bc", [EditOp("insert", 0, None, "a")]) == tuple("abc")
+        assert apply_ops("bc", [EditOp("insert", 2, None, "a")]) == tuple("bca")
+
+    def test_delete(self):
+        assert apply_ops("abc", [EditOp("delete", 1, "b", None)]) == tuple("ac")
+
+    def test_substitute(self):
+        assert apply_ops("abc", [EditOp("substitute", 1, "b", "x")]) == tuple("axc")
+
+    def test_wrong_symbol_raises(self):
+        with pytest.raises(ValueError):
+            apply_ops("abc", [EditOp("delete", 1, "z", None)])
+
+    def test_position_out_of_range(self):
+        with pytest.raises(ValueError):
+            apply_ops("abc", [EditOp("delete", 5, "a", None)])
+        with pytest.raises(ValueError):
+            apply_ops("abc", [EditOp("insert", 9, None, "a")])
+
+
+class TestWeights:
+    def test_paper_example_3_marked_length(self):
+        # Example 3: the marked path abaa -> bbaa -> baa -> baab has l_E = 5
+        # (3 paid operations + 2 matches).  We rebuild it op by op.
+        ops = (
+            EditOp("substitute", 0, "a", "b"),  # abaa -> bbaa
+            EditOp("delete", 0, "b", None),  # bbaa -> baa
+            EditOp("match", 0, "b", "b"),
+            EditOp("match", 1, "a", "a"),
+            EditOp("insert", 3, None, "b"),  # baa -> baab
+        )
+        assert apply_ops("abaa", ops) == tuple("baab")
+        assert path_edit_weight(ops) == 3
+        assert path_length(ops) == 5
+
+    def test_paper_example_4_first_path(self):
+        # Example 4: path ababa ->d abaa ->d baa ->i baab costs 1/5+1/4+1/4
+        # = 7/10 (the paper prints the same total).
+        assert contextual_op_cost(5, "delete") == pytest.approx(1 / 5)
+        assert contextual_op_cost(4, "delete") == pytest.approx(1 / 4)
+        assert contextual_op_cost(3, "insert") == pytest.approx(1 / 4)
+        total = 1 / 5 + 1 / 4 + 1 / 4
+        assert total == pytest.approx(7 / 10)
+
+    def test_paper_example_4_second_path(self):
+        # ababa ->i ababab ->d babab ->d baab: 1/6 + 1/6 + 1/5 = 8/15
+        total = (
+            contextual_op_cost(5, "insert")
+            + contextual_op_cost(6, "delete")
+            + contextual_op_cost(5, "delete")
+        )
+        assert total == pytest.approx(8 / 15)
+
+    def test_contextual_weight_replay(self):
+        ops = (
+            EditOp("insert", 5, None, "b"),  # ababa -> ababab (len 5 -> 6)
+            EditOp("delete", 0, "a", None),  # ababab -> babab (len 6)
+            EditOp("delete", 2, "b", None),  # babab -> baab?  check below
+        )
+        result = apply_ops("ababa", ops)
+        assert result == tuple("baab")
+        weight = path_contextual_weight(ops, "ababa")
+        assert weight == pytest.approx(8 / 15)
+
+    def test_match_costs_nothing(self):
+        assert contextual_op_cost(7, "match") == 0.0
+
+    def test_empty_string_operations(self):
+        assert contextual_op_cost(0, "insert") == 1.0
+        with pytest.raises(ValueError):
+            contextual_op_cost(0, "delete")
+        with pytest.raises(ValueError):
+            contextual_op_cost(0, "substitute")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            contextual_op_cost(3, "swap")
+
+
+class TestEditPath:
+    def test_properties_via_edit_script(self):
+        path = edit_script("abaa", "aab")
+        assert path.edit_weight == 2
+        assert path.marked_length == len(path.ops)
+        assert path.contextual_weight > 0
+
+    def test_intermediate_strings(self):
+        path = edit_script("ab", "ba")
+        states = path.intermediate_strings()
+        assert states[0] == tuple("ab")
+        assert states[-1] == tuple("ba")
+        assert len(states) == len(path.ops) + 1

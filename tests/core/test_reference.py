@@ -1,0 +1,70 @@
+"""The brute-force oracles must themselves be trustworthy."""
+
+import pytest
+
+from repro.core.reference import (
+    brute_force_marzal_vidal,
+    dijkstra_contextual,
+    dijkstra_edit,
+    dijkstra_rewrite,
+)
+
+
+class TestDijkstraEdit:
+    def test_known_values(self):
+        assert dijkstra_edit("abaa", "aab") == pytest.approx(2.0)
+        assert dijkstra_edit("", "ab") == pytest.approx(2.0)
+        assert dijkstra_edit("x", "x") == 0.0
+
+    def test_symmetric(self):
+        assert dijkstra_edit("ab", "ba") == dijkstra_edit("ba", "ab")
+
+
+class TestDijkstraContextual:
+    def test_paper_example(self):
+        assert dijkstra_contextual("ababa", "baab") == pytest.approx(8 / 15)
+
+    def test_empty_to_one(self):
+        assert dijkstra_contextual("", "a") == pytest.approx(1.0)
+
+    def test_identity(self):
+        assert dijkstra_contextual("ab", "ab") == 0.0
+
+    def test_larger_max_length_never_helps_unit_contextual(self):
+        # Theorem 1 part 1: paths through longer strings are dearer, so
+        # widening the search bound must not change the optimum.
+        for x, y in [("ab", "ba"), ("aab", "b"), ("a", "bb")]:
+            tight = dijkstra_contextual(x, y)
+            loose = dijkstra_contextual(x, y, max_length=len(x) + len(y) + 2)
+            assert loose == pytest.approx(tight)
+
+
+class TestDijkstraRewrite:
+    def test_custom_cost_function(self):
+        # free deletions, expensive everything else: cost of "ab" -> "a"
+        def cost(length, kind, before, after):
+            return 0.0 if kind == "delete" else 100.0
+
+        assert dijkstra_rewrite("ab", "a", cost) == 0.0
+
+    def test_unreachable_when_bound_too_small(self):
+        def unit(length, kind, before, after):
+            return 1.0
+
+        with pytest.raises(ValueError):
+            dijkstra_rewrite("", "abc", unit, max_length=2)
+
+    def test_alphabet_restriction_respected(self):
+        # with only the target's symbols available the result still works
+        def unit(length, kind, before, after):
+            return 1.0
+
+        assert dijkstra_rewrite("aa", "bb", unit, alphabet=("a", "b")) == 2.0
+
+
+class TestBruteForceMarzalVidal:
+    def test_values(self):
+        assert brute_force_marzal_vidal("ab", "ba") == pytest.approx(2 / 3)
+        assert brute_force_marzal_vidal("", "") == 0.0
+        assert brute_force_marzal_vidal("", "ab") == pytest.approx(1.0)
+        assert brute_force_marzal_vidal("abc", "abc") == 0.0

@@ -1,0 +1,62 @@
+"""The distance registry used by every experiment."""
+
+import pytest
+
+from repro.core.registry import (
+    PAPER_ALL,
+    PAPER_NORMALISED,
+    get_distance,
+    get_spec,
+    list_distances,
+)
+
+
+def test_all_paper_distances_registered():
+    for name in PAPER_ALL:
+        spec = get_spec(name)
+        assert callable(spec.function)
+
+
+def test_paper_normalised_subset():
+    assert set(PAPER_NORMALISED) < set(PAPER_ALL)
+    assert "levenshtein" not in PAPER_NORMALISED
+
+
+def test_display_names_match_paper_notation():
+    assert get_spec("contextual_heuristic").display == "dC,h"
+    assert get_spec("yujian_bo").display == "dYB"
+    assert get_spec("marzal_vidal").display == "dMV"
+    assert get_spec("levenshtein").display == "dE"
+    assert get_spec("contextual").display == "dC"
+
+
+def test_metric_flags():
+    assert get_spec("levenshtein").is_metric
+    assert get_spec("contextual").is_metric
+    assert get_spec("yujian_bo").is_metric
+    assert not get_spec("dmax").is_metric
+    assert not get_spec("dsum").is_metric
+    assert not get_spec("dmin").is_metric
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError) as excinfo:
+        get_distance("hamming")
+    assert "known:" in str(excinfo.value)
+
+
+def test_functions_return_floats():
+    for spec in list_distances():
+        value = spec.function("abcd", "abed")
+        assert isinstance(value, float)
+
+
+def test_every_registered_distance_has_zero_self_distance():
+    for spec in list_distances():
+        assert spec.function("string", "string") == 0.0
+
+
+def test_normalised_flags():
+    assert not get_spec("levenshtein").normalised
+    for name in PAPER_NORMALISED:
+        assert get_spec(name).normalised

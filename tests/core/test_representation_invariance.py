@@ -1,0 +1,86 @@
+"""Distances must not care how symbols are represented.
+
+The digit experiments feed chain codes as strings of '0'..'7'; a user
+could equally pass tuples of ints, lists, or accented unicode.  Every
+registered distance must give identical values across representations,
+and the exact/heuristic kernels must agree across their dispatch
+thresholds.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    contextual_distance,
+    contextual_distance_heuristic,
+    list_distances,
+)
+from repro.core.contextual import _EXACT_PY_THRESHOLD, _NUMPY_THRESHOLD
+
+
+class TestRepresentations:
+    @pytest.mark.parametrize(
+        "spec", list_distances(), ids=lambda s: s.name
+    )
+    def test_string_vs_tuple_vs_list(self, spec):
+        x, y = "07716654", "07616554"
+        as_str = spec.function(x, y)
+        as_tuple = spec.function(tuple(int(c) for c in x),
+                                 tuple(int(c) for c in y))
+        as_list = spec.function([int(c) for c in x], [int(c) for c in y])
+        assert as_str == pytest.approx(as_tuple)
+        assert as_str == pytest.approx(as_list)
+
+    def test_unicode_accents(self):
+        # accented Spanish words from the dictionary generator
+        assert contextual_distance("razón", "razon") > 0
+        assert contextual_distance("razón", "razón") == 0.0
+
+    def test_arbitrary_hashable_symbols(self):
+        a = (("x", 1), ("y", 2), ("z", 3))
+        b = (("x", 1), ("q", 9), ("z", 3))
+        assert contextual_distance(a, b) == pytest.approx(1 / 3)
+
+
+class TestDispatchBoundaries:
+    """Values must be continuous across the pure-Python/numpy thresholds."""
+
+    def _random_pair(self, rng, total_length):
+        m = total_length // 2
+        n = total_length - m
+        x = "".join(rng.choice("abcd") for _ in range(m))
+        y = "".join(rng.choice("abcd") for _ in range(n))
+        return x, y
+
+    def test_heuristic_around_numpy_threshold(self):
+        rng = random.Random(0)
+        for total in (_NUMPY_THRESHOLD - 2, _NUMPY_THRESHOLD,
+                      _NUMPY_THRESHOLD + 2):
+            x, y = self._random_pair(rng, total)
+            from repro.core._kernels import contextual_heuristic_numpy
+            from repro.core.contextual import _heuristic_tables
+
+            assert contextual_heuristic_numpy(x, y) == _heuristic_tables(x, y)
+
+    def test_exact_around_py_threshold(self):
+        rng = random.Random(1)
+        for total in (_EXACT_PY_THRESHOLD - 2, _EXACT_PY_THRESHOLD,
+                      _EXACT_PY_THRESHOLD + 2):
+            x, y = self._random_pair(rng, total)
+            d = contextual_distance(x, y)
+            h = contextual_distance_heuristic(x, y)
+            assert d <= h + 1e-12
+            assert d == pytest.approx(contextual_distance(y, x))
+
+
+@given(st.lists(st.integers(0, 7), max_size=8),
+       st.lists(st.integers(0, 7), max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_int_sequences_match_digit_strings(xs, ys):
+    as_str_x = "".join(str(v) for v in xs)
+    as_str_y = "".join(str(v) for v in ys)
+    assert contextual_distance(xs, ys) == pytest.approx(
+        contextual_distance(as_str_x, as_str_y)
+    )

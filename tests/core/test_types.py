@@ -1,0 +1,46 @@
+"""Input normalisation: strings pass through, sequences become tuples."""
+
+import pytest
+
+from repro.core.types import as_symbols, require_strings
+
+
+def test_str_passthrough():
+    assert as_symbols("abc") == "abc"
+
+
+def test_tuple_passthrough():
+    t = (1, 2, 3)
+    assert as_symbols(t) is t
+
+
+def test_list_becomes_tuple():
+    assert as_symbols([1, 2, 3]) == (1, 2, 3)
+
+
+def test_chain_code_symbols():
+    # Freeman chain codes as int sequences work end-to-end
+    assert as_symbols([0, 7, 7, 6]) == (0, 7, 7, 6)
+
+
+def test_rejects_non_sequence():
+    with pytest.raises(TypeError):
+        as_symbols(42)
+
+
+def test_rejects_none():
+    with pytest.raises(TypeError):
+        as_symbols(None)
+
+
+def test_require_strings_normalises_both():
+    x, y = require_strings("ab", [1, 2])
+    assert x == "ab"
+    assert y == (1, 2)
+
+
+def test_distances_accept_sequences():
+    from repro.core import contextual_distance, levenshtein_distance
+
+    assert levenshtein_distance([1, 2, 3], [1, 9, 3]) == 1
+    assert contextual_distance((1, 2), (1, 2)) == 0.0

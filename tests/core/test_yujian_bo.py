@@ -1,0 +1,76 @@
+"""Yujian-Bo normalised distance: formula, metricity, generalised form."""
+
+import pytest
+from hypothesis import given
+
+from repro.core.generalized import CostModel
+from repro.core.levenshtein import levenshtein_distance
+from repro.core.metric import all_strings, check_metric
+from repro.core.yujian_bo import yb_generalized_distance, yb_normalized_distance
+
+from ..conftest import small_strings
+
+
+class TestFormula:
+    def test_identity(self):
+        assert yb_normalized_distance("abc", "abc") == 0.0
+        assert yb_normalized_distance("", "") == 0.0
+
+    def test_extreme(self):
+        # completely different strings saturate towards 1
+        assert yb_normalized_distance("", "aaa") == pytest.approx(1.0)
+        assert yb_normalized_distance("aaa", "bbb") == pytest.approx(
+            2 * 3 / (3 + 3 + 3)
+        )
+
+    @given(small_strings, small_strings)
+    def test_closed_form(self, x, y):
+        d = levenshtein_distance(x, y)
+        expected = 0.0 if not (x or y) else 2 * d / (len(x) + len(y) + d)
+        assert yb_normalized_distance(x, y) == pytest.approx(expected)
+
+    @given(small_strings, small_strings)
+    def test_range(self, x, y):
+        assert 0.0 <= yb_normalized_distance(x, y) <= 1.0
+
+    def test_rewriting_identity_from_paper(self):
+        # d_YB = 2 - 2(|x|+|y|)/(|x|+|y|+d_E): the paper's Section 2.2 form
+        x, y = "abcde", "xbcdz"
+        d = levenshtein_distance(x, y)
+        total = len(x) + len(y)
+        assert yb_normalized_distance(x, y) == pytest.approx(
+            2.0 - 2.0 * total / (total + d)
+        )
+
+
+class TestMetric:
+    def test_exhaustive_small_universe(self):
+        points = all_strings("ab", 3)
+        report = check_metric(yb_normalized_distance, points)
+        assert report.is_metric, report.summary()
+
+    @given(small_strings, small_strings)
+    def test_symmetry(self, x, y):
+        assert yb_normalized_distance(x, y) == yb_normalized_distance(y, x)
+
+
+class TestGeneralized:
+    def test_reduces_to_unit(self):
+        for x, y in [("abaa", "aab"), ("", "xy"), ("q", "q")]:
+            assert yb_generalized_distance(x, y) == pytest.approx(
+                yb_normalized_distance(x, y)
+            )
+
+    def test_weighted_masses(self):
+        costs = CostModel(default_deletion=2.0, default_insertion=2.0,
+                          default_substitution=2.0)
+        # all weights doubled: GED doubles, masses double -> same value
+        assert yb_generalized_distance("abaa", "aab", costs) == pytest.approx(
+            yb_normalized_distance("abaa", "aab")
+        )
+
+    def test_asymmetric_weights_change_value(self):
+        costs = CostModel(deletion={"a": 5.0})
+        assert yb_generalized_distance("aa", "b", costs) != pytest.approx(
+            yb_normalized_distance("aa", "b")
+        )

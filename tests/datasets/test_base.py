@@ -1,0 +1,98 @@
+"""Dataset container: validation, sampling, splits."""
+
+import random
+
+import pytest
+
+from repro.datasets import Dataset
+
+
+@pytest.fixture
+def labelled():
+    items = tuple(f"item{i}" for i in range(30))
+    labels = tuple(i % 3 for i in range(30))
+    return Dataset(name="toy", items=items, labels=labels)
+
+
+class TestConstruction:
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Dataset(name="bad", items=("a", "b"), labels=("x",))
+
+    def test_len_and_getitem(self, labelled):
+        assert len(labelled) == 30
+        assert labelled[3] == "item3"
+
+    def test_classes(self, labelled):
+        assert labelled.classes == [0, 1, 2]
+
+    def test_unlabelled_classes_empty(self):
+        data = Dataset(name="u", items=("a",))
+        assert data.classes == []
+
+
+class TestSample:
+    def test_sample_size(self, labelled):
+        sampled = labelled.sample(10, random.Random(0))
+        assert len(sampled) == 10
+        assert len(sampled.labels) == 10
+
+    def test_sample_without_replacement(self, labelled):
+        sampled = labelled.sample(30, random.Random(0))
+        assert sorted(sampled.items) == sorted(labelled.items)
+
+    def test_sample_too_large(self, labelled):
+        with pytest.raises(ValueError):
+            labelled.sample(31, random.Random(0))
+
+    def test_sample_deterministic(self, labelled):
+        a = labelled.sample(5, random.Random(9))
+        b = labelled.sample(5, random.Random(9))
+        assert a.items == b.items
+
+    def test_labels_follow_items(self, labelled):
+        sampled = labelled.sample(12, random.Random(1))
+        for item, label in zip(sampled.items, sampled.labels):
+            idx = labelled.items.index(item)
+            assert labelled.labels[idx] == label
+
+
+class TestSplit:
+    def test_split_sizes(self, labelled):
+        head, tail = labelled.split(12, random.Random(0))
+        assert len(head) == 12
+        assert len(tail) == 18
+
+    def test_split_partition(self, labelled):
+        head, tail = labelled.split(10, random.Random(0))
+        assert sorted(head.items + tail.items) == sorted(labelled.items)
+
+    def test_split_too_large(self, labelled):
+        with pytest.raises(ValueError):
+            labelled.split(31, random.Random(0))
+
+
+class TestStratifiedSplit:
+    def test_per_class_counts(self, labelled):
+        train, rest = labelled.stratified_split(5, random.Random(0))
+        for cls in (0, 1, 2):
+            assert sum(1 for l in train.labels if l == cls) == 5
+        assert len(train) == 15
+        assert len(rest) == 15
+
+    def test_requires_labels(self):
+        data = Dataset(name="u", items=("a", "b"))
+        with pytest.raises(ValueError):
+            data.stratified_split(1, random.Random(0))
+
+    def test_insufficient_class_members(self, labelled):
+        with pytest.raises(ValueError):
+            labelled.stratified_split(11, random.Random(0))
+
+
+def test_length_statistics():
+    data = Dataset(name="s", items=("a", "bb", "cccc"))
+    stats = data.length_statistics()
+    assert stats["min"] == 1.0
+    assert stats["max"] == 4.0
+    assert stats["mean"] == pytest.approx(7 / 3)

@@ -1,0 +1,114 @@
+"""Moore tracing and Freeman chain codes."""
+
+import numpy as np
+
+from repro.datasets import FREEMAN_OFFSETS, freeman_chain_code, largest_component
+
+
+def _image(rows):
+    return np.array([[c == "#" for c in row] for row in rows])
+
+
+class TestLargestComponent:
+    def test_picks_bigger_blob(self):
+        image = _image([
+            "##....",
+            "##....",
+            "....#.",
+        ])
+        mask = largest_component(image)
+        assert mask.sum() == 4
+        assert not mask[2, 4]
+
+    def test_diagonal_connectivity(self):
+        image = _image([
+            "#.",
+            ".#",
+        ])
+        # 8-connectivity: both pixels form one component
+        assert largest_component(image).sum() == 2
+
+    def test_empty(self):
+        assert largest_component(_image(["..", ".."])).sum() == 0
+
+
+class TestFreemanChainCode:
+    def test_empty_image(self):
+        assert freeman_chain_code(_image(["..", ".."])) == ""
+
+    def test_single_pixel(self):
+        assert freeman_chain_code(_image([".#.", "...", "..."])) == ""
+
+    def test_two_by_two_square(self):
+        code = freeman_chain_code(_image([
+            "....",
+            ".##.",
+            ".##.",
+            "....",
+        ]))
+        # boundary of a 2x2 square: 4 moves (E, S, W, N)
+        assert sorted(code) == sorted("0642")
+
+    def test_horizontal_bar(self):
+        code = freeman_chain_code(_image([
+            ".....",
+            ".###.",
+            ".....",
+        ]))
+        # boundary walks east along the bar then back west
+        assert code.count("0") == 2
+        assert code.count("4") == 2
+        assert len(code) == 4
+
+    def test_codes_are_valid(self):
+        code = freeman_chain_code(_image([
+            ".....",
+            ".###.",
+            ".#.#.",
+            ".###.",
+            ".....",
+        ]))
+        assert set(code) <= set("01234567")
+        assert len(code) >= 8
+
+    def test_chain_closes(self):
+        """Following the chain from the start pixel returns to the start."""
+        image = _image([
+            "......",
+            ".####.",
+            ".####.",
+            ".##...",
+            "......",
+        ])
+        code = freeman_chain_code(image)
+        r = c = 0
+        for ch in code:
+            dr, dc = FREEMAN_OFFSETS[int(ch)]
+            r += dr
+            c += dc
+        assert (r, c) == (0, 0)
+
+    def test_bigger_blob_longer_chain(self):
+        small = freeman_chain_code(_image([
+            "....",
+            ".##.",
+            ".##.",
+            "....",
+        ]))
+        big = freeman_chain_code(_image([
+            "......",
+            ".####.",
+            ".####.",
+            ".####.",
+            ".####.",
+            "......",
+        ]))
+        assert len(big) > len(small)
+
+
+def test_offsets_are_the_eight_neighbours():
+    assert len(FREEMAN_OFFSETS) == 8
+    assert len(set(FREEMAN_OFFSETS)) == 8
+    for dr, dc in FREEMAN_OFFSETS:
+        assert (dr, dc) != (0, 0)
+        assert -1 <= dr <= 1 and -1 <= dc <= 1

@@ -1,0 +1,78 @@
+"""The digit-contour dataset (NIST SD3 substitute)."""
+
+import random
+
+import pytest
+
+from repro.core import levenshtein_distance
+from repro.datasets import digit_contour, handwritten_digits
+
+
+def test_sizes_and_labels():
+    data = handwritten_digits(per_class=3, seed=0)
+    assert len(data) == 30
+    assert data.classes == list(range(10))
+    for digit in range(10):
+        assert sum(1 for l in data.labels if l == digit) == 3
+
+
+def test_items_are_chain_codes():
+    data = handwritten_digits(per_class=2, seed=1)
+    for item in data.items:
+        assert set(item) <= set("01234567")
+        assert len(item) >= 8
+
+
+def test_deterministic():
+    a = handwritten_digits(per_class=2, seed=2)
+    b = handwritten_digits(per_class=2, seed=2)
+    assert a.items == b.items
+    assert a.labels == b.labels
+
+
+def test_writer_variation_within_class():
+    data = handwritten_digits(per_class=4, seed=3)
+    zeros = [item for item, l in zip(data.items, data.labels) if l == 0]
+    assert len(set(zeros)) > 1  # no two identical renderings expected
+
+
+def test_intra_class_closer_than_inter_class_on_average():
+    """The class structure the 1-NN experiments rely on."""
+    data = handwritten_digits(per_class=4, seed=4)
+    by_class = {}
+    for item, label in zip(data.items, data.labels):
+        by_class.setdefault(label, []).append(item)
+
+    def norm_d(a, b):
+        return levenshtein_distance(a, b) / max(len(a), len(b))
+
+    intra = []
+    for members in by_class.values():
+        for i in range(len(members)):
+            for j in range(i + 1, len(members)):
+                intra.append(norm_d(members[i], members[j]))
+    inter = []
+    classes = sorted(by_class)
+    for a in classes:
+        for b in classes:
+            if a < b:
+                inter.append(norm_d(by_class[a][0], by_class[b][0]))
+    assert sum(intra) / len(intra) < sum(inter) / len(inter)
+
+
+def test_digit_contour_single():
+    code = digit_contour(7, random.Random(0), grid=24)
+    assert len(code) >= 8
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        handwritten_digits(per_class=0)
+
+
+def test_grid_influences_contour_length():
+    small = handwritten_digits(per_class=2, seed=5, grid=16)
+    large = handwritten_digits(per_class=2, seed=5, grid=32)
+    assert (
+        large.length_statistics()["mean"] > small.length_statistics()["mean"]
+    )

@@ -1,0 +1,81 @@
+"""Synthetic Listeria-like gene sequences."""
+
+import pytest
+
+from repro.core import levenshtein_distance
+from repro.datasets import listeria_genes
+
+
+def test_requested_size():
+    data = listeria_genes(n_genes=50, seed=0)
+    assert len(data) == 50
+
+
+def test_alphabet():
+    data = listeria_genes(n_genes=30, seed=1)
+    for gene in data.items:
+        assert set(gene) <= set("acgt")
+
+
+def test_codon_structure():
+    data = listeria_genes(n_genes=40, seed=2, family_fraction=0.0)
+    for gene in data.items:
+        assert len(gene) % 3 == 0
+        assert gene.startswith("atg")
+        assert gene[-3:] in ("taa", "tag", "tga")
+
+
+def test_gc_content_close_to_target():
+    data = listeria_genes(n_genes=150, seed=3, gc_content=0.38)
+    total = sum(len(g) for g in data.items)
+    gc = sum(g.count("g") + g.count("c") for g in data.items)
+    assert gc / total == pytest.approx(0.38, abs=0.03)
+
+
+def test_length_spread_is_wide():
+    # the property driving Figure 2 / Table 1: very different lengths
+    data = listeria_genes(n_genes=200, seed=4, min_length=60, max_length=900)
+    stats = data.length_statistics()
+    assert stats["max"] / stats["min"] > 4.0
+
+
+def test_families_produce_near_duplicates():
+    data = listeria_genes(
+        n_genes=20, seed=5, family_fraction=1.0, family_size=4,
+        mutation_rate=0.03, max_length=300,
+    )
+    # items are shuffled, but families must exist: the minimum pairwise
+    # normalised distance over the set is small (sibling genes)
+    best = 1.0
+    for i in range(len(data)):
+        for j in range(i + 1, len(data)):
+            a, b = data.items[i], data.items[j]
+            best = min(best, levenshtein_distance(a, b) / max(len(a), len(b)))
+    assert best < 0.25
+
+
+def test_independent_genes_are_far_apart():
+    data = listeria_genes(
+        n_genes=12, seed=6, family_fraction=0.0, max_length=300
+    )
+    worst = 1.0
+    for i in range(len(data)):
+        for j in range(i + 1, len(data)):
+            a, b = data.items[i], data.items[j]
+            worst = min(
+                worst, levenshtein_distance(a, b) / max(len(a), len(b))
+            )
+    assert worst > 0.25
+
+
+def test_deterministic():
+    a = listeria_genes(n_genes=25, seed=6)
+    b = listeria_genes(n_genes=25, seed=6)
+    assert a.items == b.items
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        listeria_genes(n_genes=0)
+    with pytest.raises(ValueError):
+        listeria_genes(n_genes=5, gc_content=1.5)

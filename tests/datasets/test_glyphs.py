@@ -1,0 +1,69 @@
+"""Digit glyph rendering: skeletons, styles, bitmaps."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.datasets import DIGIT_SKELETONS, WriterStyle, render_digit, sample_style
+
+
+def test_all_ten_digits_defined():
+    assert sorted(DIGIT_SKELETONS) == list(range(10))
+
+
+def test_skeletons_in_unit_square():
+    for digit, strokes in DIGIT_SKELETONS.items():
+        for stroke in strokes:
+            for (x, y) in stroke:
+                assert -0.1 <= x <= 1.1, digit
+                assert -0.1 <= y <= 1.1, digit
+
+
+def test_render_shape_and_dtype():
+    image = render_digit(3, random.Random(0), grid=28)
+    assert image.shape == (28, 28)
+    assert image.dtype == bool
+
+
+def test_render_produces_ink():
+    for digit in range(10):
+        image = render_digit(digit, random.Random(digit), grid=28)
+        assert image.sum() > 20, digit
+
+
+def test_render_respects_grid():
+    image = render_digit(5, random.Random(1), grid=20)
+    assert image.shape == (20, 20)
+
+
+def test_invalid_digit():
+    with pytest.raises(ValueError):
+        render_digit(10, random.Random(0))
+
+
+def test_fixed_style_deterministic():
+    style = WriterStyle(jitter=0.0)
+    a = render_digit(7, random.Random(0), style=style)
+    b = render_digit(7, random.Random(99), style=style)
+    assert np.array_equal(a, b)  # jitter 0 means rng is unused
+
+
+def test_styles_vary(rng):
+    styles = [sample_style(rng) for _ in range(10)]
+    rotations = {s.rotation_deg for s in styles}
+    assert len(rotations) > 5
+
+
+def test_thickness_adds_ink():
+    thin = render_digit(1, random.Random(2), style=WriterStyle(thickness=1.0, jitter=0.0))
+    thick = render_digit(1, random.Random(2), style=WriterStyle(thickness=2.5, jitter=0.0))
+    assert thick.sum() > thin.sum()
+
+
+def test_digits_visually_distinct():
+    # different digits should produce clearly different bitmaps
+    style = WriterStyle(jitter=0.0)
+    one = render_digit(1, random.Random(0), style=style)
+    eight = render_digit(8, random.Random(0), style=style)
+    assert (one != eight).sum() > 20

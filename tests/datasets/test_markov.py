@@ -1,0 +1,64 @@
+"""Markov string generator: training, determinism, length control."""
+
+import random
+
+import pytest
+
+from repro.datasets import MarkovGenerator
+
+
+CORPUS = ["casa", "cosa", "caso", "masa", "mesa", "pasa", "peso", "sala"]
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        MarkovGenerator(order=0)
+
+
+def test_generate_before_train():
+    with pytest.raises(RuntimeError):
+        MarkovGenerator().generate(random.Random(0))
+
+
+def test_generated_symbols_come_from_corpus():
+    model = MarkovGenerator(order=2).train(CORPUS)
+    alphabet = set("".join(CORPUS))
+    rng = random.Random(0)
+    for _ in range(50):
+        word = model.generate(rng)
+        assert set(word) <= alphabet
+
+
+def test_length_bounds_respected():
+    model = MarkovGenerator(order=2).train(CORPUS)
+    rng = random.Random(1)
+    for _ in range(50):
+        word = model.generate(rng, min_length=3, max_length=6)
+        assert 3 <= len(word) <= 6
+
+
+def test_deterministic_under_seed():
+    model = MarkovGenerator(order=2).train(CORPUS)
+    a = [model.generate(random.Random(7)) for _ in range(5)]
+    b = [model.generate(random.Random(7)) for _ in range(5)]
+    assert a == b
+
+
+def test_order1_transitions_only_observed_bigrams():
+    model = MarkovGenerator(order=1).train(["abab"])
+    rng = random.Random(0)
+    for _ in range(20):
+        word = model.generate(rng, min_length=1, max_length=10)
+        # in "abab" the only transitions are a->b and b->a (plus start->a)
+        for first, second in zip(word, word[1:]):
+            assert (first, second) in {("a", "b"), ("b", "a")}
+
+
+def test_incremental_training():
+    model = MarkovGenerator(order=1)
+    model.train(["aa"])
+    model.train(["bb"])
+    rng = random.Random(3)
+    words = {model.generate(rng, max_length=4) for _ in range(60)}
+    assert any("a" in w for w in words)
+    assert any("b" in w for w in words)

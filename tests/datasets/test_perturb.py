@@ -1,0 +1,65 @@
+"""genqueries-style perturbation."""
+
+import random
+
+import pytest
+
+from repro.core import levenshtein_distance
+from repro.datasets import Dataset, perturb, perturbed_queries
+
+
+class TestPerturb:
+    def test_zero_operations_is_identity(self, rng):
+        assert perturb("palabra", 0, rng) == "palabra"
+
+    def test_edit_distance_bounded_by_operations(self, rng):
+        for _ in range(50):
+            base = "perturbacion"
+            result = perturb(base, 2, rng)
+            assert levenshtein_distance(base, result) <= 2
+
+    def test_usually_changes_string(self, rng):
+        changed = sum(
+            perturb("palabras", 2, rng) != "palabras" for _ in range(50)
+        )
+        assert changed > 35
+
+    def test_negative_operations(self, rng):
+        with pytest.raises(ValueError):
+            perturb("x", -1, rng)
+
+    def test_empty_string_grows_by_insertion(self, rng):
+        result = perturb("", 2, rng, alphabet="ab")
+        assert len(result) <= 2
+
+    def test_alphabet_respected(self, rng):
+        for _ in range(30):
+            result = perturb("aaaa", 3, rng, alphabet="xyz")
+            assert set(result) <= set("aaaxyz")
+
+    def test_deterministic(self):
+        a = perturb("determinista", 3, random.Random(5))
+        b = perturb("determinista", 3, random.Random(5))
+        assert a == b
+
+
+class TestPerturbedQueries:
+    @pytest.fixture
+    def source(self):
+        return Dataset(name="s", items=("casa", "cosa", "masa", "mesa"))
+
+    def test_count(self, source, rng):
+        queries = perturbed_queries(source, 10, rng, operations=2)
+        assert len(queries) == 10
+
+    def test_queries_near_source(self, source, rng):
+        queries = perturbed_queries(source, 20, rng, operations=2)
+        for q in queries:
+            best = min(levenshtein_distance(q, s) for s in source.items)
+            assert best <= 2
+
+    def test_alphabet_pooled_from_dataset(self, source, rng):
+        queries = perturbed_queries(source, 30, rng, operations=3)
+        pooled = set("".join(source.items))
+        for q in queries:
+            assert set(q) <= pooled

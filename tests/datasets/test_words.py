@@ -1,0 +1,57 @@
+"""Synthetic Spanish dictionary."""
+
+import pytest
+
+from repro.datasets import SPANISH_SEED_LEXICON, spanish_dictionary
+
+
+def test_seed_lexicon_is_plausible():
+    assert len(SPANISH_SEED_LEXICON) > 250
+    assert "casa" in SPANISH_SEED_LEXICON
+    assert all(w == w.lower() for w in SPANISH_SEED_LEXICON)
+    assert len(set(SPANISH_SEED_LEXICON)) == len(SPANISH_SEED_LEXICON)
+
+
+def test_requested_size():
+    data = spanish_dictionary(n_words=500, seed=1)
+    assert len(data) == 500
+
+
+def test_words_distinct():
+    data = spanish_dictionary(n_words=800, seed=2)
+    assert len(set(data.items)) == len(data)
+
+
+def test_deterministic():
+    a = spanish_dictionary(n_words=200, seed=3)
+    b = spanish_dictionary(n_words=200, seed=3)
+    assert a.items == b.items
+
+
+def test_seed_changes_output():
+    a = spanish_dictionary(n_words=400, seed=4, include_seed_words=False)
+    b = spanish_dictionary(n_words=400, seed=5, include_seed_words=False)
+    assert a.items != b.items
+
+
+def test_length_distribution_word_like():
+    stats = spanish_dictionary(n_words=2000, seed=6).length_statistics()
+    assert 2 <= stats["min"]
+    assert 5.0 <= stats["mean"] <= 12.0
+    assert stats["max"] <= 22
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        spanish_dictionary(n_words=0)
+
+
+def test_metadata_records_provenance():
+    data = spanish_dictionary(n_words=100, seed=7)
+    assert data.metadata["seed"] == 7
+    assert "SISAP" in data.metadata["substitute_for"]
+
+
+def test_exclude_seed_words():
+    data = spanish_dictionary(n_words=300, seed=8, include_seed_words=False)
+    assert len(data) == 300

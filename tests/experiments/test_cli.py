@@ -1,0 +1,34 @@
+"""The python -m repro.experiments command line."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig1" in out
+    assert "tab2" in out
+
+
+def test_no_argument_lists(capsys):
+    assert main([]) == 0
+    assert "fig3" in capsys.readouterr().out
+
+
+def test_unknown_experiment(capsys):
+    assert main(["fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_runs_experiment(capsys):
+    assert main(["fig1", "--scale", "smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+    assert "completed" in out
+
+
+def test_bad_scale_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig1", "--scale", "enormous"])

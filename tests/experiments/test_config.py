@@ -1,0 +1,47 @@
+"""Scale presets."""
+
+import pytest
+
+from repro.experiments.config import SCALES, get_scale
+
+
+def test_presets():
+    assert set(SCALES) == {"smoke", "bench", "default", "paper"}
+
+
+def test_get_by_name():
+    assert get_scale("smoke").name == "smoke"
+
+
+def test_get_passthrough():
+    scale = SCALES["default"]
+    assert get_scale(scale) is scale
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError):
+        get_scale("huge")
+
+
+def test_scales_are_ordered_by_size():
+    smoke, default, paper = SCALES["smoke"], SCALES["default"], SCALES["paper"]
+    assert smoke.dictionary_words < default.dictionary_words < paper.dictionary_words
+    assert smoke.fig1_samples < default.fig1_samples < paper.fig1_samples
+    assert smoke.laesa_train <= default.laesa_train <= paper.laesa_train
+
+
+def test_paper_scale_matches_publication():
+    paper = SCALES["paper"]
+    assert paper.fig1_samples == 8000
+    assert paper.laesa_train == 1000
+    assert paper.laesa_queries == 1000
+    assert paper.laesa_trials == 10
+    assert max(paper.pivot_counts) == 300
+    assert paper.classify_per_class == 100
+
+
+def test_custom_scale_accepted():
+    import dataclasses
+
+    tiny = dataclasses.replace(SCALES["smoke"], name="custom", fig1_samples=10)
+    assert get_scale(tiny).fig1_samples == 10

@@ -1,0 +1,41 @@
+"""Per-scale dataset construction and caching."""
+
+from repro.experiments.config import SCALES
+from repro.experiments.data import (
+    agreement_genes_for,
+    dictionary_for,
+    digits_for,
+    genes_for,
+)
+
+
+def test_sizes_follow_scale():
+    smoke = SCALES["smoke"]
+    assert len(dictionary_for(smoke)) == smoke.dictionary_words
+    assert len(genes_for(smoke)) == smoke.gene_count
+    assert len(digits_for(smoke)) == 10 * smoke.digits_per_class
+
+
+def test_caching_returns_same_object():
+    smoke = SCALES["smoke"]
+    assert dictionary_for(smoke) is dictionary_for(smoke)
+    assert genes_for(smoke) is genes_for(smoke)
+    assert digits_for(smoke) is digits_for(smoke)
+
+
+def test_agreement_genes_use_capped_length():
+    smoke = SCALES["smoke"]
+    capped = agreement_genes_for(smoke)
+    assert capped.length_statistics()["max"] <= smoke.agreement_gene_max_length + 3
+
+
+def test_scales_share_nothing_when_parameters_differ():
+    smoke = SCALES["smoke"]
+    bench = SCALES["bench"]
+    assert dictionary_for(smoke) is not dictionary_for(bench)
+    assert len(dictionary_for(bench)) == bench.dictionary_words
+
+
+def test_datasets_are_deterministic_across_calls():
+    smoke = SCALES["smoke"]
+    assert dictionary_for(smoke).items == dictionary_for(smoke).items

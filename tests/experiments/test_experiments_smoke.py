@@ -1,0 +1,222 @@
+"""End-to-end smoke runs of every experiment, with structural checks.
+
+These use the 'smoke' scale (seconds per experiment).  Shape claims that
+need statistical power (Table 1 orderings, Table 2 error levels) are only
+asserted loosely here; the default-scale benchmark runs are where the
+paper's shapes are reproduced properly.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run
+
+
+class TestRegistry:
+    def test_expected_ids(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "sec4.1", "fig2", "tab1", "fig3", "fig4", "tab2",
+            "fig5", "speed", "kgap",
+        }
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            run("fig9", scale="smoke")
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("fig1", scale="smoke")
+
+    def test_histograms_overlap_heavily(self, result):
+        assert result.overlap > 0.8
+
+    def test_high_equality_rate(self, result):
+        assert result.equal_fraction > 0.7
+
+    def test_heuristic_mean_at_least_exact(self, result):
+        assert result.heuristic.mean >= result.exact.mean - 1e-12
+
+    def test_render(self, result):
+        out = result.render()
+        assert "dC,h" in out
+        assert "Figure 1" in out
+
+
+class TestAgreement:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("sec4.1", scale="smoke")
+
+    def test_three_datasets(self, result):
+        assert len(result.reports) == 3
+
+    def test_agreement_rates(self, result):
+        for report in result.reports.values():
+            assert report.agreement_rate > 0.5
+
+    def test_render(self, result):
+        assert "agreement" in result.render()
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("fig2", scale="smoke")
+
+    def test_four_normalised_histograms(self, result):
+        assert set(result.normalised) == {"dYB", "dC,h", "dMV", "dmax"}
+
+    def test_levenshtein_mean_far_larger(self, result):
+        # d_E is unnormalised: its mean dwarfs the normalised ones
+        assert result.levenshtein.mean > 5 * max(
+            h.mean for h in result.normalised.values()
+        )
+
+    def test_render_has_two_panels(self, result):
+        out = result.render()
+        assert "Normalised distances:" in out
+        assert "Levenshtein distance:" in out
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("tab1", scale="smoke")
+
+    def test_all_cells_present(self, result):
+        assert len(result.measured) == 5
+        for rhos in result.measured.values():
+            assert len(rhos) == 3
+            assert all(r > 0 for r in rhos)
+
+    def test_digits_ordering_holds_even_at_smoke_scale(self, result):
+        checks = result.ordering_preserved()
+        assert checks["hand. digits"]
+
+    def test_render_includes_paper_values(self, result):
+        out = result.render()
+        assert "40.57" in out  # paper's dYB on the dictionary
+        assert "|" in out
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("fig3", scale="smoke")
+
+    def test_series_for_all_five_distances(self, result):
+        assert set(result.series) == {"dYB", "dC,h", "dMV", "dmax", "dE"}
+
+    def test_zero_pivots_is_exhaustive(self, result):
+        for s in result.series.values():
+            assert s.computations[0] == pytest.approx(result.n_train)
+
+    def test_pivots_reduce_computations(self, result):
+        for s in result.series.values():
+            assert s.computations[-1] < s.computations[0]
+
+    def test_contextual_beats_other_normalised(self, result):
+        last = {name: s.computations[-1] for name, s in result.series.items()}
+        assert last["dC,h"] < last["dYB"]
+        assert last["dC,h"] < last["dMV"]
+
+    def test_render(self, result):
+        out = result.render()
+        assert "number of pivots" in out
+        assert "dC,h" in out
+
+
+class TestFigure4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("fig4", scale="smoke")
+
+    def test_structure(self, result):
+        assert set(result.series) == {"dYB", "dC,h", "dMV", "dmax", "dE"}
+        for s in result.series.values():
+            assert len(s.computations) == len(result.pivot_counts)
+
+    def test_zero_pivots_is_exhaustive(self, result):
+        for s in result.series.values():
+            assert s.computations[0] == pytest.approx(result.n_train)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("tab2", scale="smoke")
+
+    def test_all_six_distances(self, result):
+        assert len(result.laesa) == 6
+        assert len(result.exhaustive) == 6
+
+    def test_error_rates_valid(self, result):
+        for summary in list(result.laesa.values()) + list(
+            result.exhaustive.values()
+        ):
+            assert 0.0 <= summary.mean_error_rate <= 1.0
+
+    def test_exact_equals_heuristic_error(self, result):
+        # the paper: "the same error rate is obtained when the exact
+        # contextual distance algorithm is used instead of the heuristic"
+        assert result.exhaustive["contextual"].mean_error_rate == pytest.approx(
+            result.exhaustive["contextual_heuristic"].mean_error_rate,
+            abs=0.15,
+        )
+
+    def test_render_includes_paper_columns(self, result):
+        out = result.render()
+        assert "paper LAESA" in out
+        assert "5.19" in out
+
+
+class TestFigure5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("fig5", scale="smoke")
+
+    def test_four_samples_each(self, result):
+        assert len(result.eights) == 4
+        assert len(result.zeros) == 4
+
+    def test_writers_differ(self, result):
+        assert len(set(result.eights)) > 1
+        assert result.mean_intra_class_distance > 0.0
+
+    def test_render_shows_bitmaps(self, result):
+        out = result.render()
+        assert "Eights from four writers" in out
+        assert "#" in out
+
+
+class TestKGap:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("kgap", scale="smoke")
+
+    def test_three_datasets(self, result):
+        assert len(result.distributions) == 3
+
+    def test_mass_at_zero(self, result):
+        for dataset in result.distributions:
+            assert result.fraction_at_zero(dataset) > 0.6
+
+    def test_render(self, result):
+        assert "at k=dE" in result.render()
+
+
+class TestSpeed:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run("speed", scale="smoke")
+
+    def test_both_datasets_timed(self, result):
+        assert set(result.seconds) == {"dictionary", "digit contours"}
+
+    def test_exact_slower_than_heuristic(self, result):
+        for per_distance in result.seconds.values():
+            assert per_distance["contextual"] > per_distance["contextual_heuristic"]
+
+    def test_render(self, result):
+        assert "ratio vs dE" in result.render()

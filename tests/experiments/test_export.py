@@ -1,0 +1,76 @@
+"""JSON/CSV export of experiment results."""
+
+import csv
+import json
+
+import pytest
+
+from repro.experiments import run
+from repro.experiments.export import export_result, result_to_dict, sweep_to_csv
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    return run("fig3", scale="smoke")
+
+
+@pytest.fixture(scope="module")
+def fig1_result():
+    return run("fig1", scale="smoke")
+
+
+class TestResultToDict:
+    def test_sweep_round_trips_through_json(self, fig3_result):
+        data = result_to_dict(fig3_result)
+        encoded = json.dumps(data)
+        decoded = json.loads(encoded)
+        assert decoded["pivot_counts"] == list(fig3_result.pivot_counts)
+        assert set(decoded["series"]) == set(fig3_result.series)
+
+    def test_histogram_arrays_become_lists(self, fig1_result):
+        data = result_to_dict(fig1_result)
+        assert isinstance(data["exact"]["counts"], list)
+        assert isinstance(data["exact"]["bin_edges"], list)
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            result_to_dict({"not": "a dataclass"})
+
+
+class TestCsv:
+    def test_sweep_csv_rows(self, fig3_result, tmp_path):
+        path = tmp_path / "sweep.csv"
+        sweep_to_csv(fig3_result, path)
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        expected = len(fig3_result.series) * len(fig3_result.pivot_counts)
+        assert len(rows) == expected
+        assert {row["distance"] for row in rows} == set(fig3_result.series)
+        # numeric columns parse as floats
+        assert all(float(row["computations"]) >= 0 for row in rows)
+
+
+class TestExportResult:
+    def test_writes_txt_json_csv_for_sweep(self, fig3_result, tmp_path):
+        written = export_result(fig3_result, tmp_path, "fig3")
+        names = {p.name for p in written}
+        assert names == {"fig3.txt", "fig3.json", "fig3.csv"}
+        assert (tmp_path / "fig3.txt").read_text().startswith("Figure 3")
+
+    def test_writes_txt_json_for_non_sweep(self, fig1_result, tmp_path):
+        written = export_result(fig1_result, tmp_path, "fig1")
+        names = {p.name for p in written}
+        assert names == {"fig1.txt", "fig1.json"}
+
+    def test_creates_directory(self, fig1_result, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        export_result(fig1_result, target, "fig1")
+        assert (target / "fig1.json").exists()
+
+
+def test_cli_save_flag(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["fig1", "--scale", "smoke", "--save", str(tmp_path)]) == 0
+    assert (tmp_path / "fig1.json").exists()
+    assert "saved" in capsys.readouterr().out

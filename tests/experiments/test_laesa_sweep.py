@@ -1,0 +1,87 @@
+"""The shared LAESA sweep machinery behind Figures 3 and 4."""
+
+import random
+
+import pytest
+
+from repro.experiments.laesa_sweep import run_sweep
+
+
+def _make_trial_factory(seed_words):
+    def make_trial(rng: random.Random):
+        train = list(seed_words)
+        queries = [
+            "".join(rng.choice("abcde") for _ in range(rng.randint(2, 6)))
+            for _ in range(6)
+        ]
+        return train, queries
+
+    return make_trial
+
+
+@pytest.fixture(scope="module")
+def sweep(small_word_list):
+    return run_sweep(
+        title="unit-test sweep",
+        scale_name="unit",
+        distance_names=("levenshtein", "contextual_heuristic"),
+        pivot_counts=(0, 4, 8),
+        n_trials=2,
+        seed=3,
+        make_trial=_make_trial_factory(small_word_list[:50]),
+    )
+
+
+def test_series_keyed_by_display_name(sweep):
+    assert set(sweep.series) == {"dE", "dC,h"}
+
+
+def test_pivot_counts_sorted_and_deduplicated(small_word_list):
+    result = run_sweep(
+        title="t",
+        scale_name="unit",
+        distance_names=("levenshtein",),
+        pivot_counts=(8, 0, 8, 4),
+        n_trials=1,
+        seed=1,
+        make_trial=_make_trial_factory(small_word_list[:30]),
+    )
+    assert result.pivot_counts == (0, 4, 8)
+
+
+def test_zero_pivot_column_is_scan(sweep):
+    for series in sweep.series.values():
+        assert series.computations[0] == pytest.approx(sweep.n_train)
+
+
+def test_deviations_present_with_multiple_trials(sweep):
+    for series in sweep.series.values():
+        assert len(series.computations_dev) == len(sweep.pivot_counts)
+        assert all(dev >= 0 for dev in series.computations_dev)
+
+
+def test_seconds_positive(sweep):
+    for series in sweep.series.values():
+        assert all(t > 0 for t in series.seconds)
+
+
+def test_render_contains_both_panels(sweep):
+    out = sweep.render()
+    assert "distance computations per query" in out
+    assert "search time per query" in out
+    assert "p=8" in out
+
+
+def test_pivot_counts_beyond_train_size_are_clamped(small_word_list):
+    tiny = small_word_list[:10]
+    result = run_sweep(
+        title="t",
+        scale_name="unit",
+        distance_names=("levenshtein",),
+        pivot_counts=(0, 50),
+        n_trials=1,
+        seed=2,
+        make_trial=_make_trial_factory(tiny),
+    )
+    # p=50 > 10 items: effectively 10 pivots; still a valid series
+    assert len(result.series["dE"].computations) == 2

@@ -1,0 +1,46 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.experiments.tables import Table
+
+
+def test_render_alignment():
+    table = Table(title="T", headers=["name", "value"])
+    table.add_row("a", 1.5)
+    table.add_row("longer", 0.25)
+    out = table.render()
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[2]
+    # all data lines equal width or shorter than the header rule
+    assert "a" in out and "longer" in out
+
+
+def test_row_width_validation():
+    table = Table(title="T", headers=["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row("only-one")
+
+
+def test_float_formatting():
+    table = Table(title="T", headers=["v"])
+    table.add_row(3.14159)
+    table.add_row(0.0001234)
+    table.add_row(123456.0)
+    out = table.render()
+    assert "3.142" in out
+    assert "0.000123" in out
+    assert "1.23e+05" in out
+
+
+def test_nan_rendered_as_dash():
+    table = Table(title="T", headers=["v"])
+    table.add_row(float("nan"))
+    assert "-" in table.render().splitlines()[-1]
+
+
+def test_notes_rendered():
+    table = Table(title="T", headers=["v"], notes=["something important"])
+    table.add_row(1)
+    assert "note: something important" in table.render()

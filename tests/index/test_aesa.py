@@ -1,0 +1,56 @@
+"""AESA: correctness and its computations-vs-preprocessing trade-off."""
+
+import random
+
+import pytest
+
+from repro.core import get_distance
+from repro.index import AesaIndex, ExhaustiveIndex, LaesaIndex
+
+
+class TestCorrectness:
+    def test_matches_exhaustive(self, small_word_list):
+        distance = get_distance("levenshtein")
+        exhaustive = ExhaustiveIndex(small_word_list, distance)
+        aesa = AesaIndex(small_word_list, distance)
+        rng = random.Random(0)
+        for _ in range(30):
+            q = "".join(rng.choice("abcde") for _ in range(rng.randint(1, 8)))
+            truth, _ = exhaustive.nearest(q)
+            found, _ = aesa.nearest(q)
+            assert found.distance == pytest.approx(truth.distance)
+
+    def test_knn(self, small_word_list):
+        distance = get_distance("levenshtein")
+        exhaustive = ExhaustiveIndex(small_word_list, distance)
+        aesa = AesaIndex(small_word_list, distance)
+        truths, _ = exhaustive.knn("bcd", 4)
+        found, _ = aesa.knn("bcd", 4)
+        assert [r.distance for r in found] == pytest.approx(
+            [r.distance for r in truths]
+        )
+
+
+class TestTradeOff:
+    def test_quadratic_preprocessing(self, small_word_list):
+        distance = get_distance("levenshtein")
+        aesa = AesaIndex(small_word_list, distance)
+        n = len(small_word_list)
+        assert aesa.preprocessing_computations == n * (n - 1) // 2
+
+    def test_fewer_search_computations_than_laesa(self, small_word_list):
+        distance = get_distance("levenshtein")
+        aesa = AesaIndex(small_word_list, distance)
+        laesa = LaesaIndex(small_word_list, distance, n_pivots=10)
+        rng = random.Random(1)
+        queries = [
+            "".join(rng.choice("abcde") for _ in range(rng.randint(2, 8)))
+            for _ in range(40)
+        ]
+        aesa_total = laesa_total = 0
+        for q in queries:
+            _, s = aesa.nearest(q)
+            aesa_total += s.distance_computations
+            _, s = laesa.nearest(q)
+            laesa_total += s.distance_computations
+        assert aesa_total < laesa_total

@@ -1,0 +1,52 @@
+"""Counting wrapper, stats, and the shared index contract."""
+
+import pytest
+
+from repro.core import get_distance
+from repro.index import CountingDistance, ExhaustiveIndex
+
+
+class TestCountingDistance:
+    def test_counts_calls(self):
+        counter = CountingDistance(get_distance("levenshtein"))
+        counter("a", "b")
+        counter("ab", "ba")
+        assert counter.calls == 2
+
+    def test_take_resets(self):
+        counter = CountingDistance(get_distance("levenshtein"))
+        counter("a", "b")
+        assert counter.take() == 1
+        assert counter.calls == 0
+
+    def test_passes_values_through(self):
+        counter = CountingDistance(get_distance("levenshtein"))
+        assert counter("kitten", "sitting") == 3.0
+
+
+class TestIndexContract:
+    def test_empty_items_rejected(self):
+        with pytest.raises(ValueError):
+            ExhaustiveIndex([], get_distance("levenshtein"))
+
+    def test_k_validation(self):
+        index = ExhaustiveIndex(["a", "b"], get_distance("levenshtein"))
+        with pytest.raises(ValueError):
+            index.knn("a", 0)
+        with pytest.raises(ValueError):
+            index.knn("a", 3)
+
+    def test_nearest_returns_result_and_stats(self):
+        index = ExhaustiveIndex(["aa", "bb", "ab"], get_distance("levenshtein"))
+        result, stats = index.nearest("ab")
+        assert result.item == "ab"
+        assert result.distance == 0.0
+        assert stats.distance_computations == 3
+        assert stats.elapsed_seconds >= 0.0
+
+    def test_stats_reset_between_queries(self):
+        index = ExhaustiveIndex(["aa", "bb"], get_distance("levenshtein"))
+        _, stats1 = index.nearest("aa")
+        _, stats2 = index.nearest("bb")
+        assert stats1.distance_computations == 2
+        assert stats2.distance_computations == 2

@@ -1,0 +1,56 @@
+"""Exhaustive scan: the ground truth every other index is checked against."""
+
+from repro.core import get_distance
+from repro.index import ExhaustiveIndex
+
+
+def test_finds_exact_match():
+    items = ["casa", "cosa", "cesta", "masa"]
+    index = ExhaustiveIndex(items, get_distance("levenshtein"))
+    result, _ = index.nearest("cosa")
+    assert result.item == "cosa"
+
+
+def test_finds_closest_word():
+    items = ["casa", "cesta", "perro"]
+    index = ExhaustiveIndex(items, get_distance("levenshtein"))
+    result, _ = index.nearest("case")
+    assert result.item == "casa"
+    assert result.distance == 1.0
+
+
+def test_always_n_computations():
+    items = ["a", "b", "c", "d", "e"]
+    index = ExhaustiveIndex(items, get_distance("levenshtein"))
+    _, stats = index.nearest("z")
+    assert stats.distance_computations == len(items)
+
+
+def test_knn_sorted_by_distance():
+    items = ["aaaa", "aaab", "aabb", "abbb", "bbbb"]
+    index = ExhaustiveIndex(items, get_distance("levenshtein"))
+    results, _ = index.knn("aaaa", 3)
+    distances = [r.distance for r in results]
+    assert distances == sorted(distances)
+    assert results[0].item == "aaaa"
+
+
+def test_knn_full_size():
+    items = ["x", "xy", "xyz"]
+    index = ExhaustiveIndex(items, get_distance("levenshtein"))
+    results, _ = index.knn("x", 3)
+    assert len(results) == 3
+
+
+def test_result_indices_point_into_items():
+    items = ["uno", "dos", "tres"]
+    index = ExhaustiveIndex(items, get_distance("levenshtein"))
+    result, _ = index.nearest("does")
+    assert items[result.index] == result.item
+
+
+def test_works_with_normalised_distance():
+    items = ["corto", "larguisimo", "medio"]
+    index = ExhaustiveIndex(items, get_distance("contextual_heuristic"))
+    result, _ = index.nearest("corte")
+    assert result.item == "corto"

@@ -1,0 +1,69 @@
+"""Property-based cross-index agreement on random databases and queries."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import get_distance
+from repro.index import (
+    AesaIndex,
+    BKTreeIndex,
+    ExhaustiveIndex,
+    LaesaIndex,
+    VPTreeIndex,
+)
+
+_word = st.text(alphabet="abc", min_size=1, max_size=6)
+
+
+@given(
+    st.lists(_word, min_size=2, max_size=25, unique=True),
+    _word,
+    st.integers(0, 6),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_indexes_agree_on_nearest(items, query, n_pivots):
+    distance = get_distance("levenshtein")
+    exhaustive = ExhaustiveIndex(items, distance)
+    truth, _ = exhaustive.nearest(query)
+    indexes = [
+        LaesaIndex(items, distance, n_pivots=min(n_pivots, len(items))),
+        AesaIndex(items, distance),
+        BKTreeIndex(items, distance),
+        VPTreeIndex(items, distance, rng=random.Random(0)),
+    ]
+    for index in indexes:
+        found, _ = index.nearest(query)
+        assert found.distance == pytest.approx(truth.distance), type(index)
+
+
+@given(
+    st.lists(_word, min_size=3, max_size=20, unique=True),
+    _word,
+)
+@settings(max_examples=30, deadline=None)
+def test_knn_distances_agree(items, query):
+    distance = get_distance("levenshtein")
+    k = min(3, len(items))
+    exhaustive = ExhaustiveIndex(items, distance)
+    truths, _ = exhaustive.knn(query, k)
+    for make in (
+        lambda: LaesaIndex(items, distance, n_pivots=min(4, len(items))),
+        lambda: AesaIndex(items, distance),
+        lambda: VPTreeIndex(items, distance, rng=random.Random(1)),
+    ):
+        found, _ = make().knn(query, k)
+        assert [r.distance for r in found] == pytest.approx(
+            [r.distance for r in truths]
+        )
+
+
+@given(st.lists(_word, min_size=2, max_size=15, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_member_queries_find_distance_zero(items):
+    distance = get_distance("contextual_heuristic")
+    laesa = LaesaIndex(items, distance, n_pivots=min(3, len(items)))
+    for q in items[:3]:
+        found, _ = laesa.nearest(q)
+        assert found.distance == 0.0

@@ -1,0 +1,110 @@
+"""LAESA: correctness vs exhaustive search, pruning power, pivot reuse."""
+
+import random
+
+import pytest
+
+from repro.core import get_distance
+from repro.index import ExhaustiveIndex, LaesaIndex, select_pivots
+
+
+@pytest.fixture
+def metric_distance():
+    return get_distance("contextual_heuristic")
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n_pivots", [0, 1, 5, 20])
+    def test_matches_exhaustive(self, small_word_list, n_pivots):
+        distance = get_distance("levenshtein")
+        exhaustive = ExhaustiveIndex(small_word_list, distance)
+        laesa = LaesaIndex(small_word_list, distance, n_pivots=n_pivots)
+        rng = random.Random(0)
+        for _ in range(30):
+            q = "".join(rng.choice("abcde") for _ in range(rng.randint(1, 8)))
+            truth, _ = exhaustive.nearest(q)
+            found, _ = laesa.nearest(q)
+            assert found.distance == pytest.approx(truth.distance), q
+
+    def test_metric_normalised_distance(self, small_word_list, metric_distance):
+        exhaustive = ExhaustiveIndex(small_word_list, metric_distance)
+        laesa = LaesaIndex(small_word_list, metric_distance, n_pivots=10)
+        rng = random.Random(1)
+        for _ in range(20):
+            q = "".join(rng.choice("abcde") for _ in range(rng.randint(1, 8)))
+            truth, _ = exhaustive.nearest(q)
+            found, _ = laesa.nearest(q)
+            assert found.distance == pytest.approx(truth.distance), q
+
+    def test_knn_matches_exhaustive(self, small_word_list):
+        distance = get_distance("levenshtein")
+        exhaustive = ExhaustiveIndex(small_word_list, distance)
+        laesa = LaesaIndex(small_word_list, distance, n_pivots=8)
+        truths, _ = exhaustive.knn("abde", 5)
+        found, _ = laesa.knn("abde", 5)
+        assert [r.distance for r in found] == pytest.approx(
+            [r.distance for r in truths]
+        )
+
+    def test_query_in_database(self, small_word_list):
+        distance = get_distance("levenshtein")
+        laesa = LaesaIndex(small_word_list, distance, n_pivots=6)
+        result, _ = laesa.nearest(small_word_list[17])
+        assert result.distance == 0.0
+
+
+class TestEfficiency:
+    def test_pivots_reduce_computations(self, small_word_list):
+        distance = get_distance("levenshtein")
+        rng = random.Random(2)
+        queries = [
+            "".join(rng.choice("abcde") for _ in range(rng.randint(2, 8)))
+            for _ in range(40)
+        ]
+
+        def average_computations(n_pivots):
+            index = LaesaIndex(small_word_list, distance, n_pivots=n_pivots)
+            total = 0
+            for q in queries:
+                _, stats = index.nearest(q)
+                total += stats.distance_computations
+            return total / len(queries)
+
+        no_pivots = average_computations(0)
+        with_pivots = average_computations(15)
+        assert no_pivots == len(small_word_list)  # degenerates to a scan
+        assert with_pivots < 0.7 * no_pivots
+
+    def test_preprocessing_cost_is_linear_in_pivots(self, small_word_list):
+        distance = get_distance("levenshtein")
+        index = LaesaIndex(small_word_list, distance, n_pivots=7)
+        # selection reuses the matrix rows: exactly n_pivots * n distances
+        assert index.preprocessing_computations == 7 * len(small_word_list)
+
+
+class TestFromPivots:
+    def test_sliced_pivots_equivalent(self, small_word_list):
+        distance = get_distance("levenshtein")
+        indices, rows = select_pivots(
+            small_word_list, distance, 12, rng=random.Random(3)
+        )
+        sliced = LaesaIndex.from_pivots(
+            small_word_list, distance, indices[:5], rows[:5]
+        )
+        direct = LaesaIndex(
+            small_word_list, distance, n_pivots=5, rng=random.Random(3)
+        )
+        rng = random.Random(4)
+        for _ in range(15):
+            q = "".join(rng.choice("abcde") for _ in range(rng.randint(1, 7)))
+            a, _ = sliced.nearest(q)
+            b, _ = direct.nearest(q)
+            assert a.distance == pytest.approx(b.distance)
+
+    def test_mismatched_rows_rejected(self, small_word_list):
+        distance = get_distance("levenshtein")
+        indices, rows = select_pivots(
+            small_word_list, distance, 4, rng=random.Random(5)
+        )
+        with pytest.raises(ValueError):
+            LaesaIndex.from_pivots(small_word_list, distance, indices[:3], rows)

@@ -1,0 +1,90 @@
+"""Pivot selection: strategies, nesting, and the distance-row contract."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.core import get_distance
+from repro.index import PIVOT_STRATEGIES, select_pivots
+
+
+@pytest.fixture
+def items():
+    gen = random.Random(7)
+    return sorted(
+        {"".join(gen.choice("abc") for _ in range(gen.randint(2, 6))) for _ in range(60)}
+    )
+
+
+def test_count_zero(items):
+    indices, rows = select_pivots(items, get_distance("levenshtein"), 0)
+    assert indices == []
+    assert rows.shape == (0, len(items))
+
+
+def test_count_validation(items):
+    with pytest.raises(ValueError):
+        select_pivots(items, get_distance("levenshtein"), -1)
+    with pytest.raises(ValueError):
+        select_pivots(items, get_distance("levenshtein"), len(items) + 1)
+
+
+def test_unknown_strategy(items):
+    with pytest.raises(ValueError):
+        select_pivots(items, get_distance("levenshtein"), 3, strategy="bogus")
+
+
+@pytest.mark.parametrize("strategy", PIVOT_STRATEGIES)
+def test_rows_are_true_distances(items, strategy):
+    distance = get_distance("levenshtein")
+    indices, rows = select_pivots(
+        items, distance, 5, strategy=strategy, rng=random.Random(1)
+    )
+    assert len(indices) == 5
+    assert rows.shape == (5, len(items))
+    for row, pivot_idx in zip(rows, indices):
+        for j in (0, len(items) // 2, len(items) - 1):
+            assert row[j] == distance(items[pivot_idx], items[j])
+
+
+@pytest.mark.parametrize("strategy", PIVOT_STRATEGIES)
+def test_no_duplicate_pivots(items, strategy):
+    indices, _ = select_pivots(
+        items, get_distance("levenshtein"), 10, strategy=strategy,
+        rng=random.Random(2),
+    )
+    assert len(set(indices)) == len(indices)
+
+
+def test_maxmin_is_nested(items):
+    """The prefix property Figures 3/4 rely on for pivot-matrix reuse."""
+    distance = get_distance("levenshtein")
+    big_idx, big_rows = select_pivots(
+        items, distance, 8, strategy="maxmin", rng=random.Random(3)
+    )
+    small_idx, small_rows = select_pivots(
+        items, distance, 4, strategy="maxmin", rng=random.Random(3)
+    )
+    assert big_idx[:4] == small_idx
+    assert np.allclose(big_rows[:4], small_rows)
+
+
+def test_maxmin_spreads_pivots(items):
+    """Each maxmin pivot should be far from the previously chosen ones --
+    in particular never a duplicate string (distance 0)."""
+    distance = get_distance("levenshtein")
+    indices, rows = select_pivots(
+        items, distance, 6, strategy="maxmin", rng=random.Random(4)
+    )
+    for a in range(len(indices)):
+        for b in range(a + 1, len(indices)):
+            assert distance(items[indices[a]], items[indices[b]]) > 0
+
+
+def test_deterministic_given_rng(items):
+    distance = get_distance("levenshtein")
+    first = select_pivots(items, distance, 5, rng=random.Random(42))
+    second = select_pivots(items, distance, 5, rng=random.Random(42))
+    assert first[0] == second[0]
+    assert np.allclose(first[1], second[1])

@@ -1,0 +1,118 @@
+"""Range (radius) search across all index structures."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import get_distance
+from repro.index import (
+    AesaIndex,
+    BKTreeIndex,
+    ExhaustiveIndex,
+    LaesaIndex,
+    VPTreeIndex,
+)
+
+
+def _ground_truth(items, distance, query, radius):
+    return sorted(
+        (distance(query, item) for item in items if distance(query, item) <= radius)
+    )
+
+
+class TestAgainstScan:
+    @pytest.mark.parametrize("radius", [0.0, 1.0, 2.0, 4.0])
+    def test_all_structures_match(self, small_word_list, radius):
+        distance = get_distance("levenshtein")
+        truth_index = ExhaustiveIndex(small_word_list, distance)
+        structures = [
+            LaesaIndex(small_word_list, distance, n_pivots=10),
+            AesaIndex(small_word_list, distance),
+            BKTreeIndex(small_word_list, distance),
+            VPTreeIndex(small_word_list, distance, rng=random.Random(0)),
+        ]
+        rng = random.Random(1)
+        for _ in range(10):
+            q = "".join(rng.choice("abcde") for _ in range(rng.randint(1, 7)))
+            truth, _ = truth_index.range_search(q, radius)
+            truth_distances = [r.distance for r in truth]
+            for index in structures:
+                found, _ = index.range_search(q, radius)
+                assert [r.distance for r in found] == pytest.approx(
+                    truth_distances
+                ), (type(index).__name__, q, radius)
+
+    def test_real_valued_radius(self, small_word_list):
+        distance = get_distance("contextual_heuristic")
+        scan = ExhaustiveIndex(small_word_list, distance)
+        laesa = LaesaIndex(small_word_list, distance, n_pivots=12)
+        vp = VPTreeIndex(small_word_list, distance, rng=random.Random(2))
+        rng = random.Random(3)
+        for _ in range(10):
+            q = "".join(rng.choice("abcde") for _ in range(rng.randint(2, 7)))
+            truth, _ = scan.range_search(q, 0.35)
+            for index in (laesa, vp):
+                found, _ = index.range_search(q, 0.35)
+                assert [r.distance for r in found] == pytest.approx(
+                    [r.distance for r in truth]
+                )
+
+
+class TestSemantics:
+    def test_results_sorted(self, small_word_list):
+        index = LaesaIndex(
+            small_word_list, get_distance("levenshtein"), n_pivots=5
+        )
+        results, _ = index.range_search("abc", 3.0)
+        distances = [r.distance for r in results]
+        assert distances == sorted(distances)
+
+    def test_zero_radius_finds_exact_members(self, small_word_list):
+        index = BKTreeIndex(small_word_list, get_distance("levenshtein"))
+        member = small_word_list[5]
+        results, _ = index.range_search(member, 0.0)
+        assert [r.item for r in results] == [member]
+
+    def test_negative_radius_rejected(self, small_word_list):
+        index = ExhaustiveIndex(small_word_list, get_distance("levenshtein"))
+        with pytest.raises(ValueError):
+            index.range_search("a", -0.1)
+
+    def test_huge_radius_returns_everything(self, small_word_list):
+        index = VPTreeIndex(
+            small_word_list, get_distance("levenshtein"), rng=random.Random(4)
+        )
+        results, _ = index.range_search("a", 100.0)
+        assert len(results) == len(small_word_list)
+
+    def test_pruning_saves_computations(self, small_word_list):
+        distance = get_distance("levenshtein")
+        laesa = LaesaIndex(small_word_list, distance, n_pivots=12)
+        _, stats = laesa.range_search("abcd", 1.0)
+        assert stats.distance_computations < len(small_word_list)
+
+
+_word = st.text(alphabet="abc", min_size=1, max_size=6)
+
+
+@given(
+    st.lists(_word, min_size=2, max_size=18, unique=True),
+    _word,
+    st.integers(0, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_structures_agree(items, query, radius):
+    distance = get_distance("levenshtein")
+    scan = ExhaustiveIndex(items, distance)
+    truth, _ = scan.range_search(query, float(radius))
+    for index in (
+        LaesaIndex(items, distance, n_pivots=min(3, len(items))),
+        AesaIndex(items, distance),
+        BKTreeIndex(items, distance),
+        VPTreeIndex(items, distance, rng=random.Random(0)),
+    ):
+        found, _ = index.range_search(query, float(radius))
+        assert [r.distance for r in found] == pytest.approx(
+            [r.distance for r in truth]
+        )

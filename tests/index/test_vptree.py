@@ -1,0 +1,58 @@
+"""VP-tree: real-valued metric search with median splits."""
+
+import random
+
+import pytest
+
+from repro.core import get_distance
+from repro.index import ExhaustiveIndex, VPTreeIndex
+
+
+@pytest.mark.parametrize("name", ["levenshtein", "contextual_heuristic", "yujian_bo"])
+def test_matches_exhaustive(small_word_list, name):
+    distance = get_distance(name)
+    exhaustive = ExhaustiveIndex(small_word_list, distance)
+    tree = VPTreeIndex(small_word_list, distance, rng=random.Random(0))
+    rng = random.Random(1)
+    for _ in range(25):
+        q = "".join(rng.choice("abcde") for _ in range(rng.randint(1, 8)))
+        truth, _ = exhaustive.nearest(q)
+        found, _ = tree.nearest(q)
+        assert found.distance == pytest.approx(truth.distance)
+
+
+def test_knn(small_word_list):
+    distance = get_distance("levenshtein")
+    exhaustive = ExhaustiveIndex(small_word_list, distance)
+    tree = VPTreeIndex(small_word_list, distance, rng=random.Random(2))
+    truths, _ = exhaustive.knn("ced", 6)
+    found, _ = tree.knn("ced", 6)
+    assert [r.distance for r in found] == pytest.approx(
+        [r.distance for r in truths]
+    )
+
+
+def test_single_item():
+    tree = VPTreeIndex(["solo"], get_distance("levenshtein"))
+    result, _ = tree.nearest("sole")
+    assert result.item == "solo"
+
+
+def test_prunes(small_word_list):
+    distance = get_distance("levenshtein")
+    tree = VPTreeIndex(small_word_list, distance, rng=random.Random(3))
+    rng = random.Random(4)
+    total = 0
+    queries = [
+        "".join(rng.choice("abcde") for _ in range(rng.randint(2, 8)))
+        for _ in range(30)
+    ]
+    for q in queries:
+        _, stats = tree.nearest(q)
+        total += stats.distance_computations
+    assert total / len(queries) < len(small_word_list)
+
+
+def test_preprocessing_counted(small_word_list):
+    tree = VPTreeIndex(small_word_list, get_distance("levenshtein"))
+    assert tree.preprocessing_computations > 0

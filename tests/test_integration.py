@@ -1,0 +1,137 @@
+"""Cross-subsystem integration: the full pipeline on miniature data.
+
+Exercises the same paths the paper's evaluation uses -- dataset
+generation -> distance registry -> metric index -> classifier ->
+analysis -> export -- in one deterministic flow, asserting the
+interesting invariants at each junction.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.analysis import (
+    DistanceHistogram,
+    heuristic_agreement,
+    intrinsic_dimensionality,
+    pairwise_distance_sample,
+)
+from repro.classify import NearestNeighborClassifier, repeated_classification
+from repro.core import PAPER_ALL, get_distance
+from repro.datasets import (
+    handwritten_digits,
+    listeria_genes,
+    perturbed_queries,
+    spanish_dictionary,
+)
+from repro.index import ExhaustiveIndex, LaesaIndex
+
+
+@pytest.fixture(scope="module")
+def words():
+    return spanish_dictionary(n_words=200, seed=77)
+
+
+@pytest.fixture(scope="module")
+def digits():
+    return handwritten_digits(per_class=4, seed=77, grid=20)
+
+
+class TestDictionaryPipeline:
+    def test_perturbed_queries_recoverable(self, words):
+        rng = random.Random(0)
+        queries = perturbed_queries(words, 15, rng, operations=1)
+        index = LaesaIndex(
+            list(words.items), get_distance("contextual_heuristic"),
+            n_pivots=10, rng=random.Random(1),
+        )
+        hits = 0
+        for q in queries:
+            result, stats = index.nearest(q)
+            assert stats.distance_computations <= len(words)
+            # a 1-op perturbation stays within d_E <= 1 of some word
+            hits += result.distance <= 0.5
+        assert hits >= 10
+
+    def test_histogram_to_dimensionality_chain(self, words):
+        values = pairwise_distance_sample(
+            list(words.items), get_distance("contextual_heuristic"),
+            max_pairs=800, rng=random.Random(2),
+        )
+        hist = DistanceHistogram.from_values(values, label="dC,h", bins=30)
+        rho = intrinsic_dimensionality(hist.mean, hist.variance)
+        assert rho == pytest.approx(hist.intrinsic_dimensionality)
+        assert 0 < rho < 100
+
+    def test_agreement_on_real_generator_output(self, words):
+        report = heuristic_agreement(
+            list(words.items), n_pairs=60, rng=random.Random(3)
+        )
+        assert report.agreement_rate > 0.7
+
+
+class TestDigitsPipeline:
+    def test_every_paper_distance_classifies(self, digits):
+        rng = random.Random(4)
+        train, rest = digits.stratified_split(3, rng)
+        for name in PAPER_ALL:
+            clf = NearestNeighborClassifier(get_distance(name)).fit(
+                train.items, train.labels
+            )
+            stats = clf.evaluate(rest.items[:10], rest.labels[:10])
+            assert 0.0 <= stats.error_rate <= 1.0, name
+
+    def test_laesa_and_scan_agree_on_distances(self, digits):
+        distance = get_distance("contextual_heuristic")
+        items = list(digits.items)
+        laesa = LaesaIndex(items, distance, n_pivots=6, rng=random.Random(5))
+        scan = ExhaustiveIndex(items, distance)
+        for q in items[::7]:
+            a, _ = laesa.nearest(q)
+            b, _ = scan.nearest(q)
+            assert a.distance == pytest.approx(b.distance)
+
+    def test_repeated_protocol_runs_with_laesa(self, digits):
+        summary = repeated_classification(
+            digits,
+            get_distance("levenshtein"),
+            index_factory=lambda items, d: LaesaIndex(
+                items, d, n_pivots=4, rng=random.Random(6)
+            ),
+            per_class=2,
+            n_test=8,
+            n_trials=2,
+            seed=7,
+        )
+        assert summary.n_trials == 2
+        assert summary.mean_computations_per_query <= 20
+
+
+class TestGenesPipeline:
+    def test_distance_order_on_length_spread(self):
+        genes = listeria_genes(n_genes=20, seed=8, max_length=240)
+        items = list(genes.items)
+        rho = {}
+        for name in ("contextual_heuristic", "yujian_bo"):
+            values = pairwise_distance_sample(
+                items, get_distance(name), max_pairs=150,
+                rng=random.Random(9),
+            )
+            rho[name] = intrinsic_dimensionality(
+                float(values.mean()), float(values.var())
+            )
+        # Table 1's claim in miniature
+        assert rho["contextual_heuristic"] < rho["yujian_bo"]
+
+
+class TestExportPipeline:
+    def test_smoke_experiment_round_trips(self, tmp_path):
+        from repro.experiments import run
+        from repro.experiments.export import export_result
+
+        result = run("kgap", scale="smoke")
+        paths = export_result(result, tmp_path, "kgap")
+        data = json.loads((tmp_path / "kgap.json").read_text())
+        assert data["scale"] == "smoke"
+        assert set(data["distributions"]) == set(result.distributions)

@@ -1,0 +1,37 @@
+"""The python -m repro distance calculator."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_no_arguments_lists_distances(capsys):
+    assert main([]) == 0
+    out = capsys.readouterr().out
+    assert "contextual" in out
+    assert "registered distances" in out
+
+
+def test_pair_computes_all(capsys):
+    assert main(["ababa", "baab"]) == 0
+    out = capsys.readouterr().out
+    assert "0.533333" in out  # d_C = 8/15
+    assert "levenshtein" in out
+
+
+def test_single_distance_flag(capsys):
+    assert main(["abaa", "aab", "-d", "levenshtein"]) == 0
+    out = capsys.readouterr().out
+    assert "2.000000" in out
+    assert "marzal" not in out
+
+
+def test_repeatable_distance_flag(capsys):
+    assert main(["a", "b", "-d", "levenshtein", "-d", "yujian_bo"]) == 0
+    out = capsys.readouterr().out
+    assert "dE" in out and "dYB" in out
+
+
+def test_unknown_distance_raises():
+    with pytest.raises(KeyError):
+        main(["a", "b", "-d", "nonexistent"])

@@ -1,0 +1,65 @@
+"""The package's public surface: imports, version, docstring examples."""
+
+def test_version():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    import repro
+
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_from_docstring():
+    from repro import contextual_distance, contextual_distance_heuristic
+
+    assert round(contextual_distance("ababa", "baab"), 4) == 0.5333
+    assert contextual_distance_heuristic("hello", "hello") == 0.0
+
+
+def test_subpackages_importable():
+    import repro.analysis
+    import repro.classify
+    import repro.core
+    import repro.datasets
+    import repro.experiments
+    import repro.index  # noqa: F401
+
+
+def test_doctests_pass():
+    import doctest
+
+    import repro.core.contextual
+    import repro.core.levenshtein
+    import repro.core.marzal_vidal
+    import repro.core.metric
+    import repro.core.yujian_bo
+
+    for module in (
+        repro.core.contextual,
+        repro.core.levenshtein,
+        repro.core.marzal_vidal,
+        repro.core.metric,
+        repro.core.yujian_bo,
+    ):
+        failures, _ = doctest.testmod(module)
+        assert failures == 0, module.__name__
+
+
+def test_registry_and_index_cooperate():
+    """A miniature end-to-end: registry distance + LAESA + classifier."""
+    from repro.classify import NearestNeighborClassifier
+    from repro.core import get_distance
+    from repro.index import LaesaIndex
+
+    train = ["gato", "gata", "pato", "pata", "perro", "perra"]
+    labels = ["cat", "cat", "duck", "duck", "dog", "dog"]
+    clf = NearestNeighborClassifier(
+        get_distance("contextual_heuristic"),
+        index_factory=lambda items, d: LaesaIndex(items, d, n_pivots=2),
+    ).fit(train, labels)
+    assert clf.predict_one("gatos")[0] == "cat"
+    assert clf.predict_one("perros")[0] == "dog"
