@@ -7,9 +7,12 @@ The package provides:
   (exact Algorithm 1 and the quadratic heuristic ``d_C,h``) together with
   every distance the paper compares against (``d_E``, ``d_MV``, ``d_YB``,
   and the non-metric ratios ``d_sum``/``d_max``/``d_min``);
+* :mod:`repro.batch` -- the pair-batched distance engine: many pairs per
+  numpy dispatch (:func:`repro.batch.pairwise_matrix`), with dedupe,
+  symmetry exploitation and optional process-pool fan-out;
 * :mod:`repro.index` -- metric nearest-neighbour search structures (LAESA,
   AESA, BK-tree, VP-tree, exhaustive scan) with distance-computation
-  accounting;
+  accounting and early-exit (bounded) distance evaluation;
 * :mod:`repro.datasets` -- deterministic synthetic stand-ins for the
   paper's three datasets (Spanish dictionary, Listeria genes, NIST digit
   contour chain codes) plus the ``genqueries``-style perturbation tool;
@@ -29,6 +32,7 @@ Quickstart::
     0.0
 """
 
+from .batch import distances_from, pairwise_matrix, pairwise_values
 from .core import (
     CostModel,
     DistanceFunction,
@@ -46,6 +50,7 @@ from .core import (
     edit_script,
     get_distance,
     get_spec,
+    levenshtein_bounded,
     levenshtein_distance,
     list_distances,
     max_normalized_distance,
@@ -64,6 +69,10 @@ __all__ = [
     "contextual_profile",
     "canonical_cost",
     "levenshtein_distance",
+    "levenshtein_bounded",
+    "pairwise_values",
+    "pairwise_matrix",
+    "distances_from",
     "mv_normalized_distance",
     "yb_normalized_distance",
     "max_normalized_distance",

@@ -14,6 +14,8 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..batch import pairwise_values
+
 __all__ = ["DistanceHistogram", "pairwise_distance_sample"]
 
 
@@ -22,6 +24,7 @@ def pairwise_distance_sample(
     distance: Callable[[Any, Any], float],
     max_pairs: Optional[int] = None,
     rng: Optional[random.Random] = None,
+    workers: Optional[int] = None,
 ) -> np.ndarray:
     """Distances over unordered item pairs.
 
@@ -29,16 +32,20 @@ def pairwise_distance_sample(
     (or when *max_pairs* is None); otherwise draws *max_pairs* random
     distinct-index pairs (with replacement across pairs, which is how
     distance histograms are estimated in the metric-search literature).
+
+    Evaluation runs through the pair-batched engine, so registered
+    distances are swept many pairs at a time (and duplicate draws cost
+    nothing); ``workers`` optionally fans the batch out over processes.
     """
     n = len(items)
     if n < 2:
         raise ValueError(f"need at least 2 items, got {n}")
     total = n * (n - 1) // 2
-    values: List[float] = []
+    pairs: List[Tuple[Any, Any]] = []
     if max_pairs is None or total <= max_pairs:
         for i in range(n):
             for j in range(i + 1, n):
-                values.append(distance(items[i], items[j]))
+                pairs.append((items[i], items[j]))
     else:
         rng = rng if rng is not None else random.Random(0xD157)
         for _ in range(max_pairs):
@@ -46,8 +53,10 @@ def pairwise_distance_sample(
             j = rng.randrange(n - 1)
             if j >= i:
                 j += 1
-            values.append(distance(items[i], items[j]))
-    return np.asarray(values, dtype=float)
+            pairs.append((items[i], items[j]))
+    return np.asarray(
+        pairwise_values(distance, pairs, workers=workers), dtype=float
+    )
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,29 @@
+"""Pair-batched distance computation.
+
+The scalar distance functions in :mod:`repro.core` compute one pair per
+Python call; this subpackage computes *many* pairs per numpy dispatch by
+stacking same-length-bucket pairs into one anti-diagonal sweep, and layers
+deduplication, symmetry exploitation and optional process-pool fan-out on
+top.  The index, classification, experiment and metric-checking layers all
+route their bulk distance needs through here.
+
+Entry points:
+
+* :func:`pairwise_values` -- distances for an explicit pair list;
+* :func:`pairwise_matrix` -- a full (or symmetric upper-triangle) matrix;
+* :func:`distances_from`  -- one item against many;
+* :func:`levenshtein_batch` / :func:`contextual_heuristic_batch` -- the
+  raw pair-batched kernels.
+"""
+
+from .engine import distances_from, pairwise_matrix, pairwise_values
+from .kernels import contextual_heuristic_batch, encode_batch, levenshtein_batch
+
+__all__ = [
+    "pairwise_values",
+    "pairwise_matrix",
+    "distances_from",
+    "levenshtein_batch",
+    "contextual_heuristic_batch",
+    "encode_batch",
+]

@@ -1,0 +1,237 @@
+"""Pair-batched anti-diagonal kernels.
+
+The kernels in :mod:`repro.core._kernels` vectorise the Wagner–Fischer
+recurrence *within* one pair of strings by walking the DP table
+anti-diagonal by anti-diagonal.  This module lifts the same recurrences to
+a whole *batch* of pairs at once: the per-pair diagonal vectors are stacked
+into a ``(P, size)`` matrix and every diagonal step becomes a handful of
+2-D slice operations shared by all ``P`` pairs.
+
+Correctness with padding
+------------------------
+Pairs in a batch are padded to the longest ``(|x|, |y|)`` of the batch
+with sentinel symbols that never compare equal (``-1`` for ``x``, ``-2``
+for ``y``).  A Wagner–Fischer cell ``(i, j)`` depends only on the prefixes
+``x[:i]`` and ``y[:j]``, so the sub-table ``i <= |x_p|, j <= |y_p|`` of
+the padded table is *exactly* the table of the real pair -- the padded
+cells beyond it are computed but never read.  Each pair's answer lives on
+anti-diagonal ``t = |x_p| + |y_p|`` and is harvested when the sweep passes
+it.
+
+Length bucketing (so that short pairs do not pay for the padding of long
+ones) lives in :mod:`repro.batch.engine`; these kernels assume the caller
+already grouped pairs of broadly similar length.
+
+Both kernels are cross-checked against their scalar twins by the
+test-suite on randomised inputs, including empty strings and duplicates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import Symbols
+
+__all__ = [
+    "encode_batch",
+    "levenshtein_batch",
+    "contextual_heuristic_batch",
+]
+
+_NEG = -(1 << 30)
+
+#: Padding sentinels; negative so they never collide with real codes and
+#: distinct from each other so padded x never matches padded y.
+_PAD_X = -1
+_PAD_Y = -2
+
+
+def _encode_one(seq: Symbols, codes: Dict[Hashable, int]) -> np.ndarray:
+    """Encode one symbol sequence with the shared code dictionary."""
+    if isinstance(seq, str):
+        # Code points preserve equality and need no dictionary.  Codes only
+        # have to be consistent *within* a pair (rows never compare across
+        # pairs), so code points and dictionary codes may coexist in one
+        # batch as long as both sides of a pair use the same scheme.
+        return np.frombuffer(seq.encode("utf-32-le"), dtype=np.uint32).astype(
+            np.int64
+        )
+    arr = np.empty(len(seq), dtype=np.int64)
+    for idx, symbol in enumerate(seq):
+        code = codes.get(symbol)
+        if code is None:
+            code = len(codes)
+            codes[symbol] = code
+        arr[idx] = code
+    return arr
+
+
+def encode_batch(
+    pairs: Sequence[Tuple[Symbols, Symbols]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Encode and pad *pairs* into ``(X, Y, mx, my)``.
+
+    ``X`` is ``(P, M)`` with ``M = max |x_p|`` (padded with ``_PAD_X``),
+    ``Y`` likewise with ``_PAD_Y``; ``mx``/``my`` hold the true lengths.
+    Symbols are mapped to integers that preserve equality *within each
+    pair*: pure-``str`` pairs use raw code points, anything else goes
+    through one shared code dictionary.  Mixed pairs (``str`` vs tuple)
+    use the dictionary for both sides so cross-representation equality
+    (``"ab"`` vs ``("a", "b")``) survives encoding.
+    """
+    P = len(pairs)
+    codes: Dict[Hashable, int] = {}
+    xs_enc: List[np.ndarray] = []
+    ys_enc: List[np.ndarray] = []
+    for x, y in pairs:
+        if isinstance(x, str) and isinstance(y, str):
+            xs_enc.append(_encode_one(x, codes))
+            ys_enc.append(_encode_one(y, codes))
+        else:
+            xs_enc.append(_encode_one(tuple(x), codes))
+            ys_enc.append(_encode_one(tuple(y), codes))
+    mx = np.fromiter((len(a) for a in xs_enc), dtype=np.int64, count=P)
+    my = np.fromiter((len(a) for a in ys_enc), dtype=np.int64, count=P)
+    M = int(mx.max()) if P else 0
+    N = int(my.max()) if P else 0
+    X = np.full((P, M), _PAD_X, dtype=np.int64)
+    Y = np.full((P, N), _PAD_Y, dtype=np.int64)
+    for p in range(P):
+        X[p, : mx[p]] = xs_enc[p]
+        Y[p, : my[p]] = ys_enc[p]
+    return X, Y, mx, my
+
+
+def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
+    """Levenshtein distance of every pair, swept diagonal-by-diagonal.
+
+    Returns an ``int64`` array aligned with *pairs*.  Equivalent to
+    ``[levenshtein_distance(x, y) for x, y in pairs]`` (the tests verify
+    this), but every anti-diagonal step runs once for the whole batch.
+    """
+    P = len(pairs)
+    out = np.zeros(P, dtype=np.int64)
+    if P == 0:
+        return out
+    X, Y, mx, my = encode_batch(pairs)
+    # Empty-sided pairs are pure insertions/deletions; exclude them from
+    # the sweep (whose t=0/1 seed diagonals assume both sides non-empty).
+    trivial = (mx == 0) | (my == 0)
+    out[trivial] = np.maximum(mx, my)[trivial]
+    if trivial.all():
+        return out
+    M, N = X.shape[1], Y.shape[1]
+    size = M + 1
+    inf = M + N + 1
+    t_done = mx + my
+    prev2 = np.full((P, size), inf, dtype=np.int64)  # diagonal t-2
+    prev = np.full((P, size), inf, dtype=np.int64)  # diagonal t-1
+    prev2[:, 0] = 0  # cell (0, 0)
+    prev[:, 0] = 1  # cell (0, 1)
+    prev[:, 1] = 1  # cell (1, 0)
+    for t in range(2, M + N + 1):
+        cur = np.full((P, size), inf, dtype=np.int64)
+        lo = max(0, t - N)
+        hi = min(M, t)
+        if lo == 0:
+            cur[:, 0] = t  # cell (0, t): t insertions
+        if hi == t:
+            cur[:, t] = t  # cell (t, 0): t deletions
+        a = max(1, lo)
+        b = min(hi, t - 1)
+        if a <= b:
+            xs = X[:, a - 1 : b]  # x[i-1]
+            ys = Y[:, t - b - 1 : t - a][:, ::-1]  # y[j-1] = y[t-i-1]
+            sub = prev2[:, a - 1 : b] + (xs != ys)
+            dele = prev[:, a - 1 : b] + 1
+            ins = prev[:, a : b + 1] + 1
+            cur[:, a : b + 1] = np.minimum(np.minimum(sub, dele), ins)
+        ready = t_done == t
+        if ready.any():
+            idx = np.nonzero(ready)[0]
+            out[idx] = cur[idx, mx[idx]]
+        prev2, prev = prev, cur
+    return out
+
+
+def contextual_heuristic_batch(
+    pairs: Sequence[Tuple[Symbols, Symbols]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Twin tables of the contextual heuristic for every pair.
+
+    Returns ``(d_e, ni)`` arrays aligned with *pairs*: the Levenshtein
+    distance and the maximum insertion count over minimum-cost internal
+    edit paths -- the two inputs of one
+    :func:`~repro.core.contextual.canonical_cost` evaluation.  Matches
+    :func:`~repro.core._kernels.contextual_heuristic_numpy` pair by pair.
+    """
+    P = len(pairs)
+    out_d = np.zeros(P, dtype=np.int64)
+    out_ni = np.zeros(P, dtype=np.int64)
+    if P == 0:
+        return out_d, out_ni
+    X, Y, mx, my = encode_batch(pairs)
+    x_empty = mx == 0
+    y_empty = (my == 0) & ~x_empty
+    out_d[x_empty] = my[x_empty]
+    out_ni[x_empty] = my[x_empty]  # pure insertions
+    out_d[y_empty] = mx[y_empty]
+    out_ni[y_empty] = 0  # pure deletions
+    if (x_empty | y_empty).all():
+        return out_d, out_ni
+    M, N = X.shape[1], Y.shape[1]
+    size = M + 1
+    inf = M + N + 1
+    t_done = mx + my
+    prev2_d = np.full((P, size), inf, dtype=np.int64)
+    prev_d = np.full((P, size), inf, dtype=np.int64)
+    prev2_ni = np.full((P, size), _NEG, dtype=np.int64)
+    prev_ni = np.full((P, size), _NEG, dtype=np.int64)
+    prev2_d[:, 0] = 0
+    prev2_ni[:, 0] = 0  # ni[0][0] = 0
+    prev_d[:, 0] = 1
+    prev_ni[:, 0] = 1  # ni[0][1] = 1 (one insertion)
+    prev_d[:, 1] = 1
+    prev_ni[:, 1] = 0  # ni[1][0] = 0 (one deletion)
+    for t in range(2, M + N + 1):
+        cur_d = np.full((P, size), inf, dtype=np.int64)
+        cur_ni = np.full((P, size), _NEG, dtype=np.int64)
+        lo = max(0, t - N)
+        hi = min(M, t)
+        if lo == 0:
+            cur_d[:, 0] = t
+            cur_ni[:, 0] = t  # ni[0][t] = t insertions
+        if hi == t:
+            cur_d[:, t] = t
+            cur_ni[:, t] = 0  # ni[t][0] = 0 insertions
+        a = max(1, lo)
+        b = min(hi, t - 1)
+        if a <= b:
+            xs = X[:, a - 1 : b]
+            ys = Y[:, t - b - 1 : t - a][:, ::-1]
+            diag = prev2_d[:, a - 1 : b] + (xs != ys)
+            up = prev_d[:, a - 1 : b] + 1  # deletion of x[i-1]
+            left = prev_d[:, a : b + 1] + 1  # insertion of y[j-1]
+            d = np.minimum(np.minimum(diag, up), left)
+            cur_d[:, a : b + 1] = d
+            # max insertions over tight transitions only
+            ni = np.where(diag == d, prev2_ni[:, a - 1 : b], _NEG)
+            np.maximum(
+                ni, np.where(up == d, prev_ni[:, a - 1 : b], _NEG), out=ni
+            )
+            np.maximum(
+                ni,
+                np.where(left == d, prev_ni[:, a : b + 1] + 1, _NEG),
+                out=ni,
+            )
+            cur_ni[:, a : b + 1] = ni
+        ready = t_done == t
+        if ready.any():
+            idx = np.nonzero(ready)[0]
+            out_d[idx] = cur_d[idx, mx[idx]]
+            out_ni[idx] = cur_ni[idx, mx[idx]]
+        prev2_d, prev_d = prev_d, cur_d
+        prev2_ni, prev_ni = prev_ni, cur_ni
+    return out_d, out_ni

@@ -97,31 +97,56 @@ class NearestNeighborClassifier:
             raise RuntimeError("classifier used before fit()")
         return self._index
 
-    def predict_one(self, item: Any) -> Tuple[Any, SearchStats]:
-        """Classify one item; returns ``(label, per-query SearchStats)``."""
-        index = self._require_fitted()
-        results, stats = index.knn(item, self.k)
+    def _vote(self, results) -> Any:
+        """Label for one distance-sorted result list (majority, nearest
+        tied class wins)."""
         if self.k == 1:
-            return self._labels[results[0].index], stats
+            return self._labels[results[0].index]
         votes = Counter(self._labels[r.index] for r in results)
         top = max(votes.values())
         tied = {label for label, count in votes.items() if count == top}
         for r in results:  # results are distance-sorted: nearest tied wins
             if self._labels[r.index] in tied:
-                return self._labels[r.index], stats
+                return self._labels[r.index]
         raise AssertionError("unreachable: tie set comes from results")
+
+    def predict_one(self, item: Any) -> Tuple[Any, SearchStats]:
+        """Classify one item; returns ``(label, per-query SearchStats)``."""
+        index = self._require_fitted()
+        results, stats = index.knn(item, self.k)
+        return self._vote(results), stats
+
+    def predict_batch(
+        self, items: Sequence[Any]
+    ) -> List[Tuple[Any, SearchStats]]:
+        """Classify a whole batch through the index's ``bulk_knn`` path.
+
+        For exhaustive indexes the entire ``queries x items`` pair grid
+        runs through the pair-batched distance engine in one sweep; the
+        returned labels and per-query stats match ``predict_one`` item by
+        item.
+        """
+        index = self._require_fitted()
+        return [
+            (self._vote(results), stats)
+            for results, stats in index.bulk_knn(items, self.k)
+        ]
 
     def evaluate(
         self, items: Sequence[Any], labels: Sequence[Any]
     ) -> ClassificationStats:
-        """Classify every item and aggregate error rate and search cost."""
+        """Classify every item and aggregate error rate and search cost.
+
+        Queries go through the index's :meth:`bulk_knn`, so exhaustive
+        scans push the whole query batch through the pair-batched engine
+        in one sweep (pruning indexes keep their per-query search loops).
+        """
         if len(items) != len(labels):
             raise ValueError(f"{len(items)} items but {len(labels)} labels")
         errors = 0
         computations = 0
         elapsed = 0.0
-        for item, truth in zip(items, labels):
-            predicted, stats = self.predict_one(item)
+        for (predicted, stats), truth in zip(self.predict_batch(items), labels):
             if predicted != truth:
                 errors += 1
             computations += stats.distance_computations

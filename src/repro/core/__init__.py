@@ -13,6 +13,11 @@ Quick orientation:
 * :func:`get_distance` -- name-based registry used by the experiments.
 """
 
+from .bounded import (
+    BoundedDistanceFunction,
+    bounded_for,
+    register_bounded,
+)
 from .contextual import (
     KPoint,
     canonical_cost,
@@ -35,6 +40,7 @@ from .levenshtein import (
     alignment,
     edit_script,
     internal_path_length,
+    levenshtein_bounded,
     levenshtein_distance,
     levenshtein_matrix,
     levenshtein_within,
@@ -79,6 +85,7 @@ __all__ = [
     # levenshtein
     "levenshtein_distance",
     "levenshtein_within",
+    "levenshtein_bounded",
     "levenshtein_matrix",
     "edit_script",
     "alignment",
@@ -112,6 +119,10 @@ __all__ = [
     # harmonic
     "harmonic",
     "harmonic_range",
+    # bounded (early-exit) twins
+    "BoundedDistanceFunction",
+    "bounded_for",
+    "register_bounded",
     # metric checking
     "MetricReport",
     "check_metric",

@@ -1,0 +1,145 @@
+"""Bounded (early-exit) twins of the Levenshtein-backed distances.
+
+A metric index holding a current best radius ``r`` does not need the exact
+distance of a candidate that cannot win -- it only needs *some* value
+``> r`` to discard it.  Each function here takes ``(x, y, limit)`` and
+honours the contract of :func:`~repro.core.levenshtein.levenshtein_bounded`:
+
+* if ``d(x, y) <= limit`` the exact distance is returned;
+* otherwise the returned value is guaranteed to exceed ``limit`` (and may
+  be an underestimate of the true distance, but never of ``limit``).
+
+The normalised family reduces to a bounded edit distance by inverting the
+normalisation: ``d_E / f(|x|, |y|) <= r`` iff ``d_E <= r * f(|x|, |y|)``
+(with the Yujian--Bo form solved for ``d_E``), so Ukkonen's band prunes
+exactly the right candidates.  The pruned return values replay each
+distance's formula at ``k + 1`` (one more edit than the largest feasible
+count), which is strictly above ``limit`` by construction.
+
+:func:`bounded_for` maps a registered distance *function* to its bounded
+twin, which is how :class:`~repro.index.base.CountingDistance` discovers
+early-exit support without the index layer knowing distance names.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Optional
+
+from .levenshtein import levenshtein_bounded, levenshtein_distance
+from .types import DistanceFunction, StringLike, require_strings
+
+__all__ = [
+    "BoundedDistanceFunction",
+    "bounded_levenshtein",
+    "bounded_dmax",
+    "bounded_dsum",
+    "bounded_dmin",
+    "bounded_yujian_bo",
+    "register_bounded",
+    "bounded_for",
+]
+
+#: ``(x, y, limit) -> float`` with the exact-or-above-limit contract.
+BoundedDistanceFunction = Callable[[StringLike, StringLike, float], float]
+
+#: A tiny slack so ``r * f`` landing exactly on an integer keeps that
+#: integer feasible despite float rounding (overshooting only means the
+#: exact distance is computed slightly more often -- never a wrong prune).
+_EPS = 1e-9
+
+
+def _edit_budget(scaled: float) -> int:
+    """Largest edit count consistent with a normalised limit ``scaled``."""
+    return int(math.floor(scaled + _EPS))
+
+
+def bounded_levenshtein(x: StringLike, y: StringLike, limit: float) -> float:
+    """Early-exit ``d_E`` as a float (the registry's Levenshtein entry)."""
+    return float(levenshtein_bounded(x, y, limit))
+
+
+def bounded_dmax(x: StringLike, y: StringLike, limit: float) -> float:
+    """Early-exit ``d_max = d_E / max(|x|, |y|)``."""
+    x, y = require_strings(x, y)
+    longest = max(len(x), len(y))
+    if longest == 0:
+        return 0.0
+    k = _edit_budget(limit * longest)
+    d = levenshtein_bounded(x, y, k)
+    if d <= k:
+        return d / longest
+    return (k + 1) / longest
+
+
+def bounded_dsum(x: StringLike, y: StringLike, limit: float) -> float:
+    """Early-exit ``d_sum = d_E / (|x| + |y|)``."""
+    x, y = require_strings(x, y)
+    total = len(x) + len(y)
+    if total == 0:
+        return 0.0
+    k = _edit_budget(limit * total)
+    d = levenshtein_bounded(x, y, k)
+    if d <= k:
+        return d / total
+    return (k + 1) / total
+
+
+def bounded_dmin(x: StringLike, y: StringLike, limit: float) -> float:
+    """Early-exit ``d_min = d_E / min(|x|, |y|)``."""
+    x, y = require_strings(x, y)
+    shortest = min(len(x), len(y))
+    if shortest == 0:
+        return 0.0 if x == y else float("inf")
+    k = _edit_budget(limit * shortest)
+    d = levenshtein_bounded(x, y, k)
+    if d <= k:
+        return d / shortest
+    return (k + 1) / shortest
+
+
+def bounded_yujian_bo(x: StringLike, y: StringLike, limit: float) -> float:
+    """Early-exit ``d_YB = 2 d_E / (|x| + |y| + d_E)``.
+
+    ``d_YB <= r``  iff  ``d_E <= r (|x| + |y|) / (2 - r)`` for ``r < 2``;
+    since ``d_YB <= 1`` always, limits ``>= 1`` cannot prune.
+    """
+    x, y = require_strings(x, y)
+    if not x and not y:
+        return 0.0
+    total = len(x) + len(y)
+    if limit >= 1.0:
+        d = levenshtein_distance(x, y)
+        return 2.0 * d / (total + d)
+    if limit < 0.0:
+        # every pair has d_YB >= 0 > limit is impossible to satisfy exactly;
+        # x == y was not shortcut by callers, so compute the cheap band-0.
+        k = 0
+    else:
+        k = _edit_budget(limit * total / (2.0 - limit))
+    d = levenshtein_bounded(x, y, k)
+    if d <= k:
+        return 2.0 * d / (total + d)
+    return 2.0 * (k + 1) / (total + k + 1)
+
+
+_BOUNDED: Dict[DistanceFunction, BoundedDistanceFunction] = {}
+
+
+def register_bounded(
+    function: DistanceFunction, bounded: BoundedDistanceFunction
+) -> None:
+    """Associate a distance function with its early-exit twin."""
+    _BOUNDED[function] = bounded
+
+
+def bounded_for(
+    function: DistanceFunction,
+) -> Optional[BoundedDistanceFunction]:
+    """The bounded twin registered for *function*, or None."""
+    return _BOUNDED.get(function)
+
+
+# The raw integer Levenshtein gets its twin here; the registry wires the
+# float-valued registered functions as it builds its specs.
+register_bounded(levenshtein_distance, levenshtein_bounded)

@@ -23,6 +23,7 @@ from .types import StringLike, require_strings
 __all__ = [
     "levenshtein_distance",
     "levenshtein_within",
+    "levenshtein_bounded",
     "levenshtein_matrix",
     "edit_script",
     "alignment",
@@ -114,6 +115,37 @@ def levenshtein_within(
             return None  # every surviving cell already exceeds the bound
         previous = current
     return previous[n] if previous[n] <= bound else None
+
+
+def levenshtein_bounded(x: StringLike, y: StringLike, limit: float) -> int:
+    """Early-exit ``d_E``: exact when ``d_E(x, y) <= limit``, else a lower
+    bound that is guaranteed to exceed *limit*.
+
+    The total-order contract metric indexes need: a caller holding a best
+    radius ``r`` can call ``levenshtein_bounded(q, u, r)`` and compare the
+    result against ``r`` exactly as if it were the true distance -- any
+    candidate it discards would also have been discarded by the full
+    ``d_E``, at a fraction of the cost (Ukkonen's band makes the check
+    ``O(limit * min(|x|, |y|))`` instead of ``O(|x| * |y|)``).
+
+    >>> levenshtein_bounded("abaa", "aab", 2)
+    2
+    >>> levenshtein_bounded("abaa", "aab", 1) > 1
+    True
+    """
+    x, y = require_strings(x, y)
+    m, n = len(x), len(y)
+    if limit >= m + n:  # band covers the whole table; plain DP is cheaper
+        return levenshtein_distance(x, y)
+    bound = int(limit) if limit >= 0 else -1
+    if bound < 0:
+        # nothing to compute: every distance is >= 0 > limit except x == y
+        return 0 if x == y else max(abs(m - n), 1)
+    exact = levenshtein_within(x, y, bound)
+    if exact is not None:
+        return exact
+    # pruned: |m - n| is a valid lower bound and may beat bound + 1
+    return max(bound + 1, abs(m - n))
 
 
 def levenshtein_matrix(x: StringLike, y: StringLike) -> List[List[int]]:

@@ -9,8 +9,17 @@ names, not a list of imports.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from .bounded import (
+    BoundedDistanceFunction,
+    bounded_dmax,
+    bounded_dmin,
+    bounded_dsum,
+    bounded_levenshtein,
+    bounded_yujian_bo,
+    register_bounded,
+)
 from .contextual import contextual_distance, contextual_distance_heuristic
 from .levenshtein import levenshtein_distance
 from .marzal_vidal import mv_normalized_distance
@@ -33,7 +42,9 @@ class DistanceSpec:
     ``is_metric`` records the paper's classification (used to annotate
     experiment output; LAESA is formally sound only for metrics).
     ``display`` is the label used in rendered tables/figures, matching the
-    paper's notation.
+    paper's notation.  ``bounded``, when present, is the early-exit twin
+    ``(x, y, limit) -> float`` (exact below the limit, above it otherwise)
+    that triangle-inequality indexes use to abandon hopeless candidates.
     """
 
     name: str
@@ -42,6 +53,7 @@ class DistanceSpec:
     is_metric: bool
     normalised: bool
     notes: str = ""
+    bounded: Optional[BoundedDistanceFunction] = None
 
 
 def _levenshtein_float(x: StringLike, y: StringLike) -> float:
@@ -55,6 +67,8 @@ def _register(spec: DistanceSpec) -> None:
     if spec.name in _REGISTRY:
         raise ValueError(f"duplicate distance name: {spec.name}")
     _REGISTRY[spec.name] = spec
+    if spec.bounded is not None:
+        register_bounded(spec.function, spec.bounded)
 
 
 _register(
@@ -65,6 +79,7 @@ _register(
         is_metric=True,
         normalised=False,
         notes="plain Levenshtein distance (Wagner-Fischer)",
+        bounded=bounded_levenshtein,
     )
 )
 _register(
@@ -106,6 +121,7 @@ _register(
         is_metric=True,
         normalised=True,
         notes="normalised Levenshtein metric of Yujian & Bo 2007",
+        bounded=bounded_yujian_bo,
     )
 )
 _register(
@@ -116,6 +132,7 @@ _register(
         is_metric=False,
         normalised=True,
         notes="dE / max(|x|,|y|); not a metric (Section 2.2)",
+        bounded=bounded_dmax,
     )
 )
 _register(
@@ -126,6 +143,7 @@ _register(
         is_metric=False,
         normalised=True,
         notes="dE / (|x|+|y|); not a metric (Section 2.2)",
+        bounded=bounded_dsum,
     )
 )
 _register(
@@ -136,6 +154,7 @@ _register(
         is_metric=False,
         normalised=True,
         notes="dE / min(|x|,|y|); not a metric (Section 2.2)",
+        bounded=bounded_dmin,
     )
 )
 

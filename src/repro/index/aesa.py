@@ -29,12 +29,21 @@ class AesaIndex(NearestNeighborIndex):
     ) -> None:
         super().__init__(items, distance)
         n = len(self.items)
+        # Upper triangle through the pair-batched engine, then mirrored --
+        # the same C(n, 2) computations the scalar loop performed.
+        pairs = [
+            (self.items[i], self.items[j])
+            for i in range(n)
+            for j in range(i + 1, n)
+        ]
+        flat = self._counter.many(pairs)
         matrix = np.zeros((n, n), dtype=float)
+        pos = 0
         for i in range(n):
-            for j in range(i + 1, n):
-                d = self._counter(self.items[i], self.items[j])
-                matrix[i, j] = d
-                matrix[j, i] = d
+            row = flat[pos : pos + n - i - 1]
+            matrix[i, i + 1 :] = row
+            matrix[i + 1 :, i] = row
+            pos += n - i - 1
         self.matrix = matrix
         self.preprocessing_computations = self._counter.take()
 
@@ -49,9 +58,13 @@ class AesaIndex(NearestNeighborIndex):
         bounds = np.zeros(n, dtype=float)
         undecided = np.ones(n, dtype=bool)
         hits: List[SearchResult] = []
-        while undecided.any():
-            masked = np.where(undecided, bounds, np.inf)
-            current = int(np.argmin(masked))
+        while True:
+            candidates = np.nonzero(undecided)[0]
+            if len(candidates) == 0:
+                break
+            # select among the undecided only: an all-inf bounds vector
+            # (infinite distances) would otherwise re-pick a decided index
+            current = int(candidates[np.argmin(bounds[candidates])])
             undecided[current] = False
             d = distance(query, items[current])
             if d <= radius:
@@ -87,10 +100,10 @@ class AesaIndex(NearestNeighborIndex):
             radius = kth_best()
             if radius < float("inf"):
                 alive &= bounds <= radius
-            if not alive.any():
+            candidates = np.nonzero(alive)[0]
+            if len(candidates) == 0:
                 break
-            masked = np.where(alive, bounds, np.inf)
-            current = int(np.argmin(masked))
+            current = int(candidates[np.argmin(bounds[candidates])])
         ordered = sorted(((-nd, idx) for nd, idx in best))
         return [
             SearchResult(item=items[idx], index=idx, distance=d)

@@ -24,6 +24,10 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass
 from typing import Any, Callable, Generic, List, Sequence, Tuple, TypeVar
 
+import numpy as np
+
+from ..core.bounded import bounded_for
+
 __all__ = [
     "SearchResult",
     "SearchStats",
@@ -60,15 +64,45 @@ class CountingDistance:
     The counter can be read and reset between queries; indexes use one
     instance per structure so preprocessing and search costs can be
     separated.
+
+    Beyond plain calls, two accelerated entry points share the counter:
+
+    * :meth:`within` consults the distance's early-exit twin (registered
+      via :mod:`repro.core.bounded`) so a search holding a best radius can
+      abandon hopeless candidates after a banded DP instead of a full one;
+    * :meth:`many` evaluates a whole pair list through the pair-batched
+      engine (:mod:`repro.batch`).
+
+    Both count exactly like the equivalent sequence of plain calls -- the
+    paper's "number of distance computations" metric measures what the
+    *algorithm* demands, not how cheaply the library satisfies it.
     """
 
     def __init__(self, distance: Distance) -> None:
         self._distance = distance
+        self._bounded = bounded_for(distance)
         self.calls = 0
 
     def __call__(self, x: Any, y: Any) -> float:
         self.calls += 1
         return self._distance(x, y)
+
+    def within(self, x: Any, y: Any, limit: float) -> float:
+        """``d(x, y)`` exactly when it is ``<= limit``; otherwise some
+        value ``> limit`` (the bounded twin may stop early).  Falls back
+        to the full distance when no twin is registered."""
+        self.calls += 1
+        if self._bounded is not None and limit != float("inf"):
+            return self._bounded(x, y, limit)
+        return self._distance(x, y)
+
+    def many(self, pairs: Sequence[Tuple[Any, Any]]) -> np.ndarray:
+        """Distances for every pair via the batch engine (one count per
+        pair, exactly as if each had been a plain call)."""
+        from ..batch import pairwise_values
+
+        self.calls += len(pairs)
+        return pairwise_values(self._distance, pairs)
 
     def take(self) -> int:
         """Return the current count and reset it to zero."""
@@ -127,14 +161,17 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         results, stats = self.knn(query, 1)
         return results[0], stats
 
-    def knn(self, query: Item, k: int) -> Tuple[List[SearchResult], SearchStats]:
-        """Return the *k* nearest neighbours of *query*, closest first."""
+    def _validate_k(self, k: int) -> None:
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         if k > len(self.items):
             raise ValueError(
                 f"k={k} exceeds the {len(self.items)} indexed items"
             )
+
+    def knn(self, query: Item, k: int) -> Tuple[List[SearchResult], SearchStats]:
+        """Return the *k* nearest neighbours of *query*, closest first."""
+        self._validate_k(k)
         self._counter.take()
         started = time.perf_counter()
         results = self._search(query, k)
@@ -144,3 +181,15 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             elapsed_seconds=elapsed,
         )
         return results, stats
+
+    def bulk_knn(
+        self, queries: Sequence[Item], k: int
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """k-NN for a whole query batch, one ``(results, stats)`` each.
+
+        The default simply loops :meth:`knn`; structures whose search is a
+        flat scan (see :class:`~repro.index.exhaustive.ExhaustiveIndex`)
+        override this to push the entire batch through the pair-batched
+        distance engine at once.
+        """
+        return [self.knn(query, k) for query in queries]

@@ -67,6 +67,20 @@ class BKTreeIndex(NearestNeighborIndex):
             )
         return key
 
+    @staticmethod
+    def _node_limit(node: "_Node", radius: float) -> float:
+        """Largest distance at which *node* still matters for *radius*.
+
+        A hit needs ``d <= radius``; visiting a child keyed ``c`` needs
+        ``|d - c| <= radius``, i.e. ``d <= c + radius``.  Beyond
+        ``max(children) + radius`` the exact value of ``d`` is irrelevant,
+        so the early-exit twin may stop there -- on leaves that collapses
+        to ``radius`` itself.
+        """
+        if node.children:
+            return max(radius, max(node.children) + radius)
+        return radius
+
     def _range_search(self, query, radius: float) -> List[SearchResult]:
         """Classic BK-tree range query: visit children whose key lies in
         ``[d - radius, d + radius]``."""
@@ -74,7 +88,10 @@ class BKTreeIndex(NearestNeighborIndex):
         stack = [self._root]
         while stack:
             node = stack.pop()
-            d = self._counter(query, self.items[node.index])
+            limit = self._node_limit(node, radius)
+            d = self._counter.within(query, self.items[node.index], limit)
+            if d > limit:
+                continue  # no hit, and no child interval can be reached
             if d <= radius:
                 hits.append(
                     SearchResult(
@@ -97,7 +114,10 @@ class BKTreeIndex(NearestNeighborIndex):
         stack = [self._root]
         while stack:
             node = stack.pop()
-            d = self._counter(query, self.items[node.index])
+            limit = self._node_limit(node, kth_best())
+            d = self._counter.within(query, self.items[node.index], limit)
+            if d > limit:
+                continue  # cannot enter the heap nor reach any child
             if len(best) < k:
                 heapq.heappush(best, (-d, node.index))
             elif -best[0][0] > d:

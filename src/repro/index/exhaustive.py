@@ -3,14 +3,23 @@
 The baseline of Table 2's right column: computes the distance from the
 query to every indexed item.  Needs no metric properties, so it is the
 ground truth every triangle-inequality-based index is validated against.
+
+The scan is fed through the pair-batched engine
+(:meth:`~repro.index.base.CountingDistance.many`), so the ``n`` distance
+computations of one query run as a handful of stacked anti-diagonal
+sweeps instead of ``n`` interpreted DP loops -- same results, same
+reported computation count, a fraction of the wall-clock.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import List
+import time
+from typing import List, Sequence, Tuple
 
-from .base import NearestNeighborIndex, SearchResult
+import numpy as np
+
+from .base import NearestNeighborIndex, SearchResult, SearchStats
 
 __all__ = ["ExhaustiveIndex"]
 
@@ -19,10 +28,18 @@ class ExhaustiveIndex(NearestNeighborIndex):
     """Linear scan over all items; ``n`` distance computations per query."""
 
     def _search(self, query, k: int) -> List[SearchResult]:
-        distance = self._counter
-        heap = []  # max-heap of the k best via negated distances
-        for idx, item in enumerate(self.items):
-            d = distance(query, item)
+        distances = self._counter.many([(query, item) for item in self.items])
+        return self._row_results(distances, k)
+
+    def _row_results(self, row: np.ndarray, k: int) -> List[SearchResult]:
+        # Replay the historical heap scan over the precomputed distances so
+        # tie-breaking on equal distances is unchanged: new items enter
+        # only when strictly better, and eviction pops the smallest index
+        # among the tied-worst.  (A plain (distance, index) sort keeps a
+        # *different* tied subset, which would shift k-NN votes on ties.)
+        heap: List = []  # max-heap of the k best via negated distances
+        for idx in range(len(row)):
+            d = float(row[idx])
             if len(heap) < k:
                 heapq.heappush(heap, (-d, idx))
             elif -heap[0][0] > d:
@@ -32,3 +49,40 @@ class ExhaustiveIndex(NearestNeighborIndex):
             SearchResult(item=self.items[idx], index=idx, distance=d)
             for d, idx in best
         ]
+
+    def bulk_knn(
+        self, queries: Sequence, k: int
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """All queries in one engine sweep: the ``q x n`` pair list is
+        length-bucketed and batched as a whole, which amortises far better
+        than ``q`` separate scans.  Each query still reports its ``n``
+        distance computations; the measured wall-clock is split evenly."""
+        self._validate_k(k)
+        if not queries:
+            return []
+        n = len(self.items)
+        self._counter.take()
+        started = time.perf_counter()
+        flat = self._counter.many(
+            [(query, item) for query in queries for item in self.items]
+        )
+        matrix = flat.reshape(len(queries), n)
+        results = [self._row_results(row, k) for row in matrix]
+        # selection is timed too, like every per-query _search elsewhere
+        elapsed = time.perf_counter() - started
+        self._counter.take()
+        per_query = SearchStats(
+            distance_computations=n,
+            elapsed_seconds=elapsed / len(queries),
+        )
+        return [(row_results, per_query) for row_results in results]
+
+    def _range_search(self, query, radius: float) -> List[SearchResult]:
+        distances = self._counter.many([(query, item) for item in self.items])
+        hits = [
+            SearchResult(item=self.items[idx], index=int(idx), distance=float(d))
+            for idx, d in enumerate(distances)
+            if d <= radius
+        ]
+        hits.sort(key=lambda r: r.distance)
+        return hits

@@ -134,7 +134,9 @@ class LaesaIndex(NearestNeighborIndex):
                 continue
             d = pivot_distances.get(idx)
             if d is None:
-                d = distance(query, items[idx])
+                # Early-exit distance: exact iff <= radius, which is the
+                # only case that can produce a hit.
+                d = distance.within(query, items[idx], radius)
             if d <= radius:
                 hits.append(SearchResult(item=items[idx], index=idx, distance=d))
         hits.sort(key=lambda r: r.distance)
@@ -168,7 +170,15 @@ class LaesaIndex(NearestNeighborIndex):
                 row = self.pivot_rows[self._pivot_position[current]]
             else:
                 row = None
-            d = distance(query, items[current])
+            if row is None:
+                # Non-pivot candidates only need their distance when it can
+                # enter the k-best heap: the early-exit twin abandons the
+                # banded DP as soon as the current best radius is exceeded.
+                d = distance.within(query, items[current], kth_best())
+            else:
+                # Pivot distances tighten every bound via |d(q,p) - d(p,u)|
+                # and must therefore be exact.
+                d = distance(query, items[current])
             record(current, d)
             if row is not None:
                 np.maximum(bounds, np.abs(row - d), out=bounds)
@@ -186,10 +196,15 @@ class LaesaIndex(NearestNeighborIndex):
             if next_pivot is not None:
                 current = next_pivot
                 continue
-            if not alive.any():
+            candidates = np.nonzero(alive)[0]
+            if len(candidates) == 0:
                 break
-            masked = np.where(alive, bounds, np.inf)
-            current = int(np.argmin(masked))
+            # argmin over the alive candidates only: with infinite bounds
+            # (e.g. d_min against an empty string) a global argmin over an
+            # all-inf masked array would return an already-dead index and
+            # loop forever; this always selects an alive item, so every
+            # iteration retires one candidate.
+            current = int(candidates[np.argmin(bounds[candidates])])
         ordered = sorted(((-nd, idx) for nd, idx in best))
         return [
             SearchResult(item=items[idx], index=idx, distance=d)

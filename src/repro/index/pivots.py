@@ -28,7 +28,17 @@ def _distance_row(
     items: Sequence[Any], distance: Distance, pivot_index: int
 ) -> np.ndarray:
     pivot = items[pivot_index]
-    return np.array([distance(pivot, item) for item in items], dtype=float)
+    if hasattr(distance, "many"):
+        # CountingDistance: one pair-batched sweep instead of n scalar
+        # calls (same values, same reported computation count).
+        row = distance.many([(pivot, item) for item in items])
+    else:
+        # Raw callables go through the engine directly (batched when the
+        # function is a registered distance, scalar fallback otherwise).
+        from ..batch import distances_from
+
+        row = distances_from(distance, pivot, items)
+    return np.asarray(row, dtype=float)
 
 
 def _greedy(

@@ -58,6 +58,19 @@ class VPTreeIndex(NearestNeighborIndex):
         outside = [i for i, d in zip(rest, distances) if d > mu]
         return _Node(vantage, mu, self._build(inside), self._build(outside))
 
+    @staticmethod
+    def _node_limit(node, search_radius: float) -> float:
+        """Largest vantage distance that still matters at *search_radius*.
+
+        Beyond ``node.radius + search_radius`` the vantage point is no hit,
+        the inside child is unreachable (``d - search_radius > mu``) and
+        the outside child must be visited regardless -- so the early-exit
+        twin may stop there.  Leaves collapse to ``search_radius``.
+        """
+        if node.inside is None and node.outside is None:
+            return search_radius
+        return node.radius + search_radius
+
     def _range_search(self, query, radius: float) -> List[SearchResult]:
         """Subtree-pruned range query around *query*."""
         hits: List[SearchResult] = []
@@ -65,7 +78,11 @@ class VPTreeIndex(NearestNeighborIndex):
         def visit(node) -> None:
             if node is None:
                 return
-            d = self._counter(query, self.items[node.index])
+            limit = self._node_limit(node, radius)
+            d = self._counter.within(query, self.items[node.index], limit)
+            if d > limit:
+                visit(node.outside)  # far side is the only reachable one
+                return
             if d <= radius:
                 hits.append(
                     SearchResult(
@@ -90,13 +107,20 @@ class VPTreeIndex(NearestNeighborIndex):
         def visit(node) -> None:
             if node is None:
                 return
-            d = self._counter(query, self.items[node.index])
+            limit = self._node_limit(node, kth_best())
+            d = self._counter.within(query, self.items[node.index], limit)
+            if d > limit:
+                # Too far to enter the heap or reach the inside child; the
+                # outside child is still reachable (d > mu by a margin).
+                visit(node.outside)
+                return
             if len(best) < k:
                 heapq.heappush(best, (-d, node.index))
             elif -best[0][0] > d:
                 heapq.heapreplace(best, (-d, node.index))
-            radius = kth_best()
             # visit the likelier side first, prune the other when possible
+            # (kth_best() is re-evaluated after each child visit on purpose:
+            # the radius may shrink while a subtree is explored)
             if d <= node.radius:
                 visit(node.inside)
                 if d + kth_best() > node.radius:

@@ -1,0 +1,107 @@
+"""Pair-batched kernels against their scalar twins (randomised)."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    contextual_heuristic_batch,
+    encode_batch,
+    levenshtein_batch,
+)
+from repro.core._kernels import contextual_heuristic_numpy
+from repro.core.contextual import _heuristic_tables
+from repro.core.levenshtein import levenshtein_distance
+
+
+def _random_pairs(seed, count, max_len, alphabet="abc"):
+    rng = random.Random(seed)
+
+    def rs():
+        return "".join(
+            rng.choice(alphabet) for _ in range(rng.randint(0, max_len))
+        )
+
+    return [(rs(), rs()) for _ in range(count)]
+
+
+class TestEncodeBatch:
+    def test_shapes_and_lengths(self):
+        X, Y, mx, my = encode_batch([("ab", "c"), ("", "abcd")])
+        assert X.shape == (2, 2)
+        assert Y.shape == (2, 4)
+        assert mx.tolist() == [2, 0]
+        assert my.tolist() == [1, 4]
+
+    def test_padding_never_matches(self):
+        X, Y, mx, my = encode_batch([("a", "ab"), ("zzz", "z")])
+        # x-padding and y-padding use distinct sentinels, and neither can
+        # collide with a real (non-negative) symbol code
+        assert (X[0, mx[0] :] < 0).all() and (Y[1, my[1] :] < 0).all()
+        assert not np.isin(X[0, mx[0] :], Y[0]).any()
+        assert not np.isin(Y[1, my[1] :], X[1]).any()
+
+    def test_cross_representation_equality(self):
+        # "ab" vs ("a", "b") must encode to equal codes within the pair
+        X, Y, _, _ = encode_batch([(("a", "b"), ("b", "a"))])
+        assert sorted(X[0].tolist()) == sorted(Y[0].tolist())
+
+    def test_empty_batch(self):
+        X, Y, mx, my = encode_batch([])
+        assert X.shape == (0, 0)
+        assert levenshtein_batch([]).shape == (0,)
+
+
+class TestLevenshteinBatch:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scalar_mixed_lengths(self, seed):
+        # deliberately mixes tiny and long pairs to cross bucket borders
+        pairs = _random_pairs(seed, 120, 12) + _random_pairs(
+            seed + 100, 20, 150, alphabet="acgt"
+        )
+        random.Random(seed).shuffle(pairs)
+        values = levenshtein_batch(pairs)
+        for p, (x, y) in enumerate(pairs):
+            assert values[p] == levenshtein_distance(x, y)
+
+    def test_empty_and_equal_strings(self):
+        pairs = [("", ""), ("", "abc"), ("abc", ""), ("abc", "abc"), ("a", "a")]
+        assert levenshtein_batch(pairs).tolist() == [0, 3, 3, 0, 0]
+
+    def test_duplicate_pairs_align(self):
+        pairs = [("ab", "ba"), ("ab", "ba"), ("ba", "ab")]
+        expected = levenshtein_distance("ab", "ba")
+        assert levenshtein_batch(pairs).tolist() == [expected] * 3
+
+    def test_tuple_symbols(self):
+        pairs = [((1, 2, 3), (1, 3)), (tuple("abc"), "abc")]
+        values = levenshtein_batch(pairs)
+        assert values[0] == levenshtein_distance((1, 2, 3), (1, 3))
+        assert values[1] == 0
+
+
+class TestContextualHeuristicBatch:
+    @pytest.mark.parametrize("seed", [3, 4])
+    def test_matches_numpy_kernel(self, seed):
+        pairs = [
+            (x, y)
+            for x, y in _random_pairs(seed, 100, 10)
+            + _random_pairs(seed + 50, 15, 120, alphabet="acgt")
+            if x or y  # scalar kernel's (0, 0) case is caller-handled
+        ]
+        d_e, ni = contextual_heuristic_batch(pairs)
+        for p, (x, y) in enumerate(pairs):
+            assert (int(d_e[p]), int(ni[p])) == contextual_heuristic_numpy(x, y)
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_matches_pure_python_tables(self, seed):
+        pairs = _random_pairs(seed, 80, 8)
+        d_e, ni = contextual_heuristic_batch(pairs)
+        for p, (x, y) in enumerate(pairs):
+            assert (int(d_e[p]), int(ni[p])) == _heuristic_tables(x, y)
+
+    def test_empty_sides(self):
+        d_e, ni = contextual_heuristic_batch([("", "abc"), ("abc", ""), ("", "")])
+        assert d_e.tolist() == [3, 3, 0]
+        assert ni.tolist() == [3, 0, 0]

@@ -1,0 +1,99 @@
+"""Early-exit distances: exact under the limit, above it when pruning."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounded_for, get_spec, levenshtein_bounded
+from repro.core.bounded import (
+    bounded_dmax,
+    bounded_dmin,
+    bounded_dsum,
+    bounded_levenshtein,
+    bounded_yujian_bo,
+)
+from repro.core.levenshtein import levenshtein_distance
+
+from ..conftest import small_strings
+
+#: Registry entries that ship an early-exit twin.
+BOUNDED_NAMES = ("levenshtein", "dmax", "dsum", "dmin", "yujian_bo")
+
+
+class TestLevenshteinBounded:
+    @given(small_strings, small_strings, st.integers(0, 10))
+    @settings(max_examples=300, deadline=None)
+    def test_contract(self, x, y, limit):
+        d = levenshtein_distance(x, y)
+        value = levenshtein_bounded(x, y, limit)
+        if d <= limit:
+            assert value == d
+        else:
+            assert value > limit
+
+    def test_exact_below_limit(self):
+        assert levenshtein_bounded("abaa", "aab", 2) == 2
+        assert levenshtein_bounded("abaa", "aab", 100) == 2
+
+    def test_prunes_above_limit(self):
+        assert levenshtein_bounded("aaaa", "bbbb", 1) > 1
+
+    def test_length_gap_lower_bound(self):
+        # |x| - |y| = 17 is itself a lower bound and survives the prune
+        assert levenshtein_bounded("a" * 20, "abc", 2) >= 17
+
+    def test_negative_limit(self):
+        assert levenshtein_bounded("a", "a", -1) == 0
+        assert levenshtein_bounded("a", "b", -1) > -1
+
+    def test_float_limit(self):
+        assert levenshtein_bounded("abaa", "aab", 2.7) == 2
+
+
+class TestBoundedTwins:
+    @pytest.mark.parametrize("name", BOUNDED_NAMES)
+    def test_randomised_contract(self, name):
+        spec = get_spec(name)
+        bounded = bounded_for(spec.function)
+        assert bounded is not None
+        rng = random.Random(hash(name) & 0xFFFF)
+        for _ in range(400):
+            x = "".join(rng.choice("abc") for _ in range(rng.randint(0, 9)))
+            y = "".join(rng.choice("abc") for _ in range(rng.randint(0, 9)))
+            limit = rng.choice([0.0, 0.1, 0.25, 0.5, 0.9, 1.0, 2.0, 5.0])
+            exact = spec.function(x, y)
+            value = bounded(x, y, limit)
+            if exact <= limit:
+                assert value == exact, (name, x, y, limit)
+            else:
+                assert value > limit, (name, x, y, limit)
+
+    def test_dmin_empty_string_infinity(self):
+        assert bounded_dmin("", "abc", 0.5) == float("inf")
+        assert bounded_dmin("", "", 0.5) == 0.0
+
+    def test_yujian_bo_saturated_limit_is_exact(self):
+        spec = get_spec("yujian_bo")
+        assert bounded_yujian_bo("abc", "xyz", 1.0) == spec.function("abc", "xyz")
+
+    def test_registry_wiring(self):
+        for name, twin in zip(
+            BOUNDED_NAMES,
+            (
+                bounded_levenshtein,
+                bounded_dmax,
+                bounded_dsum,
+                bounded_dmin,
+                bounded_yujian_bo,
+            ),
+        ):
+            spec = get_spec(name)
+            assert spec.bounded is twin
+            assert bounded_for(spec.function) is twin
+
+    def test_unbounded_distances_have_no_twin(self):
+        for name in ("contextual", "contextual_heuristic", "marzal_vidal"):
+            assert get_spec(name).bounded is None
+            assert bounded_for(get_spec(name).function) is None

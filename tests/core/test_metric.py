@@ -74,3 +74,57 @@ class TestCheckMetric:
         )
         assert isinstance(report, MetricReport)
         assert report.points_checked == 2
+
+
+class TestCheckMetricComputationCounts:
+    """The checker computes each needed pair once -- never n^3 times."""
+
+    @staticmethod
+    def _counted(calls):
+        def distance(x, y):
+            calls.append((x, y))
+            return float(levenshtein_distance(x, y))
+
+        return distance
+
+    def test_assume_symmetric_upper_triangle_only(self):
+        points = all_strings("ab", 2)  # 7 points
+        n = len(points)
+        calls = []
+        report = check_metric(
+            self._counted(calls), points, assume_symmetric=True
+        )
+        assert report.is_metric
+        # exactly C(n, 2) + n evaluations: each unordered pair once,
+        # including the diagonal -- the docstring's promise
+        assert len(calls) == n * (n - 1) // 2 + n
+        assert len(set(calls)) == len(calls)  # no pair computed twice
+
+    def test_default_computes_each_ordered_pair_once(self):
+        points = all_strings("ab", 2)
+        n = len(points)
+        calls = []
+        check_metric(self._counted(calls), points)
+        assert len(calls) == n * n  # both orientations (symmetry probe)
+        assert len(set(calls)) == len(calls)
+
+    def test_assume_symmetric_same_verdicts_for_metrics(self):
+        points = all_strings("ab", 3)
+        mirrored = check_metric(
+            lambda x, y: float(levenshtein_distance(x, y)),
+            points,
+            assume_symmetric=True,
+        )
+        full = check_metric(
+            lambda x, y: float(levenshtein_distance(x, y)), points
+        )
+        assert mirrored.is_metric == full.is_metric
+        assert mirrored.triangle_violations == full.triangle_violations
+
+    def test_assume_symmetric_still_finds_triangle_violations(self):
+        report = check_metric(
+            sum_normalized_distance, all_strings("ab", 3),
+            assume_symmetric=True,
+        )
+        assert not report.is_metric
+        assert report.triangle_violations

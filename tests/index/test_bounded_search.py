@@ -1,0 +1,120 @@
+"""Early-exit (bounded) evaluation inside the search structures.
+
+The indexes must return *exactly* what an exhaustive scan returns while
+never letting a pruned (inexact) value leak into results or bounds.
+"""
+
+import random
+
+import pytest
+
+from repro.core import get_distance, get_spec
+from repro.index import (
+    BKTreeIndex,
+    ExhaustiveIndex,
+    LaesaIndex,
+    VPTreeIndex,
+)
+from repro.index.base import CountingDistance
+
+
+@pytest.fixture(scope="module")
+def words():
+    gen = random.Random(0xB0B)
+    return sorted(
+        {
+            "".join(gen.choice("abcd") for _ in range(gen.randint(2, 9)))
+            for _ in range(150)
+        }
+    )
+
+
+class TestCountingDistanceWithin:
+    def test_counts_like_a_plain_call(self):
+        counter = CountingDistance(get_distance("levenshtein"))
+        counter("ab", "ba")
+        counter.within("ab", "ba", 0.5)
+        assert counter.calls == 2
+
+    def test_exact_when_under_limit(self):
+        distance = get_distance("yujian_bo")
+        counter = CountingDistance(distance)
+        assert counter.within("abc", "abd", 1.0) == distance("abc", "abd")
+
+    def test_above_limit_when_pruned(self):
+        counter = CountingDistance(get_distance("levenshtein"))
+        assert counter.within("aaaaaa", "bbbbbb", 1.0) > 1.0
+
+    def test_infinite_limit_passes_through(self):
+        distance = get_distance("dmax")
+        counter = CountingDistance(distance)
+        value = counter.within("abcd", "dcba", float("inf"))
+        assert value == distance("abcd", "dcba")
+
+    def test_unbounded_distance_falls_back_exact(self):
+        distance = get_spec("contextual_heuristic").function
+        counter = CountingDistance(distance)
+        assert counter.within("abc", "cab", 0.01) == distance("abc", "cab")
+
+    def test_many_counts_per_pair(self):
+        counter = CountingDistance(get_distance("levenshtein"))
+        values = counter.many([("a", "b"), ("a", "b"), ("x", "x")])
+        assert counter.calls == 3  # dedupe never hides demanded work
+        assert values.tolist() == [1.0, 1.0, 0.0]
+
+
+@pytest.mark.parametrize("name", ["levenshtein", "yujian_bo", "dmax"])
+@pytest.mark.parametrize("k", [1, 3])
+def test_pruning_indexes_match_exhaustive(words, name, k):
+    if name != "levenshtein" and k == 1:
+        pass  # every combination is cheap enough to run
+    distance = get_distance(name)
+    queries = ["aab", "dcba", "abcdabcd", words[17], "a"]
+    exhaustive = ExhaustiveIndex(words, distance)
+    indexes = [
+        LaesaIndex(words, distance, n_pivots=8),
+        VPTreeIndex(words, distance),
+    ]
+    if name == "levenshtein":  # integer metric required
+        indexes.append(BKTreeIndex(words, distance))
+    for query in queries:
+        truth, _ = exhaustive.knn(query, k)
+        truth_distances = [r.distance for r in truth]
+        for index in indexes:
+            got, _ = index.knn(query, k)
+            # structures may break distance ties differently; the distance
+            # profile (and hence correctness of the pruning) must agree
+            assert [r.distance for r in got] == truth_distances, (
+                name,
+                type(index).__name__,
+                query,
+            )
+            for r in got:
+                assert r.distance == distance(query, words[r.index])
+
+
+@pytest.mark.parametrize("name", ["levenshtein", "yujian_bo"])
+def test_pruning_indexes_match_exhaustive_range(words, name):
+    distance = get_distance(name)
+    radius = 2.0 if name == "levenshtein" else 0.45
+    exhaustive = ExhaustiveIndex(words, distance)
+    indexes = [
+        LaesaIndex(words, distance, n_pivots=8),
+        VPTreeIndex(words, distance),
+    ]
+    if name == "levenshtein":
+        indexes.append(BKTreeIndex(words, distance))
+    for query in ["abc", "dddd", words[3]]:
+        truth, _ = exhaustive.range_search(query, radius)
+        truth_set = {(r.index, r.distance) for r in truth}
+        for index in indexes:
+            got, _ = index.range_search(query, radius)
+            assert {(r.index, r.distance) for r in got} == truth_set
+
+
+def test_bounded_never_inflates_computation_counts(words):
+    """Early exit changes the cost per computation, not the count."""
+    distance = get_distance("levenshtein")
+    plain = LaesaIndex(words, distance, n_pivots=6)
+    _, stats = plain.knn("abca", 1)
+    assert 0 < stats.distance_computations <= len(words)
