@@ -1,0 +1,195 @@
+#!/usr/bin/env python
+"""Benchmark LAESA's batched query phase against the scalar query loop.
+
+Reproduces the paper's Section 4.3 query regime on the digit-contour
+dataset: a LAESA index over a training set of contour strings, a batch of
+held-out contours as queries, nearest-neighbour search per query.  The
+same index answers the batch twice:
+
+* **scalar** -- the per-query loop (`knn` once per query), computing each
+  query's pivot distances one scalar DP call at a time;
+* **batch**  -- `bulk_knn`, which fans the entire batch against all
+  pivots in one pair-batched engine sweep (auto-sharded over a process
+  pool when the machine and batch size justify it) and feeds the
+  per-query elimination loops from the cache.
+
+The two paths must return bit-identical neighbours and distances and
+identical per-query ``distance_computations`` (asserted, not sampled);
+only the wall-clock may differ.  Results are appended as one JSON object
+per run to ``BENCH_query.json`` so the perf trajectory survives across
+PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_query_batch.py           # full
+    PYTHONPATH=src python benchmarks/bench_query_batch.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets import handwritten_digits
+from repro.core import get_distance
+from repro.index import AesaIndex, LaesaIndex
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_query.json"
+
+
+def _workload(per_class: int, n_train: int, n_queries: int, seed: int):
+    data = handwritten_digits(per_class=per_class, seed=1995, grid=24)
+    pool = list(range(len(data)))
+    random.Random(seed).shuffle(pool)
+    if n_train + n_queries > len(pool):
+        raise ValueError(
+            f"workload needs {n_train + n_queries} contours, dataset has "
+            f"{len(pool)}; raise --per-class"
+        )
+    train = [data.items[i] for i in pool[:n_train]]
+    queries = [data.items[i] for i in pool[n_train : n_train + n_queries]]
+    return train, queries
+
+
+def _check_identical(scalar, batch, label: str) -> None:
+    for q, ((truth, t_stats), (got, g_stats)) in enumerate(zip(scalar, batch)):
+        truth_pairs = [(r.index, r.distance) for r in truth]
+        got_pairs = [(r.index, r.distance) for r in got]
+        if truth_pairs != got_pairs:
+            raise AssertionError(
+                f"{label}: query {q} neighbours differ: "
+                f"{got_pairs} vs {truth_pairs}"
+            )
+        if t_stats.distance_computations != g_stats.distance_computations:
+            raise AssertionError(
+                f"{label}: query {q} computation counts differ: "
+                f"{g_stats.distance_computations} vs "
+                f"{t_stats.distance_computations}"
+            )
+
+
+def run_benchmark(
+    distance: str,
+    per_class: int,
+    n_train: int,
+    n_queries: int,
+    n_pivots: int,
+    k: int,
+    seed: int = 0xD161,
+) -> dict:
+    train, queries = _workload(per_class, n_train, n_queries, seed)
+    index = LaesaIndex(train, get_distance(distance), n_pivots=n_pivots)
+
+    started = time.perf_counter()
+    scalar = [index.knn(q, k) for q in queries]
+    scalar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = index.bulk_knn(queries, k)
+    batch_seconds = time.perf_counter() - started
+
+    _check_identical(scalar, batch, "LAESA")
+
+    # AESA rides the same cache machinery; keep it honest on a small
+    # database (its quadratic preprocessing regime) without letting it
+    # dominate the benchmark's runtime.
+    aesa_n = min(len(train), 120)
+    aesa = AesaIndex(train[:aesa_n], get_distance(distance))
+    started = time.perf_counter()
+    aesa_scalar = [aesa.knn(q, k) for q in queries]
+    aesa_scalar_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    aesa_batch = aesa.bulk_knn(queries, k)
+    aesa_batch_seconds = time.perf_counter() - started
+    _check_identical(aesa_scalar, aesa_batch, "AESA")
+
+    comps = [s.distance_computations for _, s in batch]
+    return {
+        "bench": "query_batch",
+        "distance": distance,
+        "n_train": len(train),
+        "n_queries": len(queries),
+        "n_pivots": index.n_pivots,
+        "k": k,
+        "mean_computations_per_query": round(float(np.mean(comps)), 1),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "speedup": round(scalar_seconds / batch_seconds, 2),
+        "aesa_n_train": aesa_n,
+        "aesa_scalar_seconds": round(aesa_scalar_seconds, 4),
+        "aesa_batch_seconds": round(aesa_batch_seconds, 4),
+        "aesa_speedup": round(aesa_scalar_seconds / aesa_batch_seconds, 2),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, CI-sized run (~seconds) instead of the 200-query workload",
+    )
+    parser.add_argument(
+        "--distance",
+        default="dmax",
+        help="registry name to benchmark (default: dmax, Table 2's "
+        "best-performing distance)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=None, help="override the query count"
+    )
+    parser.add_argument(
+        "--pivots", type=int, default=None, help="override the pivot count"
+    )
+    parser.add_argument("--k", type=int, default=1)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_JSON,
+        help=f"JSON-lines results file (default: {DEFAULT_JSON.name})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        per_class, n_train = 6, 40
+        n_queries = 16 if args.queries is None else args.queries
+        n_pivots = 8 if args.pivots is None else args.pivots
+    else:
+        per_class, n_train = 50, 300
+        # the paper-regime digit workload
+        n_queries = 200 if args.queries is None else args.queries
+        n_pivots = 40 if args.pivots is None else args.pivots
+
+    record = run_benchmark(
+        args.distance, per_class, n_train, n_queries, n_pivots, args.k
+    )
+    record["mode"] = "smoke" if args.smoke else "full"
+    print(json.dumps(record, indent=2))
+
+    with args.json.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+    print(f"[appended to {args.json}]")
+
+    if record["speedup"] < 1.5 and not args.smoke:
+        print(
+            f"WARNING: LAESA bulk speedup {record['speedup']}x below the "
+            f"1.5x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

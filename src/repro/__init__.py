@@ -32,7 +32,13 @@ Quickstart::
     0.0
 """
 
-from .batch import distances_from, pairwise_matrix, pairwise_values
+from .batch import (
+    distances_from,
+    pairwise_matrix,
+    pairwise_matrix_blocks,
+    pairwise_matrix_memmap,
+    pairwise_values,
+)
 from .core import (
     CostModel,
     DistanceFunction,
@@ -72,6 +78,8 @@ __all__ = [
     "levenshtein_bounded",
     "pairwise_values",
     "pairwise_matrix",
+    "pairwise_matrix_blocks",
+    "pairwise_matrix_memmap",
     "distances_from",
     "mv_normalized_distance",
     "yb_normalized_distance",

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,7 +24,7 @@ def pairwise_distance_sample(
     distance: Callable[[Any, Any], float],
     max_pairs: Optional[int] = None,
     rng: Optional[random.Random] = None,
-    workers: Optional[int] = None,
+    workers: Union[int, str, None] = "auto",
 ) -> np.ndarray:
     """Distances over unordered item pairs.
 
@@ -35,7 +35,8 @@ def pairwise_distance_sample(
 
     Evaluation runs through the pair-batched engine, so registered
     distances are swept many pairs at a time (and duplicate draws cost
-    nothing); ``workers`` optionally fans the batch out over processes.
+    nothing); ``workers`` defaults to ``"auto"``, fanning the batch out
+    over a process pool when the pair count and core count justify it.
     """
     n = len(items)
     if n < 2:

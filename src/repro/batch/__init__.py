@@ -11,17 +11,32 @@ Entry points:
 
 * :func:`pairwise_values` -- distances for an explicit pair list;
 * :func:`pairwise_matrix` -- a full (or symmetric upper-triangle) matrix;
+* :func:`pairwise_matrix_blocks` -- the matrix streamed as row-block
+  shards (bounded memory for paper-scale gene sets);
+* :func:`pairwise_matrix_memmap` -- the streamed matrix written into an
+  on-disk ``.npy`` memmap;
 * :func:`distances_from`  -- one item against many;
 * :func:`levenshtein_batch` / :func:`contextual_heuristic_batch` -- the
   raw pair-batched kernels.
+
+Every entry point defaults to ``workers="auto"``: unique-pair chunks fan
+out over a process pool when the machine and the batch size justify it.
 """
 
-from .engine import distances_from, pairwise_matrix, pairwise_values
+from .engine import (
+    distances_from,
+    pairwise_matrix,
+    pairwise_matrix_blocks,
+    pairwise_matrix_memmap,
+    pairwise_values,
+)
 from .kernels import contextual_heuristic_batch, encode_batch, levenshtein_batch
 
 __all__ = [
     "pairwise_values",
     "pairwise_matrix",
+    "pairwise_matrix_blocks",
+    "pairwise_matrix_memmap",
     "distances_from",
     "levenshtein_batch",
     "contextual_heuristic_batch",

@@ -10,8 +10,21 @@ a time.  This module is the bulk entry point they now share:
   each bucket (with optional :mod:`multiprocessing` fan-out);
 * :func:`pairwise_matrix` -- a full distance matrix; when ``ys is None``
   only the upper triangle is computed and mirrored (the symmetric case);
+* :func:`pairwise_matrix_blocks` -- the same matrix as a stream of
+  row-block shards, so consumers can fold over matrices that would not
+  fit in memory (paper-scale gene sets);
+* :func:`pairwise_matrix_memmap` -- the streaming evaluation written
+  straight into an on-disk ``.npy`` memmap;
 * :func:`distances_from` -- one item against many (pivot rows, linear
   scans).
+
+Sharding is automatic: every entry point defaults to ``workers="auto"``,
+which fans unique-pair chunks over a process pool whenever the machine
+has more than one core and every worker would receive at least
+``_MIN_PAIRS_PER_WORKER`` pairs -- big consumers (Table 2 trials, AESA
+preprocessing, histogram sweeps, bulk query phases) parallelise without
+opting in pair-list by pair-list.  Pass an integer to force a pool size,
+or ``None``/``0``/``1`` to force serial evaluation.
 
 Which distances are batched
 ---------------------------
@@ -28,10 +41,12 @@ scalar ones (asserted by the tests).  Everything else (exact ``d_C``,
 
 from __future__ import annotations
 
+import os
 from typing import (
     Any,
     Callable,
     Dict,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -47,9 +62,19 @@ from ..core.levenshtein import levenshtein_distance
 from ..core.types import Symbols, as_symbols
 from .kernels import contextual_heuristic_batch, levenshtein_batch
 
-__all__ = ["pairwise_values", "pairwise_matrix", "distances_from"]
+__all__ = [
+    "pairwise_values",
+    "pairwise_matrix",
+    "pairwise_matrix_blocks",
+    "pairwise_matrix_memmap",
+    "distances_from",
+]
 
 DistanceLike = Union[str, Callable[[Any, Any], float]]
+
+#: ``workers`` accepted by every entry point: ``"auto"`` (default),
+#: a pool size, or ``None``/``0``/``1`` for serial evaluation.
+Workers = Union[int, str, None]
 
 #: Internal name for the raw (int-valued) Levenshtein function.
 _LEV_INT = "__levenshtein_int__"
@@ -64,6 +89,43 @@ _BUCKET_SIZE = 256
 
 #: Minimum unique-pair count before a process pool is worth its start-up.
 _MIN_PAIRS_PER_WORKER = 512
+
+#: Default row-block height for the streaming matrix entry points.
+_BLOCK_ROWS = 256
+
+
+def _cpu_count() -> int:
+    """Worker budget for ``workers="auto"`` (monkeypatched in tests)."""
+    return os.cpu_count() or 1
+
+
+def _resolve_workers(workers: Workers, n_unique: int, registered: bool) -> int:
+    """Turn the ``workers`` argument into a concrete pool size (<2 = serial).
+
+    ``"auto"`` shards over all cores when the distance is resolvable by
+    registry name (a prerequisite for crossing the process boundary), the
+    process may fork (not already a pool worker), and every worker would
+    receive at least ``_MIN_PAIRS_PER_WORKER`` unique pairs -- i.e. when
+    ``n_unique // cpu_count >= _MIN_PAIRS_PER_WORKER``.
+    """
+    if isinstance(workers, str) and workers != "auto":
+        raise ValueError(
+            f"workers must be 'auto', an int, or None; got {workers!r}"
+        )
+    if not registered or n_unique == 0:
+        return 0
+    if workers == "auto":
+        import multiprocessing
+
+        if multiprocessing.current_process().daemon:
+            return 0  # pool workers cannot spawn nested pools
+        cpus = _cpu_count()
+        if cpus >= 2 and n_unique // cpus >= _MIN_PAIRS_PER_WORKER:
+            return cpus
+        return 0
+    if workers is None:
+        return 0
+    return int(workers)
 
 
 def _resolve(distance: DistanceLike) -> Tuple[Optional[str], Callable]:
@@ -178,11 +240,18 @@ def _evaluate_unique(
     name: Optional[str],
     fn: Callable,
     pairs: Sequence[Tuple[Symbols, Symbols]],
+    raw_pairs: Sequence[Tuple[Any, Any]],
 ) -> np.ndarray:
-    """Evaluate every (already unique) pair, batched when possible."""
+    """Evaluate every (already unique) pair, batched when possible.
+
+    Scalar fallbacks are called on ``raw_pairs`` -- each slot's original
+    item representations -- so representation-sensitive callables see
+    exactly what a plain loop would have handed them; the normalised
+    ``pairs`` feed the kernels (and the dedupe that aligned the lists).
+    """
     if name in _LEV_FAMILY or name == "contextual_heuristic":
         return _evaluate_batched(name, pairs)
-    return np.asarray([fn(x, y) for x, y in pairs], dtype=float)
+    return np.asarray([fn(x, y) for x, y in raw_pairs], dtype=float)
 
 
 def _mp_evaluate(args: Tuple[str, List[Tuple[Symbols, Symbols]]]) -> np.ndarray:
@@ -231,7 +300,7 @@ def pairwise_values(
     distance: DistanceLike,
     pairs: Sequence[Tuple[Any, Any]],
     *,
-    workers: Optional[int] = None,
+    workers: Workers = "auto",
 ) -> np.ndarray:
     """Evaluate *distance* over *pairs*, returning an aligned 1-D array.
 
@@ -243,14 +312,20 @@ def pairwise_values(
     equal content in different representations (``"ab"`` vs
     ``("a", "b")``) also dedupes.
 
-    ``workers`` > 1 fans unique-pair chunks out over a process pool (only
+    ``workers`` defaults to ``"auto"``: unique-pair chunks fan out over a
+    process pool whenever the machine has more than one core and every
+    worker would receive at least ``_MIN_PAIRS_PER_WORKER`` pairs (only
     for distances resolvable by registry name; silently serial when the
-    platform forbids subprocesses or the batch is too small to pay for
-    pool start-up).
+    platform forbids subprocesses).  An integer forces the pool size;
+    ``None``/``0``/``1`` force serial evaluation.
 
-    Items that are not symbol sequences (or whose symbols are not
-    hashable) cannot be normalised or deduplicated; for unregistered
-    callables such pairs are evaluated with a plain scalar loop so
+    Unregistered callables are always invoked on the *original* item
+    representations (the normalised form only keys the dedupe), so
+    representation-sensitive callables behave exactly as in a plain
+    loop; note that of several raw pairs sharing one normalised key only
+    the first is evaluated.  Items that are not symbol sequences (or
+    whose symbols are not hashable) cannot be normalised or deduplicated
+    at all; such pairs are evaluated with a plain scalar loop so
     arbitrary item types keep working through the index layer.
     """
     n = len(pairs)
@@ -258,6 +333,7 @@ def pairwise_values(
     registered = name is not None
     slot_of: Dict[Tuple[Symbols, Symbols], int] = {}
     unique: List[Tuple[Symbols, Symbols]] = []
+    unique_raw: List[Tuple[Any, Any]] = []  # first-seen raw pair per slot
     take_from = np.empty(n, dtype=np.int64)
     zero_mask = np.zeros(n, dtype=bool)
     try:
@@ -272,6 +348,7 @@ def pairwise_values(
                 slot = len(unique)
                 slot_of[pair] = slot
                 unique.append(pair)
+                unique_raw.append((raw_x, raw_y))
             take_from[p] = slot
     except TypeError:
         # non-sequence items or unhashable symbols: registered distances
@@ -279,10 +356,11 @@ def pairwise_values(
         # callable case -- evaluate verbatim, pair by pair
         return np.asarray([fn(x, y) for x, y in pairs], dtype=float)
     values: Optional[np.ndarray] = None
-    if workers and workers > 1 and registered and unique:
-        values = _fan_out(name, unique, workers)
+    n_workers = _resolve_workers(workers, len(unique), registered)
+    if n_workers > 1 and unique:
+        values = _fan_out(name, unique, n_workers)
     if values is None:
-        values = _evaluate_unique(name, fn, unique)
+        values = _evaluate_unique(name, fn, unique, unique_raw)
     if len(unique):
         dtype = values.dtype
     else:
@@ -299,7 +377,7 @@ def pairwise_matrix(
     xs: Sequence[Any],
     ys: Optional[Sequence[Any]] = None,
     *,
-    workers: Optional[int] = None,
+    workers: Workers = "auto",
 ) -> np.ndarray:
     """Full distance matrix ``D[i, j] = d(xs[i], (ys or xs)[j])``.
 
@@ -310,19 +388,114 @@ def pairwise_matrix(
     """
     if ys is None:
         n = len(xs)
-        pairs = [(xs[i], xs[j]) for i in range(n) for j in range(i, n)]
-        flat = pairwise_values(distance, pairs, workers=workers)
+        flat = pairwise_values(
+            distance, _triangle_pairs(xs, 0, n), workers=workers
+        )
         matrix = np.zeros((n, n), dtype=flat.dtype)
-        pos = 0
-        for i in range(n):
-            row = flat[pos : pos + n - i]
-            matrix[i, i:] = row
-            matrix[i:, i] = row
-            pos += n - i
+        _mirror_triangle_strip(matrix, flat, 0, n)
         return matrix
     pairs = [(x, y) for x in xs for y in ys]
     flat = pairwise_values(distance, pairs, workers=workers)
     return flat.reshape(len(xs), len(ys))
+
+
+def _triangle_pairs(
+    xs: Sequence[Any], start: int, stop: int
+) -> List[Tuple[Any, Any]]:
+    """Upper-triangle pairs (diagonal included) for rows start..stop."""
+    n = len(xs)
+    return [(xs[i], xs[j]) for i in range(start, stop) for j in range(i, n)]
+
+
+def _mirror_triangle_strip(
+    out: np.ndarray, flat: np.ndarray, start: int, stop: int
+) -> None:
+    """Write the row strip evaluated by :func:`_triangle_pairs` into
+    *out*, mirroring each row's tail into the matching column."""
+    n = out.shape[0]
+    pos = 0
+    for i in range(start, stop):
+        row = flat[pos : pos + n - i]
+        out[i, i:] = row
+        out[i:, i] = row
+        pos += n - i
+
+
+def pairwise_matrix_blocks(
+    distance: DistanceLike,
+    xs: Sequence[Any],
+    ys: Optional[Sequence[Any]] = None,
+    *,
+    block_rows: int = _BLOCK_ROWS,
+    workers: Workers = "auto",
+) -> Iterator[Tuple[int, int, np.ndarray]]:
+    """Stream the matrix of :func:`pairwise_matrix` as row-block shards.
+
+    Yields ``(start, stop, block)`` where ``block[r]`` holds the distances
+    from ``xs[start + r]`` to every column item (``ys``, or ``xs`` itself
+    when ``ys is None``).  Peak memory is one ``block_rows x n_cols``
+    shard plus that block's unique pairs, so paper-scale gene sets whose
+    full matrix exceeds memory can be folded over (or spilled to disk via
+    :func:`pairwise_matrix_memmap`).
+
+    Dedupe, the registered ``x == y`` shortcut and ``workers`` sharding
+    all apply per block; the cross-diagonal mirroring of
+    :func:`pairwise_matrix` does not (a streamed block cannot reuse rows
+    that were never materialised), which is the memory-for-compute
+    trade-off this entry point exists to make.
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    cols = xs if ys is None else ys
+    for start in range(0, len(xs), block_rows):
+        stop = min(start + block_rows, len(xs))
+        pairs = [(xs[i], c) for i in range(start, stop) for c in cols]
+        flat = pairwise_values(distance, pairs, workers=workers)
+        yield start, stop, flat.reshape(stop - start, len(cols))
+
+
+def pairwise_matrix_memmap(
+    distance: DistanceLike,
+    xs: Sequence[Any],
+    ys: Optional[Sequence[Any]] = None,
+    *,
+    path: Union[str, "os.PathLike[str]"],
+    block_rows: int = _BLOCK_ROWS,
+    workers: Workers = "auto",
+) -> np.memmap:
+    """:func:`pairwise_matrix` streamed into an on-disk ``.npy`` memmap.
+
+    Evaluates the matrix block by block (bounded memory, exactly like
+    :func:`pairwise_matrix_blocks`) and writes each shard straight into a
+    ``numpy.lib.format`` file at *path*, so the result can be reopened in
+    a later process with ``np.load(path, mmap_mode="r")``.  The symmetric
+    case (``ys is None``) evaluates only upper-triangle row strips and
+    mirrors them through the memmap, keeping :func:`pairwise_matrix`'s
+    ``C(n, 2) + n`` evaluation saving without holding the matrix in RAM.
+
+    Returns the still-open writable memmap (flushed).
+    """
+    if block_rows < 1:
+        raise ValueError(f"block_rows must be >= 1, got {block_rows}")
+    n_rows = len(xs)
+    n_cols = n_rows if ys is None else len(ys)
+    out = np.lib.format.open_memmap(
+        os.fspath(path), mode="w+", dtype=float, shape=(n_rows, n_cols)
+    )
+    if ys is None:
+        for start in range(0, n_rows, block_rows):
+            stop = min(start + block_rows, n_rows)
+            flat = pairwise_values(
+                distance, _triangle_pairs(xs, start, stop), workers=workers
+            )
+            _mirror_triangle_strip(out, flat, start, stop)
+    else:
+        for start, stop, block in pairwise_matrix_blocks(
+            distance, xs, ys, block_rows=block_rows, workers=workers
+        ):
+            out[start:stop] = block
+    out.flush()
+    return out
 
 
 def distances_from(
@@ -330,7 +503,7 @@ def distances_from(
     source: Any,
     targets: Sequence[Any],
     *,
-    workers: Optional[int] = None,
+    workers: Workers = "auto",
 ) -> np.ndarray:
     """Distances from one *source* to every target (one matrix row)."""
     return pairwise_values(

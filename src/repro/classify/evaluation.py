@@ -8,10 +8,13 @@ is drawn, the remaining labelled data provides the queries, and error
 rates are averaged with their deviation.
 
 Each trial's query batch is classified through the index's
-``bulk_knn`` entry point, so the exhaustive-search column of Table 2 runs
+``bulk_knn`` entry point: the exhaustive-search column of Table 2 runs
 one pair-batched engine sweep per trial (``n_test x n_train`` distances
-stacked into anti-diagonal kernels) instead of a million scalar DP calls;
-the reported distance-computation counts are unchanged by design.
+stacked into anti-diagonal kernels) instead of a million scalar DP calls,
+and the LAESA column batches its ``n_test x n_pivots`` phase the same way
+before the per-query elimination loops run.  Both sweeps auto-shard over
+a process pool when the machine and batch size justify it; the reported
+distance-computation counts are unchanged by design.
 """
 
 from __future__ import annotations

@@ -122,9 +122,11 @@ class NearestNeighborClassifier:
         """Classify a whole batch through the index's ``bulk_knn`` path.
 
         For exhaustive indexes the entire ``queries x items`` pair grid
-        runs through the pair-batched distance engine in one sweep; the
+        runs through the pair-batched distance engine in one sweep; LAESA
+        and AESA indexes batch their pivot phase the same way and feed
+        the per-query elimination loops from the precomputed cache.  The
         returned labels and per-query stats match ``predict_one`` item by
-        item.
+        item (including ``distance_computations``).
         """
         index = self._require_fitted()
         return [
@@ -139,7 +141,8 @@ class NearestNeighborClassifier:
 
         Queries go through the index's :meth:`bulk_knn`, so exhaustive
         scans push the whole query batch through the pair-batched engine
-        in one sweep (pruning indexes keep their per-query search loops).
+        in one sweep, and LAESA/AESA batch their query-to-pivot phase the
+        same way before running the per-query elimination loops.
         """
         if len(items) != len(labels):
             raise ValueError(f"{len(items)} items but {len(labels)} labels")

@@ -6,6 +6,13 @@ repeated prototype/query splits.  Reproduced claims: every normalisation
 beats the raw edit distance; ``d_max`` (non-metric!) is best; ``d_C`` and
 ``d_C,h`` produce identical error rates; LAESA matches exhaustive search
 almost exactly even for the non-metric distances.
+
+Both columns classify each trial's query batch through ``bulk_knn``, so
+the exhaustive column is one engine sweep per trial and the LAESA column
+batches its query-to-pivot phase the same way; and because every index
+breaks distance ties canonically on ``(distance, index)``, any residual
+LAESA-vs-exhaustive disagreement is genuine pruning behaviour under a
+non-metric distance, not tie-ordering noise.
 """
 
 from __future__ import annotations

@@ -33,6 +33,7 @@ __all__ = [
     "SearchStats",
     "CountingDistance",
     "NearestNeighborIndex",
+    "canonical_key",
 ]
 
 Item = TypeVar("Item")
@@ -47,6 +48,20 @@ class SearchResult:
     item: Any
     index: int
     distance: float
+
+
+def canonical_key(result: "SearchResult") -> Tuple[float, int]:
+    """The library-wide result order: ``(distance, index)``.
+
+    Every index breaks distance ties on the smaller item index, so for
+    *metric* distances exhaustive and pruned searches return the *same*
+    neighbour sets (not merely the same distance profiles) and 1-NN
+    labels never flip between structures on ties.  For non-metric
+    distances (``d_max``, ``d_MV``) pruning itself may discard a tied
+    true neighbour -- canonical ordering removes the tie-breaking noise
+    from such comparisons but cannot repair broken triangle bounds.
+    """
+    return (result.distance, result.index)
 
 
 @dataclass(frozen=True)
@@ -65,17 +80,21 @@ class CountingDistance:
     instance per structure so preprocessing and search costs can be
     separated.
 
-    Beyond plain calls, two accelerated entry points share the counter:
+    Beyond plain calls, three accelerated entry points share the counter:
 
     * :meth:`within` consults the distance's early-exit twin (registered
       via :mod:`repro.core.bounded`) so a search holding a best radius can
       abandon hopeless candidates after a banded DP instead of a full one;
     * :meth:`many` evaluates a whole pair list through the pair-batched
-      engine (:mod:`repro.batch`).
+      engine (:mod:`repro.batch`);
+    * :meth:`precompute` evaluates a query-batch x reference matrix
+      through the engine *without* counting; batched query phases
+      (LAESA/AESA ``bulk_knn``) then :meth:`charge` individual entries at
+      the moment their elimination loop actually demands that distance.
 
-    Both count exactly like the equivalent sequence of plain calls -- the
-    paper's "number of distance computations" metric measures what the
-    *algorithm* demands, not how cheaply the library satisfies it.
+    All of them count exactly like the equivalent sequence of plain calls
+    -- the paper's "number of distance computations" metric measures what
+    the *algorithm* demands, not how cheaply the library satisfies it.
     """
 
     def __init__(self, distance: Distance) -> None:
@@ -103,6 +122,31 @@ class CountingDistance:
 
         self.calls += len(pairs)
         return pairwise_values(self._distance, pairs)
+
+    def precompute(
+        self, queries: Sequence[Any], references: Sequence[Any]
+    ) -> np.ndarray:
+        """The ``queries x references`` distance matrix through the batch
+        engine, **without** touching the counter.
+
+        The matrix is a cache, not demanded work: a batched query phase
+        computes it in one auto-sharded engine sweep, then its per-query
+        elimination loop reads entries out of it and accounts for each
+        one via :meth:`charge` only when the scalar algorithm would have
+        computed that distance -- so reported counts stay identical to
+        the scalar search while the wall-clock drops.  Values are
+        bit-identical to plain calls: the engine guarantees this for
+        registered distances and invokes unregistered callables on the
+        raw item representations, exactly like the scalar search path.
+        """
+        from ..batch import pairwise_matrix
+
+        return pairwise_matrix(self._distance, queries, references)
+
+    def charge(self, n: int = 1) -> None:
+        """Count *n* computations satisfied from a :meth:`precompute`
+        cache, exactly as if they had been plain calls."""
+        self.calls += n
 
     def take(self) -> int:
         """Return the current count and reset it to zero."""
@@ -137,7 +181,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             d = distance(query, item)
             if d <= radius:
                 hits.append(SearchResult(item=item, index=idx, distance=d))
-        hits.sort(key=lambda r: r.distance)
+        hits.sort(key=canonical_key)
         return hits
 
     def range_search(
@@ -187,9 +231,50 @@ class NearestNeighborIndex(ABC, Generic[Item]):
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
         """k-NN for a whole query batch, one ``(results, stats)`` each.
 
-        The default simply loops :meth:`knn`; structures whose search is a
-        flat scan (see :class:`~repro.index.exhaustive.ExhaustiveIndex`)
-        override this to push the entire batch through the pair-batched
-        distance engine at once.
+        The default simply loops :meth:`knn`; structures with a batchable
+        phase override it -- exhaustive scans push the whole query grid
+        through the pair-batched engine
+        (:class:`~repro.index.exhaustive.ExhaustiveIndex`), LAESA and
+        AESA fan the batch against their pivots in one sweep and feed the
+        per-query elimination loops from the resulting cache
+        (:class:`~repro.index.laesa.LaesaIndex`,
+        :class:`~repro.index.aesa.AesaIndex`).  Every override returns
+        results and per-query ``distance_computations`` identical to this
+        loop.
         """
         return [self.knn(query, k) for query in queries]
+
+    def _bulk_knn_with_pivot_cache(
+        self, queries: Sequence[Item], k: int, pivot_items: Sequence[Item]
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """The shared batched query phase behind LAESA's and AESA's
+        ``bulk_knn``.
+
+        One :meth:`CountingDistance.precompute` sweep evaluates the full
+        ``queries x pivot_items`` matrix (auto-sharded over a process
+        pool when large enough); each query then runs the subclass's
+        ``_search(query, k, pivot_cache=row)`` -- which must accept the
+        ``pivot_cache`` keyword and charge the counter per entry it
+        consumes -- so results and per-query counts are identical to the
+        scalar loop.  The sweep's measured wall-clock is split evenly
+        across the per-query stats, like the exhaustive bulk path.
+        """
+        started = time.perf_counter()
+        cache = self._counter.precompute(queries, pivot_items)
+        sweep_share = (time.perf_counter() - started) / len(queries)
+        out: List[Tuple[List[SearchResult], SearchStats]] = []
+        for qi, query in enumerate(queries):
+            self._counter.take()
+            q_started = time.perf_counter()
+            results = self._search(query, k, pivot_cache=cache[qi])
+            elapsed = time.perf_counter() - q_started + sweep_share
+            out.append(
+                (
+                    results,
+                    SearchStats(
+                        distance_computations=self._counter.take(),
+                        elapsed_seconds=elapsed,
+                    ),
+                )
+            )
+        return out

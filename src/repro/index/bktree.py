@@ -18,7 +18,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Dict, List, Sequence
 
-from .base import NearestNeighborIndex, SearchResult
+from .base import NearestNeighborIndex, SearchResult, canonical_key
 
 __all__ = ["BKTreeIndex"]
 
@@ -102,7 +102,7 @@ class BKTreeIndex(NearestNeighborIndex):
             for child_key, child in node.children.items():
                 if abs(key - child_key) <= radius:
                     stack.append(child)
-        hits.sort(key=lambda r: r.distance)
+        hits.sort(key=canonical_key)
         return hits
 
     def _search(self, query, k: int) -> List[SearchResult]:
@@ -118,10 +118,13 @@ class BKTreeIndex(NearestNeighborIndex):
             d = self._counter.within(query, self.items[node.index], limit)
             if d > limit:
                 continue  # cannot enter the heap nor reach any child
+            entry = (-d, -node.index)
             if len(best) < k:
-                heapq.heappush(best, (-d, node.index))
-            elif -best[0][0] > d:
-                heapq.heapreplace(best, (-d, node.index))
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                # canonical (distance, index) tie-breaking, shared by all
+                # index structures: equal distances keep the smaller index
+                heapq.heapreplace(best, entry)
             radius = kth_best()
             key = self._integer(d)
             for child_key, child in node.children.items():
@@ -129,7 +132,7 @@ class BKTreeIndex(NearestNeighborIndex):
                 # so their distance from the query is >= |d - child_key|
                 if abs(key - child_key) <= radius:
                     stack.append(child)
-        ordered = sorted(((-nd, idx) for nd, idx in best))
+        ordered = sorted((-nd, -nidx) for nd, nidx in best)
         return [
             SearchResult(item=self.items[idx], index=idx, distance=d)
             for d, idx in ordered

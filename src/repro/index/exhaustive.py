@@ -13,13 +13,12 @@ reported computation count, a fraction of the wall-clock.
 
 from __future__ import annotations
 
-import heapq
 import time
 from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from .base import NearestNeighborIndex, SearchResult, SearchStats
+from .base import NearestNeighborIndex, SearchResult, SearchStats, canonical_key
 
 __all__ = ["ExhaustiveIndex"]
 
@@ -32,22 +31,19 @@ class ExhaustiveIndex(NearestNeighborIndex):
         return self._row_results(distances, k)
 
     def _row_results(self, row: np.ndarray, k: int) -> List[SearchResult]:
-        # Replay the historical heap scan over the precomputed distances so
-        # tie-breaking on equal distances is unchanged: new items enter
-        # only when strictly better, and eviction pops the smallest index
-        # among the tied-worst.  (A plain (distance, index) sort keeps a
-        # *different* tied subset, which would shift k-NN votes on ties.)
-        heap: List = []  # max-heap of the k best via negated distances
-        for idx in range(len(row)):
-            d = float(row[idx])
-            if len(heap) < k:
-                heapq.heappush(heap, (-d, idx))
-            elif -heap[0][0] > d:
-                heapq.heapreplace(heap, (-d, idx))
-        best = sorted(((-nd, idx) for nd, idx in heap))
+        # Canonical (distance, index) order: a *stable* argsort on the
+        # distances keeps equal-distance items in ascending index order,
+        # which is exactly the tie-breaking every pruning index applies in
+        # its k-best heap -- so exhaustive and pruned searches return the
+        # same neighbour sets even on ties.
+        order = np.argsort(row, kind="stable")[:k]
         return [
-            SearchResult(item=self.items[idx], index=idx, distance=d)
-            for d, idx in best
+            SearchResult(
+                item=self.items[int(idx)],
+                index=int(idx),
+                distance=float(row[idx]),
+            )
+            for idx in order
         ]
 
     def bulk_knn(
@@ -84,5 +80,5 @@ class ExhaustiveIndex(NearestNeighborIndex):
             for idx, d in enumerate(distances)
             if d <= radius
         ]
-        hits.sort(key=lambda r: r.distance)
+        hits.sort(key=canonical_key)
         return hits

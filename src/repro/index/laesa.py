@@ -20,6 +20,12 @@ against:
 With 0 pivots LAESA degenerates into an exhaustive scan, which is exactly
 the leftmost point of the paper's Figures 3 and 4.
 
+Query batches go through :meth:`LaesaIndex.bulk_knn`: the entire
+``queries x pivots`` distance matrix is computed in one pair-batched
+engine sweep (auto-sharded over a process pool when large enough) before
+the per-query elimination loops run -- identical results and identical
+reported computation counts, a fraction of the wall-clock.
+
 Correctness requires the distance to be a metric; the paper nevertheless
 runs LAESA with the non-metric ``d_max`` and ``d_MV`` in Table 2 and
 observes (as we do) that the error rate barely moves -- the library allows
@@ -31,11 +37,11 @@ from __future__ import annotations
 
 import heapq
 import random
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .base import NearestNeighborIndex, SearchResult
+from .base import NearestNeighborIndex, SearchResult, SearchStats, canonical_key
 from .pivots import select_pivots
 
 __all__ = ["LaesaIndex"]
@@ -102,10 +108,21 @@ class LaesaIndex(NearestNeighborIndex):
                 f"{len(pivot_indices)} pivot indices but "
                 f"{len(pivot_rows)} matrix rows"
             )
+        rows = np.asarray(pivot_rows, dtype=float)
+        if len(pivot_indices) == 0:
+            rows = rows.reshape(0, len(items))
+        elif rows.ndim != 2 or rows.shape[1] != len(items):
+            # a wrong-width matrix would silently broadcast (or crash deep
+            # inside _search) -- reject it at construction instead
+            raise ValueError(
+                f"pivot matrix has shape {rows.shape}; expected "
+                f"({len(pivot_indices)}, {len(items)}) for "
+                f"{len(items)} indexed items"
+            )
         index = cls.__new__(cls)
         NearestNeighborIndex.__init__(index, items, distance)
         index.pivot_indices = list(pivot_indices)
-        index.pivot_rows = np.asarray(pivot_rows, dtype=float)
+        index.pivot_rows = rows
         index.preprocessing_computations = 0
         index._pivot_position = {
             item_idx: row for row, item_idx in enumerate(index.pivot_indices)
@@ -139,60 +156,82 @@ class LaesaIndex(NearestNeighborIndex):
                 d = distance.within(query, items[idx], radius)
             if d <= radius:
                 hits.append(SearchResult(item=items[idx], index=idx, distance=d))
-        hits.sort(key=lambda r: r.distance)
+        hits.sort(key=canonical_key)
         return hits
 
-    def _search(self, query, k: int) -> List[SearchResult]:
+    def _search(
+        self,
+        query,
+        k: int,
+        pivot_cache: Optional[np.ndarray] = None,
+    ) -> List[SearchResult]:
         distance = self._counter
         items = self.items
         n = len(items)
         alive = np.ones(n, dtype=bool)
         bounds = np.zeros(n, dtype=float)
-        pending_pivots = list(self.pivot_indices)  # item indices, unused yet
-        # max-heap (negated) of the k best found so far
-        best: List = []
+        pending = list(self.pivot_indices)  # alive, not-yet-compared pivots
+        # min-heap of (-distance, -index): the root is the canonical worst
+        # of the k best found so far under (distance, index) order
+        best: List[Tuple[float, int]] = []
 
         def kth_best() -> float:
             return -best[0][0] if len(best) == k else float("inf")
 
         def record(idx: int, d: float) -> None:
+            entry = (-d, -idx)
             if len(best) < k:
-                heapq.heappush(best, (-d, idx))
-            elif -best[0][0] > d:
-                heapq.heapreplace(best, (-d, idx))
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                # canonical (distance, index) order: the newcomer replaces
+                # the worst on a smaller distance, or on an equal distance
+                # and a smaller index -- every index structure breaks ties
+                # the same way, so tied k-NN sets agree across structures
+                heapq.heapreplace(best, entry)
 
         # First comparison: the first pivot if any, else item 0.
-        current = pending_pivots[0] if pending_pivots else 0
+        current = pending[0] if pending else 0
         while True:
             alive[current] = False
-            if current in self._pivot_position and current in pending_pivots:
-                pending_pivots.remove(current)
-                row = self.pivot_rows[self._pivot_position[current]]
-            else:
-                row = None
-            if row is None:
+            row_pos = self._pivot_position.get(current)
+            if row_pos is None:
                 # Non-pivot candidates only need their distance when it can
                 # enter the k-best heap: the early-exit twin abandons the
                 # banded DP as soon as the current best radius is exceeded.
                 d = distance.within(query, items[current], kth_best())
             else:
                 # Pivot distances tighten every bound via |d(q,p) - d(p,u)|
-                # and must therefore be exact.
-                d = distance(query, items[current])
+                # and must therefore be exact.  bulk_knn precomputes them
+                # in one engine sweep; the cache entry is charged here, at
+                # the moment the scalar loop would have computed it.
+                if pivot_cache is None:
+                    d = distance(query, items[current])
+                else:
+                    distance.charge()
+                    d = float(pivot_cache[row_pos])
+                np.maximum(
+                    bounds,
+                    np.abs(self.pivot_rows[row_pos] - d),
+                    out=bounds,
+                )
             record(current, d)
-            if row is not None:
-                np.maximum(bounds, np.abs(row - d), out=bounds)
             # Eliminate candidates that provably cannot beat the kth best.
             radius = kth_best()
             if radius < float("inf"):
                 alive &= bounds <= radius
-            # Choose the next comparison: alive unused pivots first.
+            # Choose the next comparison: alive unused pivots first.  Dead
+            # pivots are dropped from `pending` for good, so the scan
+            # shrinks as elimination progresses (the old list bookkeeping
+            # paid O(P) membership tests and removals per iteration, which
+            # made query cost quadratic in the pivot count).
             next_pivot = None
-            best_bound = float("inf")
-            for p in pending_pivots:
-                if alive[p] and bounds[p] < best_bound:
-                    best_bound = bounds[p]
-                    next_pivot = p
+            if pending:
+                pending = [p for p in pending if alive[p]]
+                best_bound = float("inf")
+                for p in pending:
+                    if bounds[p] < best_bound:
+                        best_bound = bounds[p]
+                        next_pivot = p
             if next_pivot is not None:
                 current = next_pivot
                 continue
@@ -205,8 +244,33 @@ class LaesaIndex(NearestNeighborIndex):
             # loop forever; this always selects an alive item, so every
             # iteration retires one candidate.
             current = int(candidates[np.argmin(bounds[candidates])])
-        ordered = sorted(((-nd, idx) for nd, idx in best))
+        ordered = sorted((-nd, -nidx) for nd, nidx in best)
         return [
             SearchResult(item=items[idx], index=idx, distance=d)
             for d, idx in ordered
         ]
+
+    def bulk_knn(
+        self, queries: Sequence[Any], k: int
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """k-NN for a whole query batch with a batched pivot phase.
+
+        One engine sweep computes the full ``queries x pivots`` distance
+        matrix up front
+        (:meth:`~repro.index.base.NearestNeighborIndex._bulk_knn_with_pivot_cache`);
+        each query's elimination loop then reads its pivot distances from
+        that cache, charging the counter only for entries the scalar
+        loop would have computed.  Results, neighbour order and per-query
+        ``distance_computations`` are identical to looping :meth:`knn`
+        (asserted by the tests); only the wall-clock drops.
+        """
+        self._validate_k(k)
+        queries = list(queries)
+        if not queries:
+            return []
+        if not self.pivot_indices:
+            # 0 pivots degenerates into a linear scan with no pivot phase
+            # to batch; keep the per-query loop (and its counts) verbatim.
+            return super().bulk_knn(queries, k)
+        pivot_items = [self.items[i] for i in self.pivot_indices]
+        return self._bulk_knn_with_pivot_cache(queries, k, pivot_items)

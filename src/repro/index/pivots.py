@@ -9,7 +9,10 @@ ablation benchmark.
 Every strategy returns ``(pivot_indices, rows)`` where ``rows[t]`` is the
 vector of distances from pivot ``t`` to every item -- the rows double as
 LAESA's preprocessed matrix, so selection costs no extra distance
-computations beyond the ``n_pivots * n`` the matrix needs anyway.
+computations beyond the ``n_pivots * n`` the matrix needs anyway.  Each
+row is one pair-batched engine sweep, which since the engine's
+``workers="auto"`` default also shards across a process pool on machines
+and row sizes where the pool pays for itself.
 """
 
 from __future__ import annotations

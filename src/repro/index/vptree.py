@@ -16,7 +16,7 @@ import random
 import statistics
 from typing import Any, Callable, List, Optional, Sequence
 
-from .base import NearestNeighborIndex, SearchResult
+from .base import NearestNeighborIndex, SearchResult, canonical_key
 
 __all__ = ["VPTreeIndex"]
 
@@ -95,7 +95,7 @@ class VPTreeIndex(NearestNeighborIndex):
                 visit(node.outside)
 
         visit(self._root)
-        hits.sort(key=lambda r: r.distance)
+        hits.sort(key=canonical_key)
         return hits
 
     def _search(self, query, k: int) -> List[SearchResult]:
@@ -114,10 +114,14 @@ class VPTreeIndex(NearestNeighborIndex):
                 # outside child is still reachable (d > mu by a margin).
                 visit(node.outside)
                 return
+            entry = (-d, -node.index)
             if len(best) < k:
-                heapq.heappush(best, (-d, node.index))
-            elif -best[0][0] > d:
-                heapq.heapreplace(best, (-d, node.index))
+                heapq.heappush(best, entry)
+            elif entry > best[0]:
+                # canonical (distance, index) tie-breaking: equal-distance
+                # entries keep the smaller index, matching every other
+                # index structure
+                heapq.heapreplace(best, entry)
             # visit the likelier side first, prune the other when possible
             # (kth_best() is re-evaluated after each child visit on purpose:
             # the radius may shrink while a subtree is explored)
@@ -131,7 +135,7 @@ class VPTreeIndex(NearestNeighborIndex):
                     visit(node.inside)
 
         visit(self._root)
-        ordered = sorted(((-nd, idx) for nd, idx in best))
+        ordered = sorted((-nd, -nidx) for nd, nidx in best)
         return [
             SearchResult(item=self.items[idx], index=idx, distance=d)
             for d, idx in ordered

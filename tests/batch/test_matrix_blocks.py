@@ -1,0 +1,127 @@
+"""Streaming matrix shards, the on-disk memmap, and auto-sharding."""
+
+import random
+
+import numpy as np
+import pytest
+
+import repro.batch.engine as engine
+from repro.batch import (
+    pairwise_matrix,
+    pairwise_matrix_blocks,
+    pairwise_matrix_memmap,
+    pairwise_values,
+)
+
+
+def _random_strings(seed, count, max_len, alphabet="abc"):
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice(alphabet) for _ in range(rng.randint(0, max_len)))
+        for _ in range(count)
+    ]
+
+
+class TestBlocks:
+    def test_blocks_reassemble_symmetric_matrix(self):
+        items = _random_strings(1, 17, 9) + ["", "dup", "dup"]
+        full = pairwise_matrix("levenshtein", items)
+        parts = list(pairwise_matrix_blocks("levenshtein", items, block_rows=4))
+        starts = [start for start, _, _ in parts]
+        stops = [stop for _, stop, _ in parts]
+        assert starts == list(range(0, len(items), 4))
+        assert stops == starts[1:] + [len(items)]
+        stacked = np.vstack([block for _, _, block in parts])
+        assert np.array_equal(stacked, full)
+
+    def test_blocks_reassemble_rectangular_matrix(self):
+        xs = _random_strings(2, 7, 8)
+        ys = _random_strings(3, 5, 8)
+        full = pairwise_matrix("dmax", xs, ys)
+        stacked = np.vstack(
+            [b for _, _, b in pairwise_matrix_blocks("dmax", xs, ys, block_rows=3)]
+        )
+        assert np.array_equal(stacked, full)
+
+    def test_single_oversized_block(self):
+        xs = _random_strings(4, 5, 6)
+        parts = list(pairwise_matrix_blocks("levenshtein", xs, block_rows=100))
+        assert len(parts) == 1
+        assert parts[0][:2] == (0, 5)
+
+    def test_invalid_block_rows_rejected(self):
+        with pytest.raises(ValueError):
+            list(pairwise_matrix_blocks("levenshtein", ["a"], block_rows=0))
+
+
+class TestMemmap:
+    def test_symmetric_memmap_matches_in_memory(self, tmp_path):
+        items = _random_strings(5, 19, 9) + ["", "x"]
+        path = tmp_path / "sym.npy"
+        mm = pairwise_matrix_memmap(
+            "yujian_bo", items, path=path, block_rows=5
+        )
+        full = pairwise_matrix("yujian_bo", items)
+        assert isinstance(mm, np.memmap)
+        assert np.array_equal(np.asarray(mm), full)
+        # reopenable in a later process without rebuilding
+        reloaded = np.load(path, mmap_mode="r")
+        assert np.array_equal(np.asarray(reloaded), full)
+
+    def test_rectangular_memmap_matches_in_memory(self, tmp_path):
+        xs = _random_strings(6, 8, 7)
+        ys = _random_strings(7, 6, 7)
+        path = tmp_path / "rect.npy"
+        mm = pairwise_matrix_memmap(
+            "levenshtein", xs, ys, path=path, block_rows=3
+        )
+        assert np.array_equal(
+            np.asarray(mm), pairwise_matrix("levenshtein", xs, ys)
+        )
+
+    def test_invalid_block_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            pairwise_matrix_memmap(
+                "levenshtein", ["a"], path=tmp_path / "m.npy", block_rows=-1
+            )
+
+
+class TestAutoWorkers:
+    def test_auto_serial_below_threshold(self, monkeypatch):
+        monkeypatch.setattr(engine, "_cpu_count", lambda: 8)
+        # 8 cores but too few pairs per worker -> serial
+        assert engine._resolve_workers("auto", 100, True) == 0
+
+    def test_auto_shards_when_pairs_justify_pool(self, monkeypatch):
+        monkeypatch.setattr(engine, "_cpu_count", lambda: 4)
+        n = 4 * engine._MIN_PAIRS_PER_WORKER
+        assert engine._resolve_workers("auto", n, True) == 4
+
+    def test_auto_serial_on_single_core(self, monkeypatch):
+        monkeypatch.setattr(engine, "_cpu_count", lambda: 1)
+        assert engine._resolve_workers("auto", 10**6, True) == 0
+
+    def test_auto_serial_for_unregistered(self, monkeypatch):
+        monkeypatch.setattr(engine, "_cpu_count", lambda: 8)
+        assert engine._resolve_workers("auto", 10**6, False) == 0
+
+    def test_explicit_workers_passed_through(self):
+        assert engine._resolve_workers(3, 10, True) == 3
+        assert engine._resolve_workers(None, 10, True) == 0
+        assert engine._resolve_workers(0, 10, True) == 0
+
+    def test_unknown_string_rejected_clearly(self):
+        with pytest.raises(ValueError, match="'auto'"):
+            pairwise_values("levenshtein", [("a", "b")], workers="max")
+
+    def test_auto_default_matches_serial_values(self, monkeypatch):
+        pairs = [
+            (x, y)
+            for x in _random_strings(8, 9, 8)
+            for y in _random_strings(9, 7, 8)
+        ]
+        monkeypatch.setattr(engine, "_MIN_PAIRS_PER_WORKER", 4)
+        monkeypatch.setattr(engine, "_cpu_count", lambda: 2)
+        auto = pairwise_values("levenshtein", pairs)  # workers="auto"
+        serial = pairwise_values("levenshtein", pairs, workers=None)
+        assert np.array_equal(auto, serial)

@@ -1,0 +1,143 @@
+"""Batched query phases: ``bulk_knn`` must match per-query ``knn``
+result-for-result and count-for-count, with auto-sharding on and off."""
+
+import random
+
+import pytest
+
+import repro.batch.engine as engine
+from repro.core import get_distance
+from repro.index import AesaIndex, ExhaustiveIndex, LaesaIndex
+
+
+@pytest.fixture(scope="module")
+def words():
+    gen = random.Random(0xBEEF)
+    return sorted(
+        {
+            "".join(gen.choice("abcd") for _ in range(gen.randint(1, 9)))
+            for _ in range(110)
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def queries(words):
+    gen = random.Random(0xF00D)
+    made = [
+        "".join(gen.choice("abcde") for _ in range(gen.randint(0, 8)))
+        for _ in range(25)
+    ]
+    return made + [words[3], words[3], words[-1]]  # members + duplicates
+
+
+def _check_bulk_matches_scalar(index, queries, k):
+    scalar = [index.knn(q, k) for q in queries]
+    batch = index.bulk_knn(queries, k)
+    assert len(batch) == len(scalar)
+    for (truth, t_stats), (got, g_stats) in zip(scalar, batch):
+        assert [(r.index, r.distance) for r in got] == [
+            (r.index, r.distance) for r in truth
+        ]
+        assert (
+            g_stats.distance_computations == t_stats.distance_computations
+        )
+        assert g_stats.elapsed_seconds >= 0.0
+
+
+@pytest.mark.parametrize("name", ["levenshtein", "dmax", "contextual_heuristic"])
+@pytest.mark.parametrize("n_pivots", [1, 8])
+@pytest.mark.parametrize("k", [1, 4])
+def test_laesa_bulk_matches_scalar(words, queries, name, n_pivots, k):
+    index = LaesaIndex(words, get_distance(name), n_pivots=n_pivots)
+    _check_bulk_matches_scalar(index, queries, k)
+
+
+def test_laesa_zero_pivots_falls_back_to_loop(words, queries):
+    index = LaesaIndex(words, get_distance("levenshtein"), n_pivots=0)
+    _check_bulk_matches_scalar(index, queries, 2)
+
+
+def test_laesa_bulk_empty_batch(words):
+    index = LaesaIndex(words, get_distance("levenshtein"), n_pivots=4)
+    assert index.bulk_knn([], 1) == []
+
+
+def test_aesa_bulk_matches_scalar(words, queries):
+    index = AesaIndex(words[:40], get_distance("levenshtein"))
+    _check_bulk_matches_scalar(index, queries, 3)
+
+
+def test_aesa_large_database_falls_back_to_loop(words, queries, monkeypatch):
+    # above the sweep gate the full-grid precompute would be slower than
+    # AESA's near-constant scalar visits; bulk_knn must loop instead
+    index = AesaIndex(words[:40], get_distance("levenshtein"))
+    monkeypatch.setattr(AesaIndex, "_BULK_SWEEP_MAX_ITEMS", 10)
+    sweeps = []
+    monkeypatch.setattr(
+        type(index._counter),
+        "precompute",
+        lambda self, q, r: sweeps.append(1),
+    )
+    _check_bulk_matches_scalar(index, queries[:6], 2)
+    assert not sweeps, "sweep used despite exceeding the size gate"
+
+
+def test_exhaustive_bulk_matches_scalar(words, queries):
+    index = ExhaustiveIndex(words, get_distance("dmax"))
+    _check_bulk_matches_scalar(index, queries, 2)
+
+
+def test_unregistered_callable_distance(words, queries):
+    # arbitrary callables take the engine's scalar fallback inside the
+    # precompute sweep; results and counts must still match exactly
+    def exotic(x, y):
+        return float(abs(len(x) - len(y)) + sum(a != b for a, b in zip(x, y)))
+
+    index = LaesaIndex(words[:30], exotic, n_pivots=4)
+    _check_bulk_matches_scalar(index, queries[:8], 2)
+
+
+def test_representation_sensitive_callable_over_list_items(words):
+    # the precompute sweep must hand unregistered callables the *raw*
+    # items: a callable that insists on lists would crash (or score
+    # differently) on the engine's as_symbols-normalised tuples
+    def list_only(x, y):
+        assert isinstance(x, list) and isinstance(y, list), (x, y)
+        return float(abs(len(x) - len(y)) + sum(a != b for a, b in zip(x, y)))
+
+    items = [list(w) for w in words[:20]]
+    queries = [list(w) for w in words[5:10]] + [list("abc")]
+    for index in (
+        LaesaIndex(items, list_only, n_pivots=3),
+        AesaIndex(items, list_only),
+    ):
+        _check_bulk_matches_scalar(index, queries, 2)
+
+
+def test_bulk_with_auto_sharding_engaged(words, queries, monkeypatch):
+    """Force workers="auto" to attempt a pool and verify identical output."""
+    attempts = []
+    real_fan_out = engine._fan_out
+
+    def spying_fan_out(name, pairs, workers):
+        attempts.append((name, len(pairs), workers))
+        return real_fan_out(name, pairs, workers)
+
+    index = LaesaIndex(words, get_distance("levenshtein"), n_pivots=8)
+    scalar = [index.knn(q, 1) for q in queries]
+
+    monkeypatch.setattr(engine, "_MIN_PAIRS_PER_WORKER", 2)
+    monkeypatch.setattr(engine, "_cpu_count", lambda: 2)
+    monkeypatch.setattr(engine, "_fan_out", spying_fan_out)
+    batch = index.bulk_knn(queries, 1)
+
+    assert attempts, "auto-sharding never attempted a pool"
+    assert all(workers == 2 for _, _, workers in attempts)
+    for (truth, t_stats), (got, g_stats) in zip(scalar, batch):
+        assert [(r.index, r.distance) for r in got] == [
+            (r.index, r.distance) for r in truth
+        ]
+        assert (
+            g_stats.distance_computations == t_stats.distance_computations
+        )

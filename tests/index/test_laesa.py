@@ -2,6 +2,7 @@
 
 import random
 
+import numpy as np
 import pytest
 
 from repro.core import get_distance
@@ -108,3 +109,32 @@ class TestFromPivots:
         )
         with pytest.raises(ValueError):
             LaesaIndex.from_pivots(small_word_list, distance, indices[:3], rows)
+
+    def test_wrong_width_rows_rejected(self, small_word_list):
+        # right row *count*, wrong row *width*: would silently broadcast
+        # (or crash deep inside _search) without the shape validation
+        distance = get_distance("levenshtein")
+        indices, rows = select_pivots(
+            small_word_list, distance, 4, rng=random.Random(6)
+        )
+        with pytest.raises(ValueError, match="shape"):
+            LaesaIndex.from_pivots(
+                small_word_list, distance, indices, rows[:, :-1]
+            )
+
+    def test_transposed_rows_rejected(self, small_word_list):
+        distance = get_distance("levenshtein")
+        indices, rows = select_pivots(
+            small_word_list, distance, 4, rng=random.Random(7)
+        )
+        square = rows[:, : len(indices)]  # 4 x 4: transposed-shape trap
+        with pytest.raises(ValueError, match="shape"):
+            LaesaIndex.from_pivots(small_word_list, distance, indices, square)
+
+    def test_zero_pivots_accepted(self, small_word_list):
+        distance = get_distance("levenshtein")
+        index = LaesaIndex.from_pivots(
+            small_word_list, distance, [], np.zeros((0, len(small_word_list)))
+        )
+        result, stats = index.nearest("abc")
+        assert stats.distance_computations == len(small_word_list)

@@ -1,0 +1,115 @@
+"""Canonical (distance, index) tie-breaking across every index.
+
+Short words over a tiny alphabet produce dense distance ties; the k-NN
+*sets* (not just the distance profiles) must agree between the exhaustive
+scan and every pruning structure, so 1-NN labels never flip on ties
+depending on which index answered the query.
+"""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import get_distance
+from repro.index import (
+    AesaIndex,
+    BKTreeIndex,
+    ExhaustiveIndex,
+    LaesaIndex,
+    VPTreeIndex,
+)
+from repro.index.base import canonical_key
+
+
+def _pairs(results):
+    return [(r.index, r.distance) for r in results]
+
+
+def _tied_indexes(items, distance):
+    return [
+        LaesaIndex(items, distance, n_pivots=min(4, len(items))),
+        AesaIndex(items, distance),
+        BKTreeIndex(items, distance),
+        VPTreeIndex(items, distance, rng=random.Random(7)),
+    ]
+
+
+class TestEngineeredTies:
+    """All 2^4 binary words: almost every query distance is tied."""
+
+    @pytest.fixture(scope="class")
+    def items(self):
+        return ["".join(p) for p in itertools.product("ab", repeat=4)]
+
+    @pytest.mark.parametrize("query", ["baba", "aaaa", "ab", "bbbbbb", ""])
+    @pytest.mark.parametrize("k", [1, 3, 6, 16])
+    def test_knn_sets_identical(self, items, query, k):
+        distance = get_distance("levenshtein")
+        truth = ExhaustiveIndex(items, distance).knn(query, k)[0]
+        # the exhaustive truth itself is canonically ordered
+        assert truth == sorted(truth, key=canonical_key)
+        for index in _tied_indexes(items, distance):
+            got = index.knn(query, k)[0]
+            assert _pairs(got) == _pairs(truth), type(index).__name__
+
+    def test_tied_1nn_never_flips(self, items):
+        # "abab" vs "baba" style queries are equidistant from many items;
+        # every index must elect the same (smallest-index) winner
+        distance = get_distance("levenshtein")
+        for query in items + ["ba", "abb"]:
+            truth = ExhaustiveIndex(items, distance).nearest(query)[0]
+            for index in _tied_indexes(items, distance):
+                found = index.nearest(query)[0]
+                assert (found.index, found.distance) == (
+                    truth.index,
+                    truth.distance,
+                ), type(index).__name__
+
+    def test_range_results_canonically_ordered(self, items):
+        distance = get_distance("levenshtein")
+        truth = ExhaustiveIndex(items, distance).range_search("abab", 2.0)[0]
+        for index in _tied_indexes(items, distance):
+            got = index.range_search("abab", 2.0)[0]
+            assert _pairs(got) == _pairs(truth), type(index).__name__
+
+
+_word = st.text(alphabet="ab", min_size=0, max_size=4)
+
+
+@given(
+    st.lists(_word, min_size=2, max_size=14, unique=True),
+    _word,
+    st.integers(1, 5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_knn_sets_identical(items, query, k):
+    k = min(k, len(items))
+    distance = get_distance("levenshtein")
+    truth = ExhaustiveIndex(items, distance).knn(query, k)[0]
+    for index in _tied_indexes(items, distance):
+        got = index.knn(query, k)[0]
+        assert _pairs(got) == _pairs(truth), type(index).__name__
+
+
+@given(
+    st.lists(_word, min_size=2, max_size=12, unique=True),
+    _word,
+)
+@settings(max_examples=25, deadline=None)
+def test_property_normalised_distance_sets_identical(items, query):
+    # real-valued *metric* distance (no BK-tree: it needs integer values).
+    # A non-metric distance such as dmax would be wrong here: without the
+    # triangle inequality, pruning can legitimately discard a tied true
+    # neighbour, so identical sets are only guaranteed for metrics.
+    distance = get_distance("yujian_bo")
+    k = min(3, len(items))
+    truth = ExhaustiveIndex(items, distance).knn(query, k)[0]
+    for index in (
+        LaesaIndex(items, distance, n_pivots=min(3, len(items))),
+        AesaIndex(items, distance),
+        VPTreeIndex(items, distance, rng=random.Random(11)),
+    ):
+        got = index.knn(query, k)[0]
+        assert _pairs(got) == _pairs(truth), type(index).__name__
