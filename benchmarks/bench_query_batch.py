@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.batch import jit
 from repro.datasets import handwritten_digits
 from repro.core import get_distance
 from repro.index import AesaIndex, LaesaIndex
@@ -130,6 +131,9 @@ def run_benchmark(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        # numpy vs numba: the CI kernel-backend matrix appends one record
+        # per leg (BENCH_kernel.json) so the trajectory shows both
+        "kernel_backend": jit.backend_name(),
     }
 
 

@@ -1,9 +1,17 @@
 """Legacy shim so `pip install -e .` works without the `wheel` package.
 
-All real metadata lives in pyproject.toml; this file only exists because
-the offline environment cannot perform PEP 660 editable installs.
+This file also declares the optional extras: ``pip install repro[jit]``
+pulls in numba, which switches every DP kernel (scalar and batched) to
+the compiled backend -- strictly optional, the numpy/pure-Python paths
+are always available and bit-identical.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    install_requires=["numpy"],
+    extras_require={"jit": ["numba"]},
+)

@@ -10,6 +10,9 @@ route their bulk distance needs through here.
 Entry points:
 
 * :func:`pairwise_values` -- distances for an explicit pair list;
+* :func:`pairwise_values_bounded` -- early-exit distances with per-pair
+  limits, bit-identical to ``CountingDistance.within`` (the batched
+  candidate phase of the lockstep ``bulk_knn`` drivers);
 * :func:`pairwise_matrix` -- a full (or symmetric upper-triangle) matrix;
 * :func:`pairwise_matrix_blocks` -- the matrix streamed as row-block
   shards (bounded memory for paper-scale gene sets);
@@ -29,11 +32,13 @@ from .engine import (
     pairwise_matrix_blocks,
     pairwise_matrix_memmap,
     pairwise_values,
+    pairwise_values_bounded,
 )
 from .kernels import contextual_heuristic_batch, encode_batch, levenshtein_batch
 
 __all__ = [
     "pairwise_values",
+    "pairwise_values_bounded",
     "pairwise_matrix",
     "pairwise_matrix_blocks",
     "pairwise_matrix_memmap",

@@ -57,6 +57,12 @@ from typing import (
 import numpy as np
 
 from ..core import registry
+from ..core.bounded import (
+    _edit_budget,
+    bounded_for,
+    contextual_edit_budget,
+    contextual_pruned_value,
+)
 from ..core.contextual import canonical_cost
 from ..core.levenshtein import levenshtein_distance
 from ..core.types import Symbols, as_symbols
@@ -64,11 +70,14 @@ from .kernels import contextual_heuristic_batch, levenshtein_batch
 
 __all__ = [
     "pairwise_values",
+    "pairwise_values_bounded",
     "pairwise_matrix",
     "pairwise_matrix_blocks",
     "pairwise_matrix_memmap",
     "distances_from",
 ]
+
+_INF = float("inf")
 
 DistanceLike = Union[str, Callable[[Any, Any], float]]
 
@@ -88,7 +97,17 @@ _LEV_FAMILY = ("levenshtein", "dmax", "dsum", "dmin", "yujian_bo", _LEV_INT)
 _BUCKET_SIZE = 256
 
 #: Minimum unique-pair count before a process pool is worth its start-up.
+#: Overridable fleet-wide via the ``REPRO_MIN_PAIRS_PER_WORKER``
+#: environment variable (read per call, see :func:`_min_pairs_per_worker`).
 _MIN_PAIRS_PER_WORKER = 512
+
+
+def _min_pairs_per_worker() -> int:
+    """The sharding threshold, honouring ``REPRO_MIN_PAIRS_PER_WORKER``."""
+    env = os.environ.get("REPRO_MIN_PAIRS_PER_WORKER")
+    if env is not None and env.strip():
+        return int(env)
+    return _MIN_PAIRS_PER_WORKER
 
 #: Default row-block height for the streaming matrix entry points.
 _BLOCK_ROWS = 256
@@ -120,7 +139,7 @@ def _resolve_workers(workers: Workers, n_unique: int, registered: bool) -> int:
         if multiprocessing.current_process().daemon:
             return 0  # pool workers cannot spawn nested pools
         cpus = _cpu_count()
-        if cpus >= 2 and n_unique // cpus >= _MIN_PAIRS_PER_WORKER:
+        if cpus >= 2 and n_unique // cpus >= _min_pairs_per_worker():
             return cpus
         return 0
     if workers is None:
@@ -144,39 +163,42 @@ def _resolve(distance: DistanceLike) -> Tuple[Optional[str], Callable]:
     return None, distance
 
 
+def _lev_value(name: str, x: Symbols, y: Symbols, d: int):
+    """One normalised value from an exact ``d_E``, replaying the scalar
+    expressions of :mod:`repro.core.ratios` / :mod:`repro.core.yujian_bo`
+    exactly so the floats are bit-identical to the scalar functions."""
+    m, n = len(x), len(y)
+    if name == _LEV_INT:
+        return d
+    if name == "levenshtein":
+        return float(d)
+    if name == "dmax":
+        longest = max(m, n)
+        return d / longest if longest else 0.0
+    if name == "dsum":
+        total = m + n
+        return d / total if total else 0.0
+    if name == "dmin":
+        shortest = min(m, n)
+        if shortest == 0:
+            return 0.0 if x == y else float("inf")
+        return d / shortest
+    if name == "yujian_bo":
+        return 2.0 * d / (m + n + d) if (m or n) else 0.0
+    raise AssertionError(  # pragma: no cover - guarded by _LEV_FAMILY
+        f"not a levenshtein-family name: {name}"
+    )
+
+
 def _lev_finalize(
     name: str, pairs: Sequence[Tuple[Symbols, Symbols]], d_e: np.ndarray
 ) -> np.ndarray:
-    """Apply the scalar normalisation formulas to batched ``d_E`` values.
-
-    Python-level arithmetic on ints, mirroring the expressions in
-    :mod:`repro.core.ratios` / :mod:`repro.core.yujian_bo` exactly, so the
-    floats are bit-identical to the scalar implementations.
-    """
+    """Apply the scalar normalisation formulas to batched ``d_E`` values."""
     if name == _LEV_INT:
         return d_e.copy()
     out = np.empty(len(pairs), dtype=float)
     for p, (x, y) in enumerate(pairs):
-        d = int(d_e[p])
-        m, n = len(x), len(y)
-        if name == "levenshtein":
-            out[p] = float(d)
-        elif name == "dmax":
-            longest = max(m, n)
-            out[p] = d / longest if longest else 0.0
-        elif name == "dsum":
-            total = m + n
-            out[p] = d / total if total else 0.0
-        elif name == "dmin":
-            shortest = min(m, n)
-            if shortest == 0:
-                out[p] = 0.0 if x == y else float("inf")
-            else:
-                out[p] = d / shortest
-        elif name == "yujian_bo":
-            out[p] = 2.0 * d / (m + n + d) if (m or n) else 0.0
-        else:  # pragma: no cover - guarded by _LEV_FAMILY membership
-            raise AssertionError(f"not a levenshtein-family name: {name}")
+        out[p] = _lev_value(name, x, y, int(d_e[p]))
     return out
 
 
@@ -277,7 +299,7 @@ def _fan_out(
     """
     import multiprocessing
 
-    chunk_count = min(workers, max(1, len(pairs) // _MIN_PAIRS_PER_WORKER))
+    chunk_count = min(workers, max(1, len(pairs) // _min_pairs_per_worker()))
     if chunk_count < 2:
         return None
     bounds = np.linspace(0, len(pairs), chunk_count + 1).astype(int)
@@ -369,6 +391,211 @@ def pairwise_values(
     filled = ~zero_mask
     if filled.any():
         out[filled] = values[take_from[filled]]
+    return out
+
+
+def _lev_bounded_int(x: Symbols, y: Symbols, limit: float, d: int) -> int:
+    """Replay :func:`~repro.core.levenshtein.levenshtein_bounded` from the
+    exact ``d_E``: same exact-below / above-limit values, no DP."""
+    m, n = len(x), len(y)
+    if limit >= m + n:
+        return d
+    bound = int(limit) if limit >= 0 else -1
+    if bound < 0:
+        return 0 if d == 0 else max(abs(m - n), 1)
+    if d <= bound:
+        return d
+    return max(bound + 1, abs(m - n))
+
+
+def _replay_bounded_lev(
+    name: str, x: Symbols, y: Symbols, limit: float, d: int
+):
+    """Replay the Levenshtein-family bounded twin at *limit* from the exact
+    ``d_E``.
+
+    Each branch mirrors the matching function in :mod:`repro.core.bounded`
+    expression by expression; the scalar twins decide "exact vs pruned" by
+    comparing their banded DP result against the edit budget ``k``, and
+    that comparison is equivalent to ``true d_E <= k``, so replaying with
+    the true distance reproduces their values bit for bit (asserted by the
+    tests against :meth:`CountingDistance.within`).
+    """
+    if limit == _INF:  # within() skips the twin entirely at +inf
+        return _lev_value(name, x, y, d)
+    m, n = len(x), len(y)
+    if name in ("levenshtein", _LEV_INT):
+        value = _lev_bounded_int(x, y, limit, d)
+        return value if name == _LEV_INT else float(value)
+    if name == "dmax":
+        longest = max(m, n)
+        if longest == 0:
+            return 0.0
+        k = _edit_budget(limit * longest)
+        return d / longest if d <= k else (k + 1) / longest
+    if name == "dsum":
+        total = m + n
+        if total == 0:
+            return 0.0
+        k = _edit_budget(limit * total)
+        return d / total if d <= k else (k + 1) / total
+    if name == "dmin":
+        shortest = min(m, n)
+        if shortest == 0:
+            return 0.0 if x == y else float("inf")
+        k = _edit_budget(limit * shortest)
+        return d / shortest if d <= k else (k + 1) / shortest
+    if name == "yujian_bo":
+        if not x and not y:
+            return 0.0
+        total = m + n
+        if limit >= 1.0:
+            return 2.0 * d / (total + d)
+        k = 0 if limit < 0.0 else _edit_budget(limit * total / (2.0 - limit))
+        if d <= k:
+            return 2.0 * d / (total + d)
+        return 2.0 * (k + 1) / (total + k + 1)
+    raise AssertionError(  # pragma: no cover - guarded by _LEV_FAMILY
+        f"not a levenshtein-family name: {name}"
+    )
+
+
+def _replay_bounded_contextual(
+    x: Symbols, y: Symbols, limit: float, d_e: int, ni: int
+) -> float:
+    """Replay ``bounded_contextual_heuristic`` from exact ``(d_E, Ni)``.
+
+    The twin's banded DP recovers exactly these integers whenever
+    ``d_E`` fits the edit budget, so the canonical-cost branch is
+    bit-identical; the pruned branches replay the twin's closed forms.
+    """
+    if x == y:
+        return 0.0
+    m, n = len(x), len(y)
+    total = m + n
+    k = total if limit == _INF else contextual_edit_budget(limit, total)
+    if k >= total or d_e <= k:
+        cost = canonical_cost(m, n, d_e, ni)
+        if cost is None:  # pragma: no cover - DP guarantees feasibility
+            raise AssertionError(f"infeasible heuristic for {x!r}, {y!r}")
+        return cost
+    if abs(m - n) > k:
+        return contextual_pruned_value(max(k, abs(m - n) - 1), total)
+    return contextual_pruned_value(k, total)
+
+
+def pairwise_values_bounded(
+    distance: DistanceLike,
+    pairs: Sequence[Tuple[Any, Any]],
+    limits: Sequence[float],
+    *,
+    workers: Workers = None,
+) -> np.ndarray:
+    """Early-exit twin of :func:`pairwise_values` with per-pair limits.
+
+    Entry ``i`` equals what ``CountingDistance.within(x_i, y_i,
+    limits[i])`` returns -- bit for bit -- so a batched candidate phase
+    (the lockstep ``bulk_knn`` drivers) can group the bounded candidate
+    evaluations of many queries into one call without perturbing any
+    search result:
+
+    * exact value whenever the true distance is ``<= limits[i]``;
+    * some value ``> limits[i]`` otherwise;
+    * ``limits[i] == inf`` (or a distance without a registered twin)
+      degrades to the full distance, exactly like ``within``.
+
+    Kernel-backed distances (the Levenshtein family and the contextual
+    heuristic) run one deduplicated batched sweep for the underlying
+    integer DP and replay each request's bounded arithmetic at its own
+    limit; other twins (``d_MV``'s parametric probe) evaluate the scalar
+    twin per unique ``(pair, limit)``.  ``workers`` is accepted for
+    signature parity but the bounded path always runs serially -- the
+    lockstep drivers call it once per (small) round, where a pool could
+    never amortise.
+    """
+    n = len(pairs)
+    if len(limits) != n:
+        raise ValueError(
+            f"{n} pairs but {len(limits)} limits; they must align"
+        )
+    name, fn = _resolve(distance)
+    bounded_fn = bounded_for(fn)
+    if bounded_fn is None:
+        # no early-exit twin registered: within() falls back to the full
+        # distance at every limit, and so does the batched path
+        return pairwise_values(distance, pairs, workers=workers)
+    if name not in _LEV_FAMILY and name != "contextual_heuristic":
+        # scalar twin (e.g. d_MV's banded parametric probe): dedupe on
+        # (pair, limit) and call the twin exactly as within() would
+        out = np.empty(n, dtype=float)
+        cache: Dict[Tuple[Symbols, Symbols, float], float] = {}
+        for p, ((raw_x, raw_y), raw_limit) in enumerate(zip(pairs, limits)):
+            limit = float(raw_limit)
+            try:
+                # items with unhashable symbols normalise but cannot key
+                # the cache; evaluate them verbatim like within() would
+                key = (as_symbols(raw_x), as_symbols(raw_y), limit)
+                value = cache.get(key)
+            except TypeError:
+                key = None
+                value = None
+            if value is None:
+                if limit == _INF:
+                    value = fn(raw_x, raw_y)
+                else:
+                    value = bounded_fn(raw_x, raw_y, limit)
+                if key is not None:
+                    cache[key] = value
+            out[p] = value
+        return out
+    try:
+        norm = [(as_symbols(x), as_symbols(y)) for x, y in pairs]
+        slot_of: Dict[Tuple[Symbols, Symbols], int] = {}
+        unique: List[Tuple[Symbols, Symbols]] = []
+        take = np.empty(n, dtype=np.int64)
+        for p, pair in enumerate(norm):
+            slot = slot_of.get(pair)
+            if slot is None:
+                slot = len(unique)
+                slot_of[pair] = slot
+                unique.append(pair)
+            take[p] = slot
+    except TypeError:
+        # non-normalisable items, or symbols the dedupe cannot hash (the
+        # batch kernels could not encode them either): mirror within()
+        # pair by pair -- the scalar twins only compare symbols by ==
+        return np.asarray(
+            [
+                fn(x, y)
+                if float(limit) == _INF
+                else bounded_fn(x, y, float(limit))
+                for (x, y), limit in zip(pairs, limits)
+            ],
+            dtype=float,
+        )
+    contextual = name == "contextual_heuristic"
+    d_unique = np.zeros(len(unique), dtype=np.int64)
+    ni_unique = np.zeros(len(unique), dtype=np.int64)
+    for bucket in _buckets(unique, _BUCKET_SIZE):
+        chunk = [unique[i] for i in bucket]
+        if contextual:
+            d_chunk, ni_chunk = contextual_heuristic_batch(chunk)
+            d_unique[bucket] = d_chunk
+            ni_unique[bucket] = ni_chunk
+        else:
+            d_unique[bucket] = levenshtein_batch(chunk)
+    out = np.empty(n, dtype=np.int64 if name == _LEV_INT else float)
+    for p, (x, y) in enumerate(norm):
+        slot = int(take[p])
+        limit = float(limits[p])
+        if contextual:
+            out[p] = _replay_bounded_contextual(
+                x, y, limit, int(d_unique[slot]), int(ni_unique[slot])
+            )
+        else:
+            out[p] = _replay_bounded_lev(
+                name, x, y, limit, int(d_unique[slot])
+            )
     return out
 
 

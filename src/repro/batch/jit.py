@@ -1,0 +1,246 @@
+"""Optional numba-JIT kernel backend for the DP sweeps.
+
+The numpy anti-diagonal kernels (:mod:`repro.core._kernels`,
+:mod:`repro.batch.kernels`) pay one interpreter dispatch per diagonal;
+a compiled kernel pays one dispatch per *call* and then runs the whole
+Wagner--Fischer table at machine speed.  This module provides that
+backend as a strictly optional dependency:
+
+* when :mod:`numba` is importable (``pip install repro[jit]``) and not
+  disabled via ``REPRO_JIT=0``, :func:`active` returns True, the public
+  batch kernels in :mod:`repro.batch.kernels` dispatch here, and the
+  scalar entry points in :mod:`repro.core` drop their
+  ``_NUMPY_THRESHOLD`` to zero (the compiled kernel wins at every
+  length, so the pure-Python/numpy crossover disappears);
+* when numba is absent, nothing changes: every caller falls back to the
+  existing numpy/pure-Python kernels, **bit-identically** -- all kernels
+  here are integer DPs computing the same recurrences, so the returned
+  ``(d_E, Ni)`` values are equal by construction and the test-suite
+  cross-checks them whenever numba happens to be installed.
+
+The compiled functions deliberately use plain two-row DP loops rather
+than the anti-diagonal form: vectorisation is what the anti-diagonal
+trick buys *numpy*, while compiled code is fastest walking rows with
+scalar arithmetic.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Hashable, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import Symbols
+
+__all__ = [
+    "available",
+    "active",
+    "backend_name",
+    "levenshtein_batch",
+    "contextual_heuristic_batch",
+    "levenshtein_single",
+    "contextual_heuristic_single",
+]
+
+#: Max-insertion sentinel, matching the numpy kernels.
+_NEG = -(1 << 30)
+
+
+def _jit_disabled() -> bool:
+    """True when the operator opted out via the environment."""
+    return os.environ.get("REPRO_JIT", "").strip().lower() in {
+        "0",
+        "off",
+        "false",
+        "no",
+    }
+
+
+try:  # pragma: no cover - exercised only where numba is installed
+    if _jit_disabled():
+        raise ImportError("JIT disabled via REPRO_JIT")
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except Exception:  # numba absent (or disabled): keep the module importable
+    _HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs):  # no-op decorator stand-in
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(fn):
+            return fn
+
+        return wrap
+
+
+def available() -> bool:
+    """True when numba is importable, even if disabled via ``REPRO_JIT``."""
+    if _HAVE_NUMBA:
+        return True
+    try:  # pragma: no cover - depends on the host environment
+        import numba  # noqa: F401
+
+        return True
+    except Exception:
+        return False
+
+
+def active() -> bool:
+    """True when the JIT backend should serve kernel dispatch."""
+    return _HAVE_NUMBA
+
+
+def backend_name() -> str:
+    """``"numba"`` or ``"numpy"`` -- recorded by the benchmarks."""
+    return "numba" if active() else "numpy"
+
+
+# ---------------------------------------------------------------------------
+# compiled kernels (integer DP over encoded symbol arrays)
+# ---------------------------------------------------------------------------
+
+
+@_njit(cache=True)
+def _lev_pair(cx, cy):  # pragma: no cover - compiled path
+    """Two-row Wagner--Fischer over encoded arrays; returns ``d_E``."""
+    m, n = cx.shape[0], cy.shape[0]
+    if m == 0:
+        return n
+    if n == 0:
+        return m
+    prev = np.empty(n + 1, dtype=np.int64)
+    cur = np.empty(n + 1, dtype=np.int64)
+    for j in range(n + 1):
+        prev[j] = j
+    for i in range(1, m + 1):
+        xi = cx[i - 1]
+        cur[0] = i
+        for j in range(1, n + 1):
+            best = prev[j - 1] if xi == cy[j - 1] else prev[j - 1] + 1
+            up = prev[j] + 1
+            if up < best:
+                best = up
+            left = cur[j - 1] + 1
+            if left < best:
+                best = left
+            cur[j] = best
+        prev, cur = cur, prev
+    return prev[n]
+
+
+@_njit(cache=True)
+def _ctx_pair(cx, cy):  # pragma: no cover - compiled path
+    """Twin-table heuristic DP; returns ``(d_E, Ni)``.
+
+    ``Ni`` is the maximum insertion count over minimum-cost internal edit
+    paths -- identical to ``repro.core.contextual._heuristic_tables``.
+    """
+    m, n = cx.shape[0], cy.shape[0]
+    if m == 0:
+        return n, n
+    if n == 0:
+        return m, 0
+    prev_d = np.empty(n + 1, dtype=np.int64)
+    prev_ni = np.empty(n + 1, dtype=np.int64)
+    cur_d = np.empty(n + 1, dtype=np.int64)
+    cur_ni = np.empty(n + 1, dtype=np.int64)
+    for j in range(n + 1):
+        prev_d[j] = j
+        prev_ni[j] = j  # ni[0][j] = j insertions
+    for i in range(1, m + 1):
+        xi = cx[i - 1]
+        cur_d[0] = i
+        cur_ni[0] = 0  # ni[i][0] = 0 (pure deletions)
+        for j in range(1, n + 1):
+            diag = prev_d[j - 1] if xi == cy[j - 1] else prev_d[j - 1] + 1
+            up = prev_d[j] + 1
+            left = cur_d[j - 1] + 1
+            d = diag if diag < up else up
+            if left < d:
+                d = left
+            cur_d[j] = d
+            best = _NEG
+            if diag == d and prev_ni[j - 1] > best:
+                best = prev_ni[j - 1]
+            if up == d and prev_ni[j] > best:
+                best = prev_ni[j]
+            if left == d and cur_ni[j - 1] + 1 > best:
+                best = cur_ni[j - 1] + 1
+            cur_ni[j] = best
+        prev_d, cur_d = cur_d, prev_d
+        prev_ni, cur_ni = cur_ni, prev_ni
+    return prev_d[n], prev_ni[n]
+
+
+@_njit(cache=True)
+def _lev_batch(X, Y, mx, my, out):  # pragma: no cover - compiled path
+    for p in range(X.shape[0]):
+        out[p] = _lev_pair(X[p, : mx[p]], Y[p, : my[p]])
+
+
+@_njit(cache=True)
+def _ctx_batch(X, Y, mx, my, out_d, out_ni):  # pragma: no cover
+    for p in range(X.shape[0]):
+        d, ni = _ctx_pair(X[p, : mx[p]], Y[p, : my[p]])
+        out_d[p] = d
+        out_ni[p] = ni
+
+
+# ---------------------------------------------------------------------------
+# python-side wrappers (encoding shared with the numpy kernels)
+# ---------------------------------------------------------------------------
+
+
+def _encode_single(x: Symbols, y: Symbols) -> Tuple[np.ndarray, np.ndarray]:
+    """Encode one pair with the batch module's scheme (code points for
+    pure-``str`` pairs, one shared dictionary otherwise)."""
+    from .kernels import _encode_one
+
+    codes: Dict[Hashable, int] = {}
+    if isinstance(x, str) and isinstance(y, str):
+        return _encode_one(x, codes), _encode_one(y, codes)
+    return _encode_one(tuple(x), codes), _encode_one(tuple(y), codes)
+
+
+def levenshtein_single(x: Symbols, y: Symbols) -> int:
+    """Compiled scalar ``d_E`` (the JIT twin of ``levenshtein_numpy``)."""
+    cx, cy = _encode_single(x, y)
+    return int(_lev_pair(cx, cy))
+
+
+def contextual_heuristic_single(x: Symbols, y: Symbols) -> Tuple[int, int]:
+    """Compiled scalar ``(d_E, Ni)`` twin of ``contextual_heuristic_numpy``."""
+    cx, cy = _encode_single(x, y)
+    d, ni = _ctx_pair(cx, cy)
+    return int(d), int(ni)
+
+
+def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
+    """Compiled twin of :func:`repro.batch.kernels.levenshtein_batch`."""
+    from .kernels import encode_batch
+
+    out = np.zeros(len(pairs), dtype=np.int64)
+    if not len(pairs):
+        return out
+    X, Y, mx, my = encode_batch(pairs)
+    _lev_batch(X, Y, mx, my, out)
+    return out
+
+
+def contextual_heuristic_batch(
+    pairs: Sequence[Tuple[Symbols, Symbols]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Compiled twin of
+    :func:`repro.batch.kernels.contextual_heuristic_batch`."""
+    from .kernels import encode_batch
+
+    out_d = np.zeros(len(pairs), dtype=np.int64)
+    out_ni = np.zeros(len(pairs), dtype=np.int64)
+    if not len(pairs):
+        return out_d, out_ni
+    X, Y, mx, my = encode_batch(pairs)
+    _ctx_batch(X, Y, mx, my, out_d, out_ni)
+    return out_d, out_ni

@@ -32,12 +32,15 @@ from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core._kernels import jit_backend as _jit_backend
 from ..core.types import Symbols
 
 __all__ = [
     "encode_batch",
     "levenshtein_batch",
+    "levenshtein_batch_numpy",
     "contextual_heuristic_batch",
+    "contextual_heuristic_batch_numpy",
 ]
 
 _NEG = -(1 << 30)
@@ -105,6 +108,35 @@ def encode_batch(
 
 
 def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
+    """Levenshtein distance of every pair (backend-dispatched).
+
+    Routes to the compiled kernels of :mod:`repro.batch.jit` when numba
+    is available, and to :func:`levenshtein_batch_numpy` otherwise; the
+    two backends return identical ``int64`` values (same integer DP).
+    """
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.levenshtein_batch(pairs)
+    return levenshtein_batch_numpy(pairs)
+
+
+def contextual_heuristic_batch(
+    pairs: Sequence[Tuple[Symbols, Symbols]],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``(d_E, Ni)`` twin tables of every pair (backend-dispatched).
+
+    Same dispatch rule as :func:`levenshtein_batch`; both backends
+    compute the identical integer twin-table recurrence.
+    """
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.contextual_heuristic_batch(pairs)
+    return contextual_heuristic_batch_numpy(pairs)
+
+
+def levenshtein_batch_numpy(
+    pairs: Sequence[Tuple[Symbols, Symbols]],
+) -> np.ndarray:
     """Levenshtein distance of every pair, swept diagonal-by-diagonal.
 
     Returns an ``int64`` array aligned with *pairs*.  Equivalent to
@@ -125,38 +157,48 @@ def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
     M, N = X.shape[1], Y.shape[1]
     size = M + 1
     inf = M + N + 1
-    t_done = mx + my
+    # pair rows harvested per diagonal, computed once up front
+    done_at: Dict[int, List[int]] = {}
+    for p in range(P):
+        if not (mx[p] and my[p]):
+            continue  # empty-sided pairs were answered above
+        done_at.setdefault(int(mx[p] + my[p]), []).append(p)
     prev2 = np.full((P, size), inf, dtype=np.int64)  # diagonal t-2
     prev = np.full((P, size), inf, dtype=np.int64)  # diagonal t-1
     prev2[:, 0] = 0  # cell (0, 0)
     prev[:, 0] = 1  # cell (0, 1)
     prev[:, 1] = 1  # cell (1, 0)
+    cur = np.empty((P, size), dtype=np.int64)
     for t in range(2, M + N + 1):
-        cur = np.full((P, size), inf, dtype=np.int64)
         lo = max(0, t - N)
         hi = min(M, t)
+        a = max(1, lo)
+        b = min(hi, t - 1)
+        # sentinel columns just outside the written window; later
+        # diagonals read at most one cell beyond it, so a full-row fill
+        # is unnecessary
+        cur[:, a - 1] = inf
+        if b + 1 <= M:
+            cur[:, b + 1] = inf
         if lo == 0:
             cur[:, 0] = t  # cell (0, t): t insertions
         if hi == t:
             cur[:, t] = t  # cell (t, 0): t deletions
-        a = max(1, lo)
-        b = min(hi, t - 1)
         if a <= b:
             xs = X[:, a - 1 : b]  # x[i-1]
             ys = Y[:, t - b - 1 : t - a][:, ::-1]  # y[j-1] = y[t-i-1]
             sub = prev2[:, a - 1 : b] + (xs != ys)
-            dele = prev[:, a - 1 : b] + 1
-            ins = prev[:, a : b + 1] + 1
-            cur[:, a : b + 1] = np.minimum(np.minimum(sub, dele), ins)
-        ready = t_done == t
-        if ready.any():
-            idx = np.nonzero(ready)[0]
+            step = np.minimum(prev[:, a - 1 : b], prev[:, a : b + 1]) + 1
+            np.minimum(sub, step, out=cur[:, a : b + 1])
+        ready = done_at.get(t)
+        if ready is not None:
+            idx = np.asarray(ready, dtype=np.int64)
             out[idx] = cur[idx, mx[idx]]
-        prev2, prev = prev, cur
+        prev2, prev, cur = prev, cur, prev2
     return out
 
 
-def contextual_heuristic_batch(
+def contextual_heuristic_batch_numpy(
     pairs: Sequence[Tuple[Symbols, Symbols]],
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Twin tables of the contextual heuristic for every pair.
@@ -166,6 +208,19 @@ def contextual_heuristic_batch(
     edit paths -- the two inputs of one
     :func:`~repro.core.contextual.canonical_cost` evaluation.  Matches
     :func:`~repro.core._kernels.contextual_heuristic_numpy` pair by pair.
+
+    The twin tables are carried as ONE packed integer per cell,
+    ``pack = d * K - ni`` with ``K`` larger than any feasible ``ni``:
+    minimising ``pack`` is exactly the lexicographic (minimise ``d``,
+    then maximise ``ni``) rule of the heuristic, so the whole tight-
+    transition ``where``/``maximum`` chain of the two-array formulation
+    collapses into one 3-way ``minimum`` -- half the numpy dispatches
+    per anti-diagonal, which is where the batched sweep's time goes.
+    The transition deltas follow directly: a match adds ``0``, a
+    substitution ``K`` (``d+1``, ``ni`` kept), a deletion ``K`` and an
+    insertion ``K - 1`` (``d+1``, ``ni+1``).  ``ni <= d`` always
+    (insertions are paid operations), so packs stay non-negative and
+    decode as ``d = ceil(pack / K)``, ``ni = d * K - pack``.
     """
     P = len(pairs)
     out_d = np.zeros(P, dtype=np.int64)
@@ -183,55 +238,51 @@ def contextual_heuristic_batch(
         return out_d, out_ni
     M, N = X.shape[1], Y.shape[1]
     size = M + 1
-    inf = M + N + 1
-    t_done = mx + my
-    prev2_d = np.full((P, size), inf, dtype=np.int64)
-    prev_d = np.full((P, size), inf, dtype=np.int64)
-    prev2_ni = np.full((P, size), _NEG, dtype=np.int64)
-    prev_ni = np.full((P, size), _NEG, dtype=np.int64)
-    prev2_d[:, 0] = 0
-    prev2_ni[:, 0] = 0  # ni[0][0] = 0
-    prev_d[:, 0] = 1
-    prev_ni[:, 0] = 1  # ni[0][1] = 1 (one insertion)
-    prev_d[:, 1] = 1
-    prev_ni[:, 1] = 0  # ni[1][0] = 0 (one deletion)
+    K = M + N + 2  # strictly above any feasible ni
+    inf = (M + N + 1) * K  # above any feasible pack, overflow-safe
+    # pair rows harvested per diagonal, computed once up front
+    done_at: Dict[int, List[int]] = {}
+    for p in range(P):
+        if not (mx[p] and my[p]):
+            continue  # empty-sided pairs were answered above
+        done_at.setdefault(int(mx[p] + my[p]), []).append(p)
+    prev2 = np.full((P, size), inf, dtype=np.int64)
+    prev = np.full((P, size), inf, dtype=np.int64)
+    prev2[:, 0] = 0  # (0, 0): d=0, ni=0
+    prev[:, 0] = K - 1  # (0, 1): d=1, ni=1 (one insertion)
+    prev[:, 1] = K  # (1, 0): d=1, ni=0 (one deletion)
+    cur = np.empty((P, size), dtype=np.int64)
     for t in range(2, M + N + 1):
-        cur_d = np.full((P, size), inf, dtype=np.int64)
-        cur_ni = np.full((P, size), _NEG, dtype=np.int64)
         lo = max(0, t - N)
         hi = min(M, t)
-        if lo == 0:
-            cur_d[:, 0] = t
-            cur_ni[:, 0] = t  # ni[0][t] = t insertions
-        if hi == t:
-            cur_d[:, t] = t
-            cur_ni[:, t] = 0  # ni[t][0] = 0 insertions
         a = max(1, lo)
         b = min(hi, t - 1)
+        # sentinel columns just outside the written window: later
+        # diagonals read at most one cell beyond it, so a full-row fill
+        # is unnecessary
+        if a >= 1:
+            cur[:, a - 1] = inf
+        if b + 1 <= M:
+            cur[:, b + 1] = inf
+        if lo == 0:
+            cur[:, 0] = t * K - t  # (0, t): d=t, ni=t insertions
+        if hi == t:
+            cur[:, t] = t * K  # (t, 0): d=t, ni=0
         if a <= b:
             xs = X[:, a - 1 : b]
             ys = Y[:, t - b - 1 : t - a][:, ::-1]
-            diag = prev2_d[:, a - 1 : b] + (xs != ys)
-            up = prev_d[:, a - 1 : b] + 1  # deletion of x[i-1]
-            left = prev_d[:, a : b + 1] + 1  # insertion of y[j-1]
-            d = np.minimum(np.minimum(diag, up), left)
-            cur_d[:, a : b + 1] = d
-            # max insertions over tight transitions only
-            ni = np.where(diag == d, prev2_ni[:, a - 1 : b], _NEG)
-            np.maximum(
-                ni, np.where(up == d, prev_ni[:, a - 1 : b], _NEG), out=ni
+            diag = prev2[:, a - 1 : b] + (xs != ys) * K
+            step = np.minimum(
+                prev[:, a - 1 : b] + K,  # deletion of x[i-1]
+                prev[:, a : b + 1] + (K - 1),  # insertion of y[j-1]
             )
-            np.maximum(
-                ni,
-                np.where(left == d, prev_ni[:, a : b + 1] + 1, _NEG),
-                out=ni,
-            )
-            cur_ni[:, a : b + 1] = ni
-        ready = t_done == t
-        if ready.any():
-            idx = np.nonzero(ready)[0]
-            out_d[idx] = cur_d[idx, mx[idx]]
-            out_ni[idx] = cur_ni[idx, mx[idx]]
-        prev2_d, prev_d = prev_d, cur_d
-        prev2_ni, prev_ni = prev_ni, cur_ni
+            np.minimum(diag, step, out=cur[:, a : b + 1])
+        ready = done_at.get(t)
+        if ready is not None:
+            idx = np.asarray(ready, dtype=np.int64)
+            pack = cur[idx, mx[idx]]
+            d = -(-pack // K)  # ceil: ni = 0 packs sit exactly on d * K
+            out_d[idx] = d
+            out_ni[idx] = d * K - pack
+        prev2, prev, cur = prev, cur, prev2
     return out_d, out_ni

@@ -15,7 +15,9 @@ Quick orientation:
 
 from .bounded import (
     BoundedDistanceFunction,
+    bounded_contextual_heuristic,
     bounded_for,
+    bounded_marzal_vidal,
     register_bounded,
 )
 from .contextual import (
@@ -121,6 +123,8 @@ __all__ = [
     "harmonic_range",
     # bounded (early-exit) twins
     "BoundedDistanceFunction",
+    "bounded_contextual_heuristic",
+    "bounded_marzal_vidal",
     "bounded_for",
     "register_bounded",
     # metric checking

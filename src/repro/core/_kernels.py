@@ -23,12 +23,37 @@ from .types import Symbols
 
 __all__ = [
     "encode_pair",
+    "jit_backend",
     "levenshtein_numpy",
     "contextual_heuristic_numpy",
     "parametric_alignment_numpy",
 ]
 
 _NEG = -(1 << 30)
+
+#: Cached reference to the optional compiled backend; "unresolved" until
+#: the first kernel-threshold decision asks for it.
+_JIT_BACKEND = "unresolved"
+
+
+def jit_backend():
+    """The active numba backend (:mod:`repro.batch.jit`) or None.
+
+    When this returns a module, the scalar distance entry points treat
+    their ``_NUMPY_THRESHOLD`` as zero: the compiled kernel replaces both
+    the pure-Python and the numpy anti-diagonal paths at every length.
+    Resolved lazily (and only once) so importing :mod:`repro.core` never
+    pays for a numba probe.
+    """
+    global _JIT_BACKEND
+    if _JIT_BACKEND == "unresolved":
+        try:
+            from ..batch import jit
+
+            _JIT_BACKEND = jit if jit.active() else None
+        except Exception:  # pragma: no cover - defensive import guard
+            _JIT_BACKEND = None
+    return _JIT_BACKEND
 
 
 def encode_pair(x: Symbols, y: Symbols) -> Tuple[np.ndarray, np.ndarray]:

@@ -24,7 +24,7 @@ early-exit support without the index layer knowing distance names.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Optional, Tuple
 
 from .levenshtein import levenshtein_bounded, levenshtein_distance
 from .types import DistanceFunction, StringLike, require_strings
@@ -36,6 +36,10 @@ __all__ = [
     "bounded_dsum",
     "bounded_dmin",
     "bounded_yujian_bo",
+    "bounded_contextual_heuristic",
+    "bounded_marzal_vidal",
+    "contextual_edit_budget",
+    "contextual_pruned_value",
     "register_bounded",
     "bounded_for",
 ]
@@ -121,6 +125,267 @@ def bounded_yujian_bo(x: StringLike, y: StringLike, limit: float) -> float:
     if d <= k:
         return 2.0 * d / (total + d)
     return 2.0 * (k + 1) / (total + k + 1)
+
+
+# ---------------------------------------------------------------------------
+# banded twin of the contextual heuristic d_C,h
+# ---------------------------------------------------------------------------
+
+#: Sentinel for "no tight path" in the twin-table ni recurrence.
+_NEG = -(1 << 30)
+
+
+def contextual_edit_budget(limit: float, total: int) -> int:
+    """Largest ``d_E`` any pair with ``d_C,h <= limit`` can have.
+
+    A path with ``k`` paid operations costs at least ``2k / (total + k)``
+    (each operation acts on a string no longer than ``(total + k) / 2``,
+    the peak of the canonical path -- the same bound
+    :func:`~repro.core.contextual.contextual_distance` uses to cap its
+    ``k`` axis).  Inverting: ``d_C,h <= limit`` forces
+    ``d_E <= limit * total / (2 - limit)``.  Values ``>= 2`` never prune
+    (the bound is always below 2), so they return ``total``: the band
+    covers the whole table.
+    """
+    if limit >= 2.0:
+        return total
+    if limit < 0.0:
+        return -1
+    return min(total, _edit_budget(limit * total / (2.0 - limit)))
+
+
+def contextual_pruned_value(k: int, total: int) -> float:
+    """The above-limit value returned when ``d_E`` provably exceeds ``k``:
+    the cost lower bound ``2 (k+1) / (total + k + 1)`` of any internal
+    path with ``k + 1`` paid operations.  Strictly above any ``limit``
+    whose budget (per :func:`contextual_edit_budget`) is ``k``, and a
+    lower bound of the true ``d_C,h`` in exact arithmetic (the computed
+    heuristic accumulates harmonic sums in floats, so it can land an ulp
+    below this directly-rounded closed form -- irrelevant to the within()
+    contract, which only compares pruned values against the limit)."""
+    return 2.0 * (k + 1) / (total + k + 1)
+
+
+def _banded_heuristic_tables(
+    x: StringLike, y: StringLike, bound: int
+) -> Optional[Tuple[int, int]]:
+    """Ukkonen-banded twin tables: ``(d_E, Ni)`` when ``d_E <= bound``.
+
+    Only cells with ``|i - j| <= bound`` are evaluated, each row in
+    ``O(bound)``; a row whose surviving cells all exceed *bound* aborts
+    the sweep (returns None, like
+    :func:`~repro.core.levenshtein.levenshtein_within`).
+
+    Exactness inside the band: every minimum-cost edit path of total cost
+    ``<= bound`` stays within the band (``|i - j|`` never exceeds the
+    cost paid so far), and a tight transition into a cell whose distance
+    is ``<= bound`` can only come from an exact in-band predecessor
+    (out-of-band or capped cells hold values ``> bound`` and so are never
+    tight for such a cell) -- hence both the distance *and* the
+    max-insertion count ``Ni`` of the final cell are exact whenever the
+    distance is within the bound.  Caller guarantees ``bound >= 0`` and
+    ``abs(len(x) - len(y)) <= bound``.
+    """
+    m, n = len(x), len(y)
+    infinity = bound + 1
+    prev_d = [j if j <= bound else infinity for j in range(n + 1)]
+    prev_ni = list(range(n + 1))  # ni[0][j] = j (pure insertions)
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        lo = max(1, i - bound)
+        hi = min(n, i + bound)
+        cur_d = [infinity] * (n + 1)
+        cur_ni = [_NEG] * (n + 1)
+        if i <= bound:
+            cur_d[0] = i
+            cur_ni[0] = 0  # ni[i][0] = 0 (pure deletions)
+        row_min = cur_d[0]
+        for j in range(lo, hi + 1):
+            yj = y[j - 1]
+            diag = prev_d[j - 1] + (0 if xi == yj else 1)
+            up = prev_d[j] + 1
+            left = cur_d[j - 1] + 1
+            d = diag if diag < up else up
+            if left < d:
+                d = left
+            if d > infinity:
+                d = infinity
+            cur_d[j] = d
+            best = _NEG
+            if diag == d and prev_ni[j - 1] > best:
+                best = prev_ni[j - 1]
+            if up == d and prev_ni[j] > best:
+                best = prev_ni[j]
+            if left == d and cur_ni[j - 1] + 1 > best:
+                best = cur_ni[j - 1] + 1
+            cur_ni[j] = best
+            if d < row_min:
+                row_min = d
+        if row_min > bound:
+            return None  # every surviving cell already exceeds the bound
+        prev_d, prev_ni = cur_d, cur_ni
+    if prev_d[n] <= bound:
+        return prev_d[n], prev_ni[n]
+    return None
+
+
+def bounded_contextual_heuristic(
+    x: StringLike, y: StringLike, limit: float
+) -> float:
+    """Early-exit contextual heuristic ``d_C,h`` (banded twin tables).
+
+    Exact whenever ``d_C,h(x, y) <= limit``; otherwise returns a value
+    guaranteed to exceed *limit* (a lower bound of the true distance, up
+    to float rounding of the harmonic sums on the exact side).  The
+    band width is the edit budget of :func:`contextual_edit_budget`:
+    ``d_C,h <= limit`` forces ``d_E`` under the budget, so Ukkonen's band
+    either recovers the exact ``(d_E, Ni)`` (one
+    :func:`~repro.core.contextual.canonical_cost` evaluation away from
+    the heuristic's value) or proves the pair hopeless after
+    ``O(budget * min(|x|, |y|))`` work.
+    """
+    x, y = require_strings(x, y)
+    if x == y:
+        return 0.0
+    m, n = len(x), len(y)
+    total = m + n
+    k = contextual_edit_budget(limit, total)
+    if k >= total:
+        # the band covers the whole table: nothing to prune
+        from .contextual import contextual_distance_heuristic
+
+        return contextual_distance_heuristic(x, y)
+    if k < 0 or abs(m - n) > k:
+        # d_E >= |m - n| already busts the budget without any DP
+        return contextual_pruned_value(max(k, abs(m - n) - 1), total)
+    tables = _banded_heuristic_tables(x, y, k)
+    if tables is None:
+        return contextual_pruned_value(k, total)
+    d_e, ni = tables
+    from .contextual import canonical_cost
+
+    cost = canonical_cost(m, n, d_e, ni)
+    if cost is None:  # pragma: no cover - the DP guarantees feasibility
+        raise AssertionError(f"infeasible heuristic for {x!r}, {y!r}")
+    return cost
+
+
+# ---------------------------------------------------------------------------
+# banded twin of the Marzal--Vidal normalised distance d_MV
+# ---------------------------------------------------------------------------
+
+#: Float-noise margin for the parametric prune test: scores this close to
+#: zero fall through to the exact computation (never a wrong prune, only
+#: an occasional unnecessary full evaluation).
+_MV_EPS = 1e-9
+
+#: Above this (len(x)+len(y)) the probe may use the numpy anti-diagonal
+#: parametric kernel (same crossover as the Dinkelbach solver itself).
+_MV_NUMPY_PROBE_THRESHOLD = 80
+
+#: Banded-cell budget under which the pure-Python banded probe beats the
+#: full-table numpy sweep even for long strings (narrow bands are the
+#: common case late in a k-NN search, when the radius is small).
+_MV_BANDED_CELL_LIMIT = 4096
+
+
+def _banded_parametric(
+    x: StringLike, y: StringLike, lam: float, band: int
+) -> float:
+    """Minimum of ``W(pi) - lam * L(pi)`` over paths inside the band.
+
+    The banded variant of
+    :func:`~repro.core.marzal_vidal._parametric_best_path` (unit costs):
+    cells with ``|i - j| > band`` are treated as unreachable, which is
+    sound for the pruning probe because every out-of-band path performs
+    more than *band* indels.  Returns only the minimal score (the probe
+    does not need the witness path).
+    """
+    m, n = len(x), len(y)
+    inf = float("inf")
+    paid = 1.0 - lam
+    prev = [inf] * (n + 1)
+    prev[0] = 0.0
+    for j in range(1, min(n, band) + 1):
+        prev[j] = j * paid
+    for i in range(1, m + 1):
+        xi = x[i - 1]
+        lo = max(1, i - band)
+        hi = min(n, i + band)
+        cur = [inf] * (n + 1)
+        if i <= band:
+            cur[0] = i * paid
+        for j in range(lo, hi + 1):
+            step = -lam if xi == y[j - 1] else paid
+            best = prev[j - 1] + step
+            up = prev[j] + paid
+            if up < best:
+                best = up
+            left = cur[j - 1] + paid
+            if left < best:
+                best = left
+            cur[j] = best
+        prev = cur
+    return prev[n]
+
+
+def bounded_marzal_vidal(x: StringLike, y: StringLike, limit: float) -> float:
+    """Early-exit Marzal--Vidal ``d_MV`` via a banded parametric probe.
+
+    ``d_MV <= r`` iff some editing path has ``W(pi) - r * L(pi) <= 0``,
+    which is exactly the Dinkelbach parametric problem evaluated at
+    ``lam = r``.  One banded alignment DP therefore decides prunability:
+
+    * a strictly positive minimum proves every path's ratio exceeds
+      *limit* -- return ``limit + slack / (|x| + |y|)``, a true lower
+      bound of ``d_MV`` that exceeds *limit*;
+    * otherwise the exact distance is at most *limit*: compute and
+      return it via :func:`~repro.core.marzal_vidal.mv_normalized_distance`
+      (bit-identical to the full evaluation by construction).
+
+    The band is sound because any path with ``W <= limit * L`` performs
+    at most ``limit * (|x| + |y|)`` indels; wider excursions pay more
+    weight than the ratio allows, so they can only make the probe's
+    minimum larger.
+    """
+    x, y = require_strings(x, y)
+    if x == y:
+        return 0.0
+    from .marzal_vidal import mv_normalized_distance
+
+    m, n = len(x), len(y)
+    total = m + n
+    if limit >= 1.0:
+        # unit-cost d_MV never exceeds 1: the limit cannot prune
+        return mv_normalized_distance(x, y)
+    if limit < 0.0:
+        # any x != y pays >= 1 weight over <= total columns
+        return 1.0 / total
+    band = _edit_budget(limit * total)
+    if abs(m - n) > band:
+        # every path performs >= |m - n| indels over <= total columns
+        return abs(m - n) / total
+    if (
+        total >= _MV_NUMPY_PROBE_THRESHOLD
+        and (2 * band + 1) * min(m, n) >= _MV_BANDED_CELL_LIMIT
+    ):
+        # wide band on long strings: the full-table anti-diagonal kernel
+        # is cheaper than banded Python; a full-table minimum is a valid
+        # (indeed stronger) probe, and its slack needs no band term
+        from ._kernels import parametric_alignment_numpy
+
+        weight, length = parametric_alignment_numpy(x, y, limit)
+        score = weight - limit * length
+        slack = score
+    else:
+        score = _banded_parametric(x, y, limit, band)
+        # out-of-band paths pay > band indels: their score is at least
+        # band + 1 - limit * total > 0, so the global minimum is bounded
+        # below by the smaller of the two
+        slack = min(score, band + 1 - limit * total)
+    if score <= _MV_EPS:
+        return mv_normalized_distance(x, y)
+    return limit + slack / total
 
 
 _BOUNDED: Dict[DistanceFunction, BoundedDistanceFunction] = {}

@@ -35,6 +35,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ._kernels import jit_backend as _jit
 from .harmonic import harmonic_range
 from .types import StringLike, require_strings
 
@@ -53,8 +54,22 @@ _NEG = -(1 << 30)
 #: Above this (len(x)+len(y)) threshold the heuristic uses the numpy
 #: anti-diagonal kernel.  Calibrated with benchmarks/bench_kernels.py: the
 #: pure-Python twin tables win below ~260 combined symbols (per-call numpy
-#: overhead dominates), the vectorised kernel wins beyond.
+#: overhead dominates), the vectorised kernel wins beyond.  Treated as
+#: zero when the optional numba backend is active -- a compiled kernel
+#: wins at every length.
 _NUMPY_THRESHOLD = 260
+
+
+def _heuristic_pair(x, y) -> Tuple[int, int]:
+    """Backend-dispatched ``(d_E, Ni)`` twin tables for one pair."""
+    jit = _jit()
+    if jit is not None:  # compiled backend: threshold drops to zero
+        return jit.contextual_heuristic_single(x, y)
+    if len(x) + len(y) >= _NUMPY_THRESHOLD:
+        from ._kernels import contextual_heuristic_numpy
+
+        return contextual_heuristic_numpy(x, y)
+    return _heuristic_tables(x, y)
 
 
 def canonical_cost(m: int, n: int, k: int, ni: int) -> Optional[float]:
@@ -229,12 +244,7 @@ def contextual_distance(x: StringLike, y: StringLike) -> float:
         return 0.0
     m, n = len(x), len(y)
     # Quadratic upper bound (and d_E) from the heuristic's twin tables.
-    if m + n >= _NUMPY_THRESHOLD:
-        from ._kernels import contextual_heuristic_numpy
-
-        d_e, ni_h = contextual_heuristic_numpy(x, y)
-    else:
-        d_e, ni_h = _heuristic_tables(x, y)
+    d_e, ni_h = _heuristic_pair(x, y)
     upper = canonical_cost(m, n, d_e, ni_h)
     if upper is None:  # pragma: no cover - the DP guarantees feasibility
         raise AssertionError(f"infeasible heuristic for {x!r}, {y!r}")
@@ -435,12 +445,7 @@ def contextual_distance_heuristic(x: StringLike, y: StringLike) -> float:
     x, y = require_strings(x, y)
     if x == y:
         return 0.0
-    if len(x) + len(y) >= _NUMPY_THRESHOLD:
-        from ._kernels import contextual_heuristic_numpy
-
-        k, ni = contextual_heuristic_numpy(x, y)
-    else:
-        k, ni = _heuristic_tables(x, y)
+    k, ni = _heuristic_pair(x, y)
     cost = canonical_cost(len(x), len(y), k, ni)
     if cost is None:  # pragma: no cover - the DP guarantees feasibility
         raise AssertionError(

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from ._kernels import jit_backend as _jit
 from .paths import EditOp, EditPath
 from .types import StringLike, require_strings
 
@@ -30,7 +31,11 @@ __all__ = [
     "internal_path_length",
 ]
 
-#: Above this (len(x)+len(y)) threshold the numpy kernel wins over pure Python.
+#: Above this (len(x)+len(y)) threshold the numpy kernel wins over pure
+#: Python.  Treated as zero when the optional numba backend is active
+#: (``_jit`` -- :func:`repro.core._kernels.jit_backend`, the library's
+#: one shared cache of the numba probe): a compiled kernel has no
+#: per-diagonal dispatch cost, so it wins at every length.
 _NUMPY_THRESHOLD = 128
 
 
@@ -46,6 +51,9 @@ def levenshtein_distance(x: StringLike, y: StringLike) -> int:
         x, y = y, x  # keep the inner row short
     if not y:
         return len(x)
+    jit = _jit()
+    if jit is not None:  # compiled backend: threshold drops to zero
+        return jit.levenshtein_single(x, y)
     if len(x) + len(y) >= _NUMPY_THRESHOLD:
         from ._kernels import levenshtein_numpy
 

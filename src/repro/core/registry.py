@@ -13,10 +13,12 @@ from typing import Dict, List, Optional, Tuple
 
 from .bounded import (
     BoundedDistanceFunction,
+    bounded_contextual_heuristic,
     bounded_dmax,
     bounded_dmin,
     bounded_dsum,
     bounded_levenshtein,
+    bounded_marzal_vidal,
     bounded_yujian_bo,
     register_bounded,
 )
@@ -100,6 +102,7 @@ _register(
         is_metric=False,
         normalised=True,
         notes="quadratic heuristic; upper bound on dC, equal ~90% of the time",
+        bounded=bounded_contextual_heuristic,
     )
 )
 _register(
@@ -111,6 +114,7 @@ _register(
         normalised=True,
         notes="normalised edit distance of Marzal & Vidal 1993 "
         "(metricity open for unit costs)",
+        bounded=bounded_marzal_vidal,
     )
 )
 _register(

@@ -30,6 +30,11 @@ def run(
     cfg = get_scale(scale)
     words = dictionary_for(cfg)
 
+    # No shared pool matrix here (unlike Figure 4): each trial samples a
+    # small training set out of a dictionary that is orders of magnitude
+    # larger, so a pool-wide distance memmap would cost C(|dict|, 2)
+    # evaluations against the trials' p * n pivot rows -- the wrong side
+    # of the amortisation run_sweep's pool mode exists for.
     def make_trial(rng: random.Random) -> Tuple[List, List]:
         train = words.sample(cfg.laesa_train, rng)
         queries = perturbed_queries(

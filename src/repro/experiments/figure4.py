@@ -26,14 +26,20 @@ def run(
     cfg = get_scale(scale)
     digits = digits_for(cfg)
 
-    def make_trial(rng: random.Random) -> Tuple[List, List]:
-        pool = list(range(len(digits)))
-        rng.shuffle(pool)
-        n_train = min(cfg.digits_laesa_train, len(pool) - 1)
-        n_queries = min(cfg.digits_laesa_queries, len(pool) - n_train)
-        train = [digits.items[i] for i in pool[:n_train]]
-        queries = [digits.items[i] for i in pool[n_train : n_train + n_queries]]
-        return train, queries
+    # Every trial shuffles the same digit set, so the training sets are
+    # slices of one shared pool: run_sweep persists a single pool
+    # distance memmap per distance and slices per-trial submatrices for
+    # pivot selection instead of recomputing pivot rows every trial.
+    def make_trial(rng: random.Random) -> Tuple[List[int], List]:
+        order = list(range(len(digits)))
+        rng.shuffle(order)
+        n_train = min(cfg.digits_laesa_train, len(order) - 1)
+        n_queries = min(cfg.digits_laesa_queries, len(order) - n_train)
+        train_indices = order[:n_train]
+        queries = [
+            digits.items[i] for i in order[n_train : n_train + n_queries]
+        ]
+        return train_indices, queries
 
     return run_sweep(
         title="Figure 4 (handwritten digits)",
@@ -43,4 +49,5 @@ def run(
         n_trials=cfg.digits_laesa_trials,
         seed=seed,
         make_trial=make_trial,
+        pool=list(digits.items),
     )

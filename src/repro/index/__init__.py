@@ -13,7 +13,7 @@ from .base import CountingDistance, NearestNeighborIndex, SearchResult, SearchSt
 from .bktree import BKTreeIndex
 from .exhaustive import ExhaustiveIndex
 from .laesa import LaesaIndex
-from .pivots import PIVOT_STRATEGIES, select_pivots
+from .pivots import PIVOT_STRATEGIES, select_pivots, select_pivots_from_matrix
 from .vptree import VPTreeIndex
 
 __all__ = [
@@ -27,5 +27,6 @@ __all__ = [
     "BKTreeIndex",
     "VPTreeIndex",
     "select_pivots",
+    "select_pivots_from_matrix",
     "PIVOT_STRATEGIES",
 ]

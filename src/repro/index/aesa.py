@@ -12,6 +12,8 @@ reproduces).
 from __future__ import annotations
 
 import heapq
+import os
+import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -29,14 +31,28 @@ class AesaIndex(NearestNeighborIndex):
     #: items per query, so the sweep's ``n`` engine evaluations per query
     #: only undercut the scalar loop while ``n`` is small -- the regime
     #: AESA's quadratic preprocessing confines it to anyway.  Beyond this
-    #: the batch path would be *slower*; bulk_knn falls back to the
-    #: per-query loop (identical results and counts either way).
+    #: bulk_knn skips the sweep and batches only the lockstep candidate
+    #: rounds (identical results and counts either way).  Overridable per
+    #: instance via the ``bulk_sweep_max_items`` keyword or, fleet-wide,
+    #: the ``REPRO_AESA_BULK_MAX_ITEMS`` environment variable.
     _BULK_SWEEP_MAX_ITEMS = 512
 
     def __init__(
-        self, items: Sequence[Any], distance: Callable[[Any, Any], float]
+        self,
+        items: Sequence[Any],
+        distance: Callable[[Any, Any], float],
+        bulk_sweep_max_items: Optional[int] = None,
     ) -> None:
         super().__init__(items, distance)
+        if bulk_sweep_max_items is None:
+            env = os.environ.get("REPRO_AESA_BULK_MAX_ITEMS")
+            if env is not None and env.strip():
+                bulk_sweep_max_items = int(env)
+        if bulk_sweep_max_items is not None:
+            # instance attribute shadows the class default; when neither
+            # keyword nor env var is given, the class attribute stays the
+            # single source of truth (and remains monkeypatchable)
+            self._BULK_SWEEP_MAX_ITEMS = int(bulk_sweep_max_items)
         n = len(self.items)
         # Upper triangle through the pair-batched engine, then mirrored --
         # the same C(n, 2) computations the scalar loop performed.
@@ -91,7 +107,18 @@ class AesaIndex(NearestNeighborIndex):
         k: int,
         pivot_cache: Optional[np.ndarray] = None,
     ) -> List[SearchResult]:
-        distance = self._counter
+        return self._drive_search(query, k, pivot_cache)
+
+    def _search_requests(self, k: int):
+        """AESA's elimination loop as a request generator.
+
+        Every comparison in AESA doubles as a pivot (its matrix row
+        tightens all bounds), so each request needs the exact distance
+        (``limit=None``) and is cacheable at ``cache_pos=item`` when a
+        bulk driver precomputed the ``queries x items`` sweep.  See
+        :meth:`~repro.index.base.NearestNeighborIndex._search_requests`
+        for the protocol.
+        """
         items = self.items
         n = len(items)
         alive = np.ones(n, dtype=bool)
@@ -106,13 +133,7 @@ class AesaIndex(NearestNeighborIndex):
         current = 0
         while True:
             alive[current] = False
-            if pivot_cache is None:
-                d = distance(query, items[current])
-            else:
-                # bulk_knn precomputed this distance; charge it now, when
-                # the scalar loop would have computed it
-                distance.charge()
-                d = float(pivot_cache[current])
+            d = yield (current, None, current)
             entry = (-d, -current)
             if len(best) < k:
                 heapq.heappush(best, entry)
@@ -136,21 +157,28 @@ class AesaIndex(NearestNeighborIndex):
     def bulk_knn(
         self, queries: Sequence[Any], k: int
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
-        """Batched query phase over the same cache machinery as LAESA.
+        """Batched query phase over the same lockstep machinery as LAESA.
 
         Every item AESA compares against acts as a pivot, so the batch
         sweep precomputes the full ``queries x items`` matrix and each
-        query's elimination loop reads (and charges) only the handful of
-        entries it actually visits -- results and per-query counts are
-        identical to looping :meth:`knn`.  Worth it only while the
-        engine's per-distance cost times ``len(items)`` undercuts the
-        scalar cost of AESA's near-constant visited set, so databases
-        above ``_BULK_SWEEP_MAX_ITEMS`` fall back to the per-query loop.
+        query's lockstep elimination loop reads (and charges) only the
+        handful of entries it actually visits -- results and per-query
+        counts are identical to looping :meth:`knn`.  The sweep is worth
+        it only while the engine's per-distance cost times ``len(items)``
+        undercuts the scalar cost of AESA's near-constant visited set, so
+        databases above ``_BULK_SWEEP_MAX_ITEMS`` skip it; the lockstep
+        loop still batches each round's comparisons -- one per active
+        query -- into a single engine call.
         """
         self._validate_k(k)
         queries = list(queries)
         if not queries:
             return []
         if len(self.items) > self._BULK_SWEEP_MAX_ITEMS:
-            return super().bulk_knn(queries, k)
-        return self._bulk_knn_with_pivot_cache(queries, k, self.items)
+            return self._bulk_knn_lockstep(queries, k, pivot_cache=None)
+        started = time.perf_counter()
+        cache = self._counter.precompute(queries, self.items)
+        sweep_seconds = time.perf_counter() - started
+        return self._bulk_knn_lockstep(
+            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds
+        )

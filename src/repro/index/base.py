@@ -39,6 +39,12 @@ __all__ = [
 Item = TypeVar("Item")
 Distance = Callable[[Any, Any], float]
 
+#: Lockstep rounds with at most this many still-active queries answer
+#: their requests with scalar early-exit calls instead of a batch-engine
+#: call: below this the engine's per-call overhead and full-table sweeps
+#: cost more than banded scalar DPs (values are identical either way).
+_SCALAR_TAIL_ROUNDS = 2
+
 
 @dataclass(frozen=True)
 class SearchResult:
@@ -122,6 +128,35 @@ class CountingDistance:
 
         self.calls += len(pairs)
         return pairwise_values(self._distance, pairs)
+
+    def peek_within(self, x: Any, y: Any, limit: float) -> float:
+        """:meth:`within` without touching the counter.
+
+        Lockstep bulk drivers use this for tail rounds with only a
+        query or two still active, where one banded scalar DP beats the
+        batch engine's per-call overhead; they account the computation
+        themselves, like :meth:`charge`.
+        """
+        if self._bounded is not None and limit != float("inf"):
+            return self._bounded(x, y, limit)
+        return self._distance(x, y)
+
+    def precompute_bounded(
+        self, pairs: Sequence[Tuple[Any, Any]], limits: Sequence[float]
+    ) -> np.ndarray:
+        """Bounded distances for *pairs* through the batch engine,
+        **without** touching the counter.
+
+        Entry ``i`` is bit-identical to ``within(pairs[i][0],
+        pairs[i][1], limits[i])`` (the engine replays each twin's
+        arithmetic from one batched DP sweep).  Lockstep bulk drivers
+        use this for each round's grouped candidate evaluations and
+        account per query themselves, exactly like :meth:`precompute` /
+        :meth:`charge`.
+        """
+        from ..batch import pairwise_values_bounded
+
+        return pairwise_values_bounded(self._distance, pairs, limits)
 
     def precompute(
         self, queries: Sequence[Any], references: Sequence[Any]
@@ -244,37 +279,160 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         """
         return [self.knn(query, k) for query in queries]
 
-    def _bulk_knn_with_pivot_cache(
-        self, queries: Sequence[Item], k: int, pivot_items: Sequence[Item]
-    ) -> List[Tuple[List[SearchResult], SearchStats]]:
-        """The shared batched query phase behind LAESA's and AESA's
-        ``bulk_knn``.
+    def _search_requests(self, k: int):
+        """The request-generator protocol behind the lockstep drivers.
 
-        One :meth:`CountingDistance.precompute` sweep evaluates the full
-        ``queries x pivot_items`` matrix (auto-sharded over a process
-        pool when large enough); each query then runs the subclass's
-        ``_search(query, k, pivot_cache=row)`` -- which must accept the
-        ``pivot_cache`` keyword and charge the counter per entry it
-        consumes -- so results and per-query counts are identical to the
-        scalar loop.  The sweep's measured wall-clock is split evenly
-        across the per-query stats, like the exhaustive bulk path.
+        Subclasses with a batchable query phase (LAESA, AESA) implement
+        their elimination loop as a generator that *yields* one
+        comparison request at a time and receives the distance via
+        ``send``::
+
+            d = yield (item_index, limit, cache_pos)
+
+        ``limit`` is ``None`` when the algorithm needs the exact
+        distance (pivot comparisons that feed triangle-inequality
+        bounds) and the current early-exit radius otherwise;
+        ``cache_pos`` is the column of the bulk pivot cache that holds
+        this distance (``None`` when the request is not precomputable).
+        The generator never touches the counter -- each driver accounts
+        one computation per request, which is exactly what the scalar
+        loop would have counted.  The sorted result list is returned via
+        ``StopIteration.value``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no request-generator search"
+        )
+
+    def _drive_search(
+        self,
+        query: Item,
+        k: int,
+        pivot_cache: Optional[np.ndarray] = None,
+    ) -> List[SearchResult]:
+        """Run :meth:`_search_requests` for one query, scalar-style.
+
+        Exact requests are answered with a plain counted call (or a
+        charged *pivot_cache* read when a bulk driver precomputed them);
+        bounded requests go through :meth:`CountingDistance.within`.
+        This is behaviour-identical to the pre-generator scalar loops:
+        one counted evaluation per request, early exit on candidates.
+        """
+        distance = self._counter
+        items = self.items
+        gen = self._search_requests(k)
+        value: Optional[float] = None
+        while True:
+            try:
+                idx, limit, cache_pos = gen.send(value)
+            except StopIteration as stop:
+                return stop.value
+            if limit is None:
+                if pivot_cache is not None and cache_pos is not None:
+                    distance.charge()
+                    value = float(pivot_cache[cache_pos])
+                else:
+                    value = distance(query, items[idx])
+            else:
+                value = distance.within(query, items[idx], limit)
+
+    def _bulk_knn_lockstep(
+        self,
+        queries: Sequence[Item],
+        k: int,
+        pivot_cache: Optional[np.ndarray] = None,
+        extra_elapsed: float = 0.0,
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """Run every query's elimination loop in lockstep rounds, batching
+        each round's candidate evaluations into one engine call.
+
+        All query generators advance together: cached pivot requests are
+        served inline from *pivot_cache* (row ``qi``), and the remaining
+        requests of the round -- one per still-active query -- are grouped
+        into a single :meth:`CountingDistance.precompute_bounded` call, so
+        the scalar tail of the candidate phase runs through the batched
+        DP kernels instead of one bounded Python call per candidate.
+
+        Each query's request stream depends only on its own distances, so
+        lockstep scheduling returns bit-identical neighbours, distances
+        and per-query ``distance_computations`` to looping :meth:`knn`
+        (one count per request, exactly like the scalar drivers; asserted
+        by the tests).  Wall-clock (plus *extra_elapsed*, e.g. a pivot
+        sweep) is split evenly across the per-query stats.
         """
         started = time.perf_counter()
-        cache = self._counter.precompute(queries, pivot_items)
-        sweep_share = (time.perf_counter() - started) / len(queries)
-        out: List[Tuple[List[SearchResult], SearchStats]] = []
-        for qi, query in enumerate(queries):
-            self._counter.take()
-            q_started = time.perf_counter()
-            results = self._search(query, k, pivot_cache=cache[qi])
-            elapsed = time.perf_counter() - q_started + sweep_share
-            out.append(
-                (
-                    results,
-                    SearchStats(
-                        distance_computations=self._counter.take(),
-                        elapsed_seconds=elapsed,
-                    ),
-                )
+        items = self.items
+        n_queries = len(queries)
+        generators = [self._search_requests(k) for _ in queries]
+        counts = [0] * n_queries
+        results: List[Optional[List[SearchResult]]] = [None] * n_queries
+        requests: List[Optional[Tuple[int, Optional[float], Optional[int]]]]
+        requests = [None] * n_queries
+        active: List[int] = []
+        for qi, gen in enumerate(generators):
+            try:
+                requests[qi] = gen.send(None)
+                active.append(qi)
+            except StopIteration as stop:  # pragma: no cover - k >= 1 implies
+                results[qi] = stop.value  # at least one comparison
+        while active:
+            parked: List[int] = []
+            for qi in active:
+                # serve precomputed requests inline until this query
+                # either finishes or demands a real evaluation
+                while True:
+                    idx, limit, cache_pos = requests[qi]
+                    if (
+                        limit is not None
+                        or pivot_cache is None
+                        or cache_pos is None
+                    ):
+                        parked.append(qi)
+                        break
+                    counts[qi] += 1
+                    try:
+                        requests[qi] = generators[qi].send(
+                            float(pivot_cache[qi][cache_pos])
+                        )
+                    except StopIteration as stop:
+                        results[qi] = stop.value
+                        break
+            if not parked:
+                active = [qi for qi in active if results[qi] is None]
+                continue
+            pairs = [(queries[qi], items[requests[qi][0]]) for qi in parked]
+            limits = [
+                float("inf") if requests[qi][1] is None else requests[qi][1]
+                for qi in parked
+            ]
+            if len(parked) <= _SCALAR_TAIL_ROUNDS:
+                # tail rounds: with only a query or two still active the
+                # engine's per-call overhead (and its full-table DP) loses
+                # to one banded scalar evaluation; peek_within returns the
+                # same values by the precompute_bounded contract
+                values = [
+                    self._counter.peek_within(x, y, limit)
+                    for (x, y), limit in zip(pairs, limits)
+                ]
+            else:
+                values = self._counter.precompute_bounded(pairs, limits)
+            still_active: List[int] = []
+            for qi, value in zip(parked, values):
+                counts[qi] += 1
+                try:
+                    requests[qi] = generators[qi].send(float(value))
+                    still_active.append(qi)
+                except StopIteration as stop:
+                    results[qi] = stop.value
+            active = still_active
+        share = (time.perf_counter() - started + extra_elapsed) / max(
+            n_queries, 1
+        )
+        return [
+            (
+                results[qi],
+                SearchStats(
+                    distance_computations=counts[qi], elapsed_seconds=share
+                ),
             )
-        return out
+            for qi in range(n_queries)
+        ]

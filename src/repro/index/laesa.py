@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import heapq
 import random
+import time
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -165,7 +166,21 @@ class LaesaIndex(NearestNeighborIndex):
         k: int,
         pivot_cache: Optional[np.ndarray] = None,
     ) -> List[SearchResult]:
-        distance = self._counter
+        return self._drive_search(query, k, pivot_cache)
+
+    def _search_requests(self, k: int):
+        """LAESA's elimination loop as a request generator.
+
+        Pivot comparisons are yielded with ``limit=None`` (their exact
+        values tighten every candidate's bound) and ``cache_pos`` set to
+        the pivot's row, so bulk drivers can serve them from the
+        precomputed ``queries x pivots`` sweep; candidate comparisons
+        carry the current k-th-best radius, so drivers may answer them
+        with the early-exit twin (scalar) or the batched bounded kernels
+        (lockstep).  See
+        :meth:`~repro.index.base.NearestNeighborIndex._search_requests`
+        for the protocol.
+        """
         items = self.items
         n = len(items)
         alive = np.ones(n, dtype=bool)
@@ -198,17 +213,12 @@ class LaesaIndex(NearestNeighborIndex):
                 # Non-pivot candidates only need their distance when it can
                 # enter the k-best heap: the early-exit twin abandons the
                 # banded DP as soon as the current best radius is exceeded.
-                d = distance.within(query, items[current], kth_best())
+                d = yield (current, kth_best(), None)
             else:
                 # Pivot distances tighten every bound via |d(q,p) - d(p,u)|
-                # and must therefore be exact.  bulk_knn precomputes them
-                # in one engine sweep; the cache entry is charged here, at
-                # the moment the scalar loop would have computed it.
-                if pivot_cache is None:
-                    d = distance(query, items[current])
-                else:
-                    distance.charge()
-                    d = float(pivot_cache[row_pos])
+                # and must therefore be exact (limit None); bulk drivers
+                # serve them from the precomputed sweep at cache_pos.
+                d = yield (current, None, row_pos)
                 np.maximum(
                     bounds,
                     np.abs(self.pivot_rows[row_pos] - d),
@@ -253,24 +263,32 @@ class LaesaIndex(NearestNeighborIndex):
     def bulk_knn(
         self, queries: Sequence[Any], k: int
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
-        """k-NN for a whole query batch with a batched pivot phase.
+        """k-NN for a whole query batch with batched pivot *and* candidate
+        phases.
 
         One engine sweep computes the full ``queries x pivots`` distance
-        matrix up front
-        (:meth:`~repro.index.base.NearestNeighborIndex._bulk_knn_with_pivot_cache`);
-        each query's elimination loop then reads its pivot distances from
-        that cache, charging the counter only for entries the scalar
-        loop would have computed.  Results, neighbour order and per-query
-        ``distance_computations`` are identical to looping :meth:`knn`
-        (asserted by the tests); only the wall-clock drops.
+        matrix up front; the per-query elimination loops then run in
+        lockstep
+        (:meth:`~repro.index.base.NearestNeighborIndex._bulk_knn_lockstep`),
+        reading pivot distances from the cache and grouping each round's
+        candidate evaluations -- one bounded comparison per still-active
+        query -- into a single batched-kernel call.  Results, neighbour
+        order and per-query ``distance_computations`` are identical to
+        looping :meth:`knn` (asserted by the tests); only the wall-clock
+        drops.  With 0 pivots the lockstep loop degenerates into a
+        batched linear scan (no pivot sweep to run).
         """
         self._validate_k(k)
         queries = list(queries)
         if not queries:
             return []
-        if not self.pivot_indices:
-            # 0 pivots degenerates into a linear scan with no pivot phase
-            # to batch; keep the per-query loop (and its counts) verbatim.
-            return super().bulk_knn(queries, k)
-        pivot_items = [self.items[i] for i in self.pivot_indices]
-        return self._bulk_knn_with_pivot_cache(queries, k, pivot_items)
+        cache = None
+        sweep_seconds = 0.0
+        if self.pivot_indices:
+            pivot_items = [self.items[i] for i in self.pivot_indices]
+            started = time.perf_counter()
+            cache = self._counter.precompute(queries, pivot_items)
+            sweep_seconds = time.perf_counter() - started
+        return self._bulk_knn_lockstep(
+            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds
+        )

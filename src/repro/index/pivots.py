@@ -22,7 +22,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["select_pivots", "PIVOT_STRATEGIES"]
+__all__ = ["select_pivots", "select_pivots_from_matrix", "PIVOT_STRATEGIES"]
 
 Distance = Callable[[Any, Any], float]
 
@@ -45,23 +45,28 @@ def _distance_row(
 
 
 def _greedy(
-    items: Sequence[Any],
-    distance: Distance,
+    n: int,
+    row_of: Callable[[int], np.ndarray],
     count: int,
     rng: random.Random,
     combine: str,
 ) -> Tuple[List[int], np.ndarray]:
     """Greedy pivot selection maximising the min (or sum) of distances to
-    the already-chosen pivots; the first pivot is drawn at random."""
-    n = len(items)
+    the already-chosen pivots; the first pivot is drawn at random.
+
+    ``row_of(i)`` supplies the distance row of item *i* -- evaluated
+    through the engine by :func:`select_pivots`, read from a precomputed
+    matrix by :func:`select_pivots_from_matrix`.  Sharing the loop keeps
+    the two entry points' selection decisions identical by construction.
+    """
     chosen = [rng.randrange(n)]
-    rows = [_distance_row(items, distance, chosen[0])]
+    rows = [row_of(chosen[0])]
     score = rows[0].copy()  # min and sum coincide with one pivot chosen
     while len(chosen) < count:
         score[chosen] = -np.inf  # never re-pick a pivot
         nxt = int(np.argmax(score))
         chosen.append(nxt)
-        row = _distance_row(items, distance, nxt)
+        row = row_of(nxt)
         rows.append(row)
         if combine == "min":
             np.minimum(score, row, out=score)
@@ -71,14 +76,40 @@ def _greedy(
 
 
 def _random(
-    items: Sequence[Any],
-    distance: Distance,
+    n: int,
+    row_of: Callable[[int], np.ndarray],
     count: int,
     rng: random.Random,
 ) -> Tuple[List[int], np.ndarray]:
-    chosen = rng.sample(range(len(items)), count)
-    rows = np.vstack([_distance_row(items, distance, p) for p in chosen])
+    chosen = rng.sample(range(n), count)
+    rows = np.vstack([row_of(p) for p in chosen])
     return chosen, rows
+
+
+def _select(
+    n: int,
+    row_of: Callable[[int], np.ndarray],
+    count: int,
+    strategy: str,
+    rng: Optional[random.Random],
+) -> Tuple[List[int], np.ndarray]:
+    """Validation + strategy dispatch shared by both selection fronts."""
+    if count < 0:
+        raise ValueError(f"pivot count must be >= 0, got {count}")
+    if count > n:
+        raise ValueError(f"cannot select {count} pivots from {n} items")
+    if count == 0:
+        return [], np.zeros((0, n))
+    rng = rng if rng is not None else random.Random(0x5EED)
+    if strategy == "maxmin":
+        return _greedy(n, row_of, count, rng, combine="min")
+    if strategy == "maxsum":
+        return _greedy(n, row_of, count, rng, combine="sum")
+    if strategy == "random":
+        return _random(n, row_of, count, rng)
+    raise ValueError(
+        f"unknown pivot strategy {strategy!r}; known: {sorted(PIVOT_STRATEGIES)}"
+    )
 
 
 def select_pivots(
@@ -94,23 +125,43 @@ def select_pivots(
     maximises its minimum distance to the chosen set), ``"maxsum"`` (ditto
     with the sum), or ``"random"``.
     """
-    if count < 0:
-        raise ValueError(f"pivot count must be >= 0, got {count}")
-    if count > len(items):
+    return _select(
+        len(items),
+        lambda idx: _distance_row(items, distance, idx),
+        count,
+        strategy,
+        rng,
+    )
+
+
+def select_pivots_from_matrix(
+    matrix: np.ndarray,
+    count: int,
+    strategy: str = "maxmin",
+    rng: Optional[random.Random] = None,
+) -> Tuple[List[int], np.ndarray]:
+    """:func:`select_pivots` reading rows from a precomputed matrix.
+
+    ``matrix[i, j]`` must hold ``d(items[i], items[j])`` (e.g. a slice of
+    a :func:`~repro.batch.pairwise_matrix_memmap` over a training pool).
+    Selection decisions are identical to :func:`select_pivots` with the
+    same *rng* -- the greedy rules only consume distance rows, and the
+    engine-evaluated matrix is bit-identical to scalar calls -- but zero
+    distances are computed, which is what lets a pivot-count sweep
+    (Figures 3/4) persist one pool matrix and slice per-trial submatrices
+    instead of re-evaluating every trial's pivot rows.
+
+    Returns ``(pivot_indices, rows)`` with ``rows[t] = matrix[pivot_t]``
+    as a float array, directly usable by
+    :meth:`~repro.index.laesa.LaesaIndex.from_pivots`.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
         raise ValueError(
-            f"cannot select {count} pivots from {len(items)} items"
+            f"pivot matrix must be square, got shape {matrix.shape}"
         )
-    if count == 0:
-        return [], np.zeros((0, len(items)))
-    rng = rng if rng is not None else random.Random(0x5EED)
-    if strategy == "maxmin":
-        return _greedy(items, distance, count, rng, combine="min")
-    if strategy == "maxsum":
-        return _greedy(items, distance, count, rng, combine="sum")
-    if strategy == "random":
-        return _random(items, distance, count, rng)
-    raise ValueError(
-        f"unknown pivot strategy {strategy!r}; known: {sorted(PIVOT_STRATEGIES)}"
+    return _select(
+        matrix.shape[0], lambda idx: matrix[idx], count, strategy, rng
     )
 
 

@@ -1,0 +1,103 @@
+"""The optional numba kernel backend and its dispatch plumbing.
+
+Without numba installed the backend must stay dormant (numpy kernels
+serve every call, bit-identically to before); with numba installed the
+compiled kernels must agree with the numpy twins on randomised inputs.
+Both CI legs run this file, so each branch is exercised somewhere.
+"""
+
+import random
+
+import pytest
+
+import repro.batch.kernels as kernels
+from repro.batch import jit
+from repro.batch.kernels import (
+    contextual_heuristic_batch,
+    contextual_heuristic_batch_numpy,
+    levenshtein_batch,
+    levenshtein_batch_numpy,
+)
+from repro.core.contextual import _heuristic_tables
+from repro.core.levenshtein import levenshtein_distance
+
+
+def _random_pairs(seed, count=200, alphabet="abc", max_len=10):
+    rng = random.Random(seed)
+    return [
+        (
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(0, max_len))),
+            "".join(rng.choice(alphabet) for _ in range(rng.randint(0, max_len))),
+        )
+        for _ in range(count)
+    ]
+
+
+def test_backend_name_is_consistent():
+    assert jit.backend_name() == ("numba" if jit.active() else "numpy")
+
+
+def test_dispatch_targets_the_active_backend():
+    # the cached resolver must agree with the jit module's own state
+    backend = kernels._jit_backend()
+    if jit.active():
+        assert backend is jit
+    else:
+        assert backend is None
+
+
+def test_public_kernels_match_numpy_twins():
+    """Whatever backend is active, the public names must return exactly
+    the numpy kernels' values (the JIT kernels are the same integer DP)."""
+    pairs = _random_pairs(0x11)
+    assert levenshtein_batch(pairs).tolist() == levenshtein_batch_numpy(
+        pairs
+    ).tolist()
+    d, ni = contextual_heuristic_batch(pairs)
+    d_np, ni_np = contextual_heuristic_batch_numpy(pairs)
+    assert d.tolist() == d_np.tolist()
+    assert ni.tolist() == ni_np.tolist()
+
+
+@pytest.mark.skipif(not jit.active(), reason="numba not installed")
+class TestCompiledKernels:
+    """Exercised only on the with-numba CI leg."""
+
+    def test_batch_kernels_match_numpy(self):
+        pairs = _random_pairs(0x22, count=300)
+        assert jit.levenshtein_batch(pairs).tolist() == (
+            levenshtein_batch_numpy(pairs).tolist()
+        )
+        d, ni = jit.contextual_heuristic_batch(pairs)
+        d_np, ni_np = contextual_heuristic_batch_numpy(pairs)
+        assert d.tolist() == d_np.tolist()
+        assert ni.tolist() == ni_np.tolist()
+
+    def test_scalar_kernels_match_python(self):
+        for x, y in _random_pairs(0x33, count=120):
+            assert jit.levenshtein_single(x, y) == levenshtein_distance(x, y)
+            assert jit.contextual_heuristic_single(x, y) == _heuristic_tables(
+                x, y
+            )
+
+    def test_scalar_entry_points_use_threshold_zero(self):
+        # short strings (far below _NUMPY_THRESHOLD) must still route
+        # through the compiled kernel when it is active
+        from repro.core import levenshtein as lev_mod
+
+        assert lev_mod._jit() is jit
+
+    def test_tuple_items(self):
+        pairs = [((1, 2, 3), (2, 1, 3)), (("a",), ("a", "b"))]
+        assert jit.levenshtein_batch(pairs).tolist() == (
+            levenshtein_batch_numpy(pairs).tolist()
+        )
+
+
+def test_env_gate_disables_numba(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    assert jit._jit_disabled()
+    monkeypatch.setenv("REPRO_JIT", "off")
+    assert jit._jit_disabled()
+    monkeypatch.delenv("REPRO_JIT")
+    assert not jit._jit_disabled()

@@ -8,11 +8,15 @@ from hypothesis import strategies as st
 
 from repro.core import bounded_for, get_spec, levenshtein_bounded
 from repro.core.bounded import (
+    bounded_contextual_heuristic,
     bounded_dmax,
     bounded_dmin,
     bounded_dsum,
     bounded_levenshtein,
+    bounded_marzal_vidal,
     bounded_yujian_bo,
+    contextual_edit_budget,
+    contextual_pruned_value,
 )
 from repro.core.levenshtein import levenshtein_distance
 
@@ -94,6 +98,137 @@ class TestBoundedTwins:
             assert bounded_for(spec.function) is twin
 
     def test_unbounded_distances_have_no_twin(self):
-        for name in ("contextual", "contextual_heuristic", "marzal_vidal"):
-            assert get_spec(name).bounded is None
-            assert bounded_for(get_spec(name).function) is None
+        # exact d_C is the only paper distance without an early-exit twin
+        assert get_spec("contextual").bounded is None
+        assert bounded_for(get_spec("contextual").function) is None
+
+    def test_normalised_table2_distances_have_twins(self):
+        for name in ("contextual_heuristic", "marzal_vidal"):
+            spec = get_spec(name)
+            assert spec.bounded is not None
+            assert bounded_for(spec.function) is spec.bounded
+
+
+#: (alphabet, max_length, rng seed) regimes matching the paper's three
+#: datasets.  Seeds are explicit: ``hash(str)`` is salted per process, so
+#: seeding from it would make the sampled pairs differ run to run.
+_REGIMES = (
+    ("01234567", 12, 0xD161),  # digit-contour chain codes
+    ("acgt", 14, 0xD9A),  # DNA
+    ("abcde", 10, 0x30BD),  # dictionary words
+)
+
+#: Pruned twin values are exact-arithmetic lower bounds of the true
+#: distance, but the "exact" side accumulates harmonic sums (d_C,h) or
+#: Dinkelbach iterates (d_MV) in floats, so the computed exact value may
+#: sit an ulp or two below the bound's directly-rounded closed form.
+_LOWER_BOUND_ULPS = 1e-9
+
+
+def _random_pairs(rng, alphabet, max_len, count):
+    for _ in range(count):
+        x = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, max_len)))
+        y = "".join(rng.choice(alphabet) for _ in range(rng.randint(0, max_len)))
+        yield x, y
+
+
+class TestBoundedContextualHeuristic:
+    """The banded twin-table twin of the paper's best distance d_C,h."""
+
+    @given(small_strings, small_strings, st.floats(0.0, 2.2))
+    @settings(max_examples=250, deadline=None)
+    def test_contract(self, x, y, limit):
+        exact = get_spec("contextual_heuristic").function(x, y)
+        value = bounded_contextual_heuristic(x, y, limit)
+        if exact <= limit:
+            assert value == exact
+        else:
+            assert value > limit
+            # pruned values are lower bounds (up to harmonic-sum rounding)
+            assert value <= exact + _LOWER_BOUND_ULPS
+
+    @pytest.mark.parametrize("alphabet,max_len,seed", _REGIMES)
+    def test_randomised_regimes(self, alphabet, max_len, seed):
+        fn = get_spec("contextual_heuristic").function
+        rng = random.Random(seed)
+        for x, y in _random_pairs(rng, alphabet, max_len, 300):
+            limit = rng.choice([0.0, 0.1, 0.25, 0.5, 0.9, 1.3, 2.0, 5.0])
+            exact = fn(x, y)
+            value = bounded_contextual_heuristic(x, y, limit)
+            if exact <= limit:
+                assert value == exact, (x, y, limit)
+            else:
+                assert exact + _LOWER_BOUND_ULPS >= value > limit, (x, y, limit)
+
+    def test_equal_strings_are_zero(self):
+        assert bounded_contextual_heuristic("abc", "abc", 0.0) == 0.0
+        assert bounded_contextual_heuristic("", "", 0.5) == 0.0
+
+    def test_saturated_limit_is_exact(self):
+        fn = get_spec("contextual_heuristic").function
+        assert bounded_contextual_heuristic("abc", "xyz", 2.0) == fn("abc", "xyz")
+
+    def test_length_gap_prunes_without_dp(self):
+        # |x| - |y| = 17 busts any small budget before a single DP row
+        value = bounded_contextual_heuristic("a" * 20, "abc", 0.1)
+        assert value > 0.1
+
+    def test_budget_inversion(self):
+        # the pruned value at budget k is strictly above any limit whose
+        # budget is k -- the inversion bounded dispatch relies on
+        for total in (2, 7, 31, 200):
+            for limit in (0.0, 0.05, 0.3, 0.9, 1.7):
+                k = contextual_edit_budget(limit, total)
+                if k < total:
+                    assert contextual_pruned_value(k, total) > limit
+
+
+class TestBoundedMarzalVidal:
+    """The banded parametric-probe twin of d_MV."""
+
+    @given(small_strings, small_strings, st.floats(0.0, 1.1))
+    @settings(max_examples=150, deadline=None)
+    def test_contract(self, x, y, limit):
+        exact = get_spec("marzal_vidal").function(x, y)
+        value = bounded_marzal_vidal(x, y, limit)
+        if exact <= limit:
+            assert value == exact
+        else:
+            assert value > limit
+            assert value <= exact + _LOWER_BOUND_ULPS
+
+    @pytest.mark.parametrize("alphabet,max_len,seed", _REGIMES)
+    def test_randomised_regimes(self, alphabet, max_len, seed):
+        fn = get_spec("marzal_vidal").function
+        rng = random.Random(seed ^ 0x5A5A)
+        for x, y in _random_pairs(rng, alphabet, max_len, 200):
+            limit = rng.choice([0.0, 0.1, 0.25, 0.4, 0.6, 0.9, 1.0])
+            exact = fn(x, y)
+            value = bounded_marzal_vidal(x, y, limit)
+            if exact <= limit:
+                assert value == exact, (x, y, limit)
+            else:
+                assert exact + _LOWER_BOUND_ULPS >= value > limit, (x, y, limit)
+
+    def test_long_strings_numpy_probe(self):
+        # wide-band long pairs route through the anti-diagonal parametric
+        # kernel; the contract must be indistinguishable
+        fn = get_spec("marzal_vidal").function
+        rng = random.Random(0xD0)
+        for _ in range(8):
+            x = "".join(rng.choice("acgt") for _ in range(rng.randint(60, 90)))
+            y = "".join(rng.choice("acgt") for _ in range(rng.randint(60, 90)))
+            for limit in (0.2, 0.5, 0.8):
+                exact = fn(x, y)
+                value = bounded_marzal_vidal(x, y, limit)
+                if exact <= limit:
+                    assert value == exact
+                else:
+                    assert exact + _LOWER_BOUND_ULPS >= value > limit
+
+    def test_saturated_limit_is_exact(self):
+        fn = get_spec("marzal_vidal").function
+        assert bounded_marzal_vidal("abc", "xyz", 1.0) == fn("abc", "xyz")
+
+    def test_equal_strings_are_zero(self):
+        assert bounded_marzal_vidal("abab", "abab", 0.0) == 0.0

@@ -85,3 +85,75 @@ def test_pivot_counts_beyond_train_size_are_clamped(small_word_list):
     )
     # p=50 > 10 items: effectively 10 pivots; still a valid series
     assert len(result.series["dE"].computations) == 2
+
+
+class TestSharedPoolMatrix:
+    """run_sweep's pool mode: one memmap per distance, per-trial slices."""
+
+    @staticmethod
+    def _items_trial(pool):
+        def make_trial(rng: random.Random):
+            order = list(range(len(pool)))
+            rng.shuffle(order)
+            train = [pool[i] for i in order[:20]]
+            queries = [pool[i] for i in order[20:26]]
+            return train, queries
+
+        return make_trial
+
+    @staticmethod
+    def _index_trial(pool):
+        def make_trial(rng: random.Random):
+            order = list(range(len(pool)))
+            rng.shuffle(order)
+            queries = [pool[i] for i in order[20:26]]
+            return order[:20], queries
+
+        return make_trial
+
+    def test_pool_mode_reproduces_the_per_trial_path(self, small_word_list):
+        """Same seed, same trials: the shared-memmap sweep must select the
+        same pivots and therefore report identical computation counts."""
+        pool = small_word_list[:40]
+        kwargs = dict(
+            title="t",
+            scale_name="unit",
+            distance_names=("levenshtein", "dmax"),
+            pivot_counts=(0, 3, 6),
+            n_trials=2,
+            seed=11,
+        )
+        plain = run_sweep(make_trial=self._items_trial(pool), **kwargs)
+        pooled = run_sweep(
+            make_trial=self._index_trial(pool), pool=pool, **kwargs
+        )
+        for display in plain.series:
+            assert (
+                pooled.series[display].computations
+                == plain.series[display].computations
+            )
+
+    def test_pool_mode_computes_each_matrix_once(
+        self, small_word_list, monkeypatch
+    ):
+        import repro.experiments.laesa_sweep as sweep_mod
+
+        calls = []
+        real = sweep_mod.pairwise_matrix_memmap
+
+        def spying(name, items, **kw):
+            calls.append(name)
+            return real(name, items, **kw)
+
+        monkeypatch.setattr(sweep_mod, "pairwise_matrix_memmap", spying)
+        run_sweep(
+            title="t",
+            scale_name="unit",
+            distance_names=("levenshtein",),
+            pivot_counts=(0, 4),
+            n_trials=3,
+            seed=5,
+            make_trial=self._index_trial(small_word_list[:30]),
+            pool=small_word_list[:30],
+        )
+        assert calls == ["levenshtein"]  # one memmap, three trials

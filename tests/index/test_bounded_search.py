@@ -52,9 +52,24 @@ class TestCountingDistanceWithin:
         assert value == distance("abcd", "dcba")
 
     def test_unbounded_distance_falls_back_exact(self):
-        distance = get_spec("contextual_heuristic").function
+        # exact d_C is the one paper distance still without a twin
+        distance = get_spec("contextual").function
         counter = CountingDistance(distance)
         assert counter.within("abc", "cab", 0.01) == distance("abc", "cab")
+
+    def test_contextual_heuristic_twin_prunes(self):
+        distance = get_spec("contextual_heuristic").function
+        counter = CountingDistance(distance)
+        value = counter.within("abc", "cab", 0.01)
+        assert value > 0.01
+        assert value <= distance("abc", "cab")
+
+    def test_marzal_vidal_twin_prunes(self):
+        distance = get_spec("marzal_vidal").function
+        counter = CountingDistance(distance)
+        value = counter.within("aaaa", "bbbb", 0.1)
+        assert value > 0.1
+        assert value <= distance("aaaa", "bbbb")
 
     def test_many_counts_per_pair(self):
         counter = CountingDistance(get_distance("levenshtein"))

@@ -141,3 +141,44 @@ def test_bulk_with_auto_sharding_engaged(words, queries, monkeypatch):
         assert (
             g_stats.distance_computations == t_stats.distance_computations
         )
+
+
+@pytest.mark.parametrize("name", ["marzal_vidal", "contextual_heuristic"])
+def test_laesa_bulk_matches_scalar_for_new_bounded_twins(words, queries, name):
+    # the batched candidate phase must replay d_C,h / d_MV's fresh
+    # early-exit twins bit-identically, counts included
+    index = LaesaIndex(words[:60], get_distance(name), n_pivots=4)
+    _check_bulk_matches_scalar(index, queries[:10], 2)
+
+
+def test_aesa_lockstep_batches_candidates_above_the_gate(words, queries):
+    # above the sweep gate the lockstep driver still answers every
+    # comparison through the batched engine, identically to the loop
+    index = AesaIndex(words[:40], get_distance("dmax"), bulk_sweep_max_items=10)
+    assert index._BULK_SWEEP_MAX_ITEMS == 10
+    _check_bulk_matches_scalar(index, queries[:8], 2)
+
+
+def test_aesa_gate_env_override(words, monkeypatch):
+    monkeypatch.setenv("REPRO_AESA_BULK_MAX_ITEMS", "7")
+    index = AesaIndex(words[:20], get_distance("levenshtein"))
+    assert index._BULK_SWEEP_MAX_ITEMS == 7
+    # the keyword wins over the environment
+    index = AesaIndex(
+        words[:20], get_distance("levenshtein"), bulk_sweep_max_items=99
+    )
+    assert index._BULK_SWEEP_MAX_ITEMS == 99
+    monkeypatch.delenv("REPRO_AESA_BULK_MAX_ITEMS")
+    index = AesaIndex(words[:20], get_distance("levenshtein"))
+    assert index._BULK_SWEEP_MAX_ITEMS == AesaIndex._BULK_SWEEP_MAX_ITEMS
+
+
+def test_engine_min_pairs_env_override(monkeypatch):
+    assert engine._min_pairs_per_worker() == engine._MIN_PAIRS_PER_WORKER
+    monkeypatch.setenv("REPRO_MIN_PAIRS_PER_WORKER", "3")
+    assert engine._min_pairs_per_worker() == 3
+    # the threshold feeds workers="auto" resolution directly
+    monkeypatch.setattr(engine, "_cpu_count", lambda: 2)
+    assert engine._resolve_workers("auto", 6, registered=True) == 2
+    monkeypatch.setenv("REPRO_MIN_PAIRS_PER_WORKER", "512")
+    assert engine._resolve_workers("auto", 6, registered=True) == 0

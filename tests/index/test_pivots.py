@@ -88,3 +88,44 @@ def test_deterministic_given_rng(items):
     second = select_pivots(items, distance, 5, rng=random.Random(42))
     assert first[0] == second[0]
     assert np.allclose(first[1], second[1])
+
+
+class TestSelectPivotsFromMatrix:
+    """Matrix-backed selection must replay select_pivots decision for
+    decision (the Figures 3/4 shared-memmap fast path)."""
+
+    def test_matches_direct_selection(self, small_word_list):
+        import random
+
+        import numpy as np
+
+        from repro.batch import pairwise_matrix
+        from repro.core import get_distance
+        from repro.index import select_pivots, select_pivots_from_matrix
+
+        items = small_word_list[:30]
+        distance = get_distance("levenshtein")
+        matrix = pairwise_matrix(distance, items)
+        for strategy in ("maxmin", "maxsum", "random"):
+            direct_idx, direct_rows = select_pivots(
+                items, distance, 6, strategy, random.Random(77)
+            )
+            matrix_idx, matrix_rows = select_pivots_from_matrix(
+                matrix, 6, strategy, random.Random(77)
+            )
+            assert matrix_idx == direct_idx, strategy
+            assert np.array_equal(matrix_rows, direct_rows), strategy
+
+    def test_validation(self):
+        import numpy as np
+
+        from repro.index import select_pivots_from_matrix
+
+        with pytest.raises(ValueError):
+            select_pivots_from_matrix(np.zeros((3, 4)), 1)
+        with pytest.raises(ValueError):
+            select_pivots_from_matrix(np.zeros((3, 3)), 4)
+        with pytest.raises(ValueError):
+            select_pivots_from_matrix(np.zeros((3, 3)), -1)
+        idx, rows = select_pivots_from_matrix(np.zeros((3, 3)), 0)
+        assert idx == [] and rows.shape == (0, 3)
