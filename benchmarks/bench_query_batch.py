@@ -1,19 +1,20 @@
 #!/usr/bin/env python
-"""Benchmark LAESA's batched query phase against the scalar query loop.
+"""Benchmark the batched query phases against the scalar query loops.
 
 Reproduces the paper's Section 4.3 query regime on the digit-contour
 dataset: a LAESA index over a training set of contour strings, a batch of
-held-out contours as queries, nearest-neighbour search per query.  The
-same index answers the batch twice:
+held-out contours as queries.  Two modes:
 
-* **scalar** -- the per-query loop (`knn` once per query), computing each
-  query's pivot distances one scalar DP call at a time;
-* **batch**  -- `bulk_knn`, which fans the entire batch against all
-  pivots in one pair-batched engine sweep (auto-sharded over a process
-  pool when the machine and batch size justify it) and feeds the
-  per-query elimination loops from the cache.
+* ``--mode knn`` (default) -- nearest-neighbour search per query: the
+  per-query `knn` loop vs `bulk_knn` (pivot sweep + lockstep candidate
+  rounds through the banded batch kernels);
+* ``--mode range`` -- radius search at a paper-style tight radius (a low
+  quantile of sampled training distances): the per-query `range_search`
+  loop vs the lockstep `bulk_range_search`, plus a direct timing of the
+  banded `pairwise_values_bounded` kernels against the full-table
+  fallback (``REPRO_BANDED_BATCH=0``) on the same candidate workload.
 
-The two paths must return bit-identical neighbours and distances and
+Either way the batched paths must return bit-identical results and
 identical per-query ``distance_computations`` (asserted, not sampled);
 only the wall-clock may differ.  Results are appended as one JSON object
 per run to ``BENCH_query.json`` so the perf trajectory survives across
@@ -21,8 +22,9 @@ PRs.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_query_batch.py           # full
-    PYTHONPATH=src python benchmarks/bench_query_batch.py --smoke   # CI
+    PYTHONPATH=src python benchmarks/bench_query_batch.py                # full knn
+    PYTHONPATH=src python benchmarks/bench_query_batch.py --smoke        # CI knn
+    PYTHONPATH=src python benchmarks/bench_query_batch.py --mode range   # radius mode
 """
 
 from __future__ import annotations
@@ -58,6 +60,24 @@ def _workload(per_class: int, n_train: int, n_queries: int, seed: int):
     train = [data.items[i] for i in pool[:n_train]]
     queries = [data.items[i] for i in pool[n_train : n_train + n_queries]]
     return train, queries
+
+
+def _tight_radius(train, distance: str, quantile: float = 0.02) -> float:
+    """A paper-style tight radius: a low quantile of sampled distances
+    (a few hits per query -- the spellcheck/classification regime).
+
+    Deterministic given the training set; tight radii are where the
+    banded kernels shine (wide ones degrade gracefully to the full
+    sweep).
+    """
+    from repro.batch import pairwise_values
+
+    rng = random.Random(0x7AD1)
+    sample_pairs = [
+        (rng.choice(train), rng.choice(train)) for _ in range(256)
+    ]
+    values = sorted(float(v) for v in pairwise_values(distance, sample_pairs))
+    return values[int(quantile * (len(values) - 1))]
 
 
 def _check_identical(scalar, batch, label: str) -> None:
@@ -137,12 +157,117 @@ def run_benchmark(
     }
 
 
+def run_range_benchmark(
+    distance: str,
+    per_class: int,
+    n_train: int,
+    n_queries: int,
+    n_pivots: int,
+    radius=None,
+    seed: int = 0xD161,
+) -> dict:
+    """Scalar vs lockstep range search, plus banded-vs-full-table kernel
+    timing on the same tight-radius candidate workload."""
+    from repro.batch import pairwise_values_bounded
+
+    train, queries = _workload(per_class, n_train, n_queries, seed)
+    if radius is None:
+        radius = _tight_radius(train, distance)
+    index = LaesaIndex(train, get_distance(distance), n_pivots=n_pivots)
+
+    started = time.perf_counter()
+    scalar = [index.range_search(q, radius) for q in queries]
+    scalar_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batch = index.bulk_range_search(queries, radius)
+    batch_seconds = time.perf_counter() - started
+
+    _check_identical(scalar, batch, "LAESA range")
+
+    aesa_n = min(len(train), 120)
+    aesa = AesaIndex(train[:aesa_n], get_distance(distance))
+    started = time.perf_counter()
+    aesa_scalar = [aesa.range_search(q, radius) for q in queries]
+    aesa_scalar_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    aesa_batch = aesa.bulk_range_search(queries, radius)
+    aesa_batch_seconds = time.perf_counter() - started
+    _check_identical(aesa_scalar, aesa_batch, "AESA range")
+
+    # Direct banded-vs-full-table engine comparison on the tight-radius
+    # candidate workload (every query against a training slice at the
+    # radius) -- the tentpole's kernel-level speedup, identity asserted.
+    candidates = train[: min(len(train), 80)]
+    pairs = [(q, c) for q in queries for c in candidates]
+    limits = [radius] * len(pairs)
+    started = time.perf_counter()
+    banded_values = pairwise_values_bounded(distance, pairs, limits)
+    banded_seconds = time.perf_counter() - started
+    env_before = os.environ.get("REPRO_BANDED_BATCH")
+    os.environ["REPRO_BANDED_BATCH"] = "0"
+    try:
+        started = time.perf_counter()
+        full_values = pairwise_values_bounded(distance, pairs, limits)
+        full_seconds = time.perf_counter() - started
+    finally:
+        if env_before is None:
+            del os.environ["REPRO_BANDED_BATCH"]
+        else:
+            os.environ["REPRO_BANDED_BATCH"] = env_before
+    if banded_values.tolist() != full_values.tolist():
+        raise AssertionError(
+            "banded and full-table pairwise_values_bounded disagree"
+        )
+
+    comps = [s.distance_computations for _, s in batch]
+    hits = [len(r) for r, _ in batch]
+    return {
+        "bench": "query_batch",
+        "search": "range",
+        "distance": distance,
+        "radius": round(float(radius), 6),
+        "n_train": len(train),
+        "n_queries": len(queries),
+        "n_pivots": index.n_pivots,
+        "mean_hits_per_query": round(float(np.mean(hits)), 2),
+        "mean_computations_per_query": round(float(np.mean(comps)), 1),
+        "scalar_seconds": round(scalar_seconds, 4),
+        "batch_seconds": round(batch_seconds, 4),
+        "speedup": round(scalar_seconds / batch_seconds, 2),
+        "aesa_n_train": aesa_n,
+        "aesa_scalar_seconds": round(aesa_scalar_seconds, 4),
+        "aesa_batch_seconds": round(aesa_batch_seconds, 4),
+        "aesa_speedup": round(aesa_scalar_seconds / aesa_batch_seconds, 2),
+        "bounded_banded_seconds": round(banded_seconds, 4),
+        "bounded_full_seconds": round(full_seconds, 4),
+        "bounded_speedup": round(full_seconds / banded_seconds, 2),
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernel_backend": jit.backend_name(),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--smoke",
         action="store_true",
         help="small, CI-sized run (~seconds) instead of the 200-query workload",
+    )
+    parser.add_argument(
+        "--mode",
+        choices=("knn", "range"),
+        default="knn",
+        help="benchmark k-NN (default) or radius search",
+    )
+    parser.add_argument(
+        "--radius",
+        type=float,
+        default=None,
+        help="range-mode radius (default: the 2nd percentile of sampled "
+        "training distances)",
     )
     parser.add_argument(
         "--distance",
@@ -175,9 +300,15 @@ def main(argv=None) -> int:
         n_queries = 200 if args.queries is None else args.queries
         n_pivots = 40 if args.pivots is None else args.pivots
 
-    record = run_benchmark(
-        args.distance, per_class, n_train, n_queries, n_pivots, args.k
-    )
+    if args.mode == "range":
+        record = run_range_benchmark(
+            args.distance, per_class, n_train, n_queries, n_pivots, args.radius
+        )
+    else:
+        record = run_benchmark(
+            args.distance, per_class, n_train, n_queries, n_pivots, args.k
+        )
+        record["search"] = "knn"
     record["mode"] = "smoke" if args.smoke else "full"
     print(json.dumps(record, indent=2))
 
@@ -187,8 +318,8 @@ def main(argv=None) -> int:
 
     if record["speedup"] < 1.5 and not args.smoke:
         print(
-            f"WARNING: LAESA bulk speedup {record['speedup']}x below the "
-            f"1.5x target",
+            f"WARNING: {args.mode} bulk speedup {record['speedup']}x below "
+            f"the 1.5x target",
             file=sys.stderr,
         )
         return 1

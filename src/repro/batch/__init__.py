@@ -34,7 +34,13 @@ from .engine import (
     pairwise_values,
     pairwise_values_bounded,
 )
-from .kernels import contextual_heuristic_batch, encode_batch, levenshtein_batch
+from .kernels import (
+    contextual_heuristic_batch,
+    contextual_heuristic_batch_bounded,
+    encode_batch,
+    levenshtein_batch,
+    levenshtein_batch_bounded,
+)
 
 __all__ = [
     "pairwise_values",
@@ -44,6 +50,8 @@ __all__ = [
     "pairwise_matrix_memmap",
     "distances_from",
     "levenshtein_batch",
+    "levenshtein_batch_bounded",
     "contextual_heuristic_batch",
+    "contextual_heuristic_batch_bounded",
     "encode_batch",
 ]

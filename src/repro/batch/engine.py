@@ -57,6 +57,7 @@ from typing import (
 import numpy as np
 
 from ..core import registry
+from ..core._kernels import jit_backend
 from ..core.bounded import (
     _edit_budget,
     bounded_for,
@@ -66,7 +67,12 @@ from ..core.bounded import (
 from ..core.contextual import canonical_cost
 from ..core.levenshtein import levenshtein_distance
 from ..core.types import Symbols, as_symbols
-from .kernels import contextual_heuristic_batch, levenshtein_batch
+from .kernels import (
+    contextual_heuristic_batch,
+    contextual_heuristic_batch_bounded,
+    levenshtein_batch,
+    levenshtein_batch_bounded,
+)
 
 __all__ = [
     "pairwise_values",
@@ -108,6 +114,29 @@ def _min_pairs_per_worker() -> int:
     if env is not None and env.strip():
         return int(env)
     return _MIN_PAIRS_PER_WORKER
+
+
+def _banded_batch_enabled() -> bool:
+    """Whether :func:`pairwise_values_bounded` may use the banded batch
+    kernels; ``REPRO_BANDED_BATCH=0`` forces the full-table fallback
+    (identical values, more padded work -- a debugging escape hatch)."""
+    return os.environ.get("REPRO_BANDED_BATCH", "").strip().lower() not in {
+        "0",
+        "off",
+        "false",
+        "no",
+    }
+
+
+def _is_batched(name: Optional[str]) -> bool:
+    """Whether *name* has a batched kernel path in `_evaluate_batched`.
+
+    The Levenshtein family and the contextual heuristic always do; exact
+    ``d_C`` and ``d_MV`` gain one when the numba backend is active (their
+    compiled per-pair kernels run a whole bucket per call)."""
+    if name in _LEV_FAMILY or name == "contextual_heuristic":
+        return True
+    return name in ("marzal_vidal", "contextual") and jit_backend() is not None
 
 #: Default row-block height for the streaming matrix entry points.
 _BLOCK_ROWS = 256
@@ -252,6 +281,10 @@ def _evaluate_batched(
                         f"infeasible heuristic for {x!r}, {y!r}"
                     )
                 out[p] = cost
+        elif name == "marzal_vidal":  # jit-only: gated by _is_batched
+            out[bucket] = jit_backend().mv_distance_batch(chunk)
+        elif name == "contextual":  # jit-only: gated by _is_batched
+            out[bucket] = jit_backend().contextual_distance_batch(chunk)
         else:
             values = _lev_finalize(name, chunk, levenshtein_batch(chunk))
             out[bucket] = values
@@ -271,7 +304,7 @@ def _evaluate_unique(
     exactly what a plain loop would have handed them; the normalised
     ``pairs`` feed the kernels (and the dedupe that aligned the lists).
     """
-    if name in _LEV_FAMILY or name == "contextual_heuristic":
+    if _is_batched(name):
         return _evaluate_batched(name, pairs)
     return np.asarray([fn(x, y) for x, y in raw_pairs], dtype=float)
 
@@ -279,7 +312,7 @@ def _evaluate_unique(
 def _mp_evaluate(args: Tuple[str, List[Tuple[Symbols, Symbols]]]) -> np.ndarray:
     """Process-pool worker: evaluate one chunk of pairs by registry name."""
     name, chunk = args
-    if name in _LEV_FAMILY or name == "contextual_heuristic":
+    if _is_batched(name):
         return _evaluate_batched(name, chunk)
     return np.asarray(
         [registry.get_distance(name)(x, y) for x, y in chunk], dtype=float
@@ -394,65 +427,75 @@ def pairwise_values(
     return out
 
 
-def _lev_bounded_int(x: Symbols, y: Symbols, limit: float, d: int) -> int:
-    """Replay :func:`~repro.core.levenshtein.levenshtein_bounded` from the
-    exact ``d_E``: same exact-below / above-limit values, no DP."""
+def _lev_bounded_int(
+    x: Symbols, y: Symbols, limit: float, d: int, exact: bool
+) -> int:
+    """Replay :func:`~repro.core.levenshtein.levenshtein_bounded` from a
+    banded-kernel result: same exact-below / above-limit values, no DP.
+
+    ``exact`` records whether the kernel proved ``d`` is the true
+    distance (its budget always covers this request's, so ``not exact``
+    implies the true distance exceeds every bound tested here).
+    """
     m, n = len(x), len(y)
     if limit >= m + n:
-        return d
+        return d  # budget == m + n: the kernel was exact
     bound = int(limit) if limit >= 0 else -1
     if bound < 0:
-        return 0 if d == 0 else max(abs(m - n), 1)
-    if d <= bound:
+        return 0 if exact and d == 0 else max(abs(m - n), 1)
+    if exact and d <= bound:
         return d
     return max(bound + 1, abs(m - n))
 
 
 def _replay_bounded_lev(
-    name: str, x: Symbols, y: Symbols, limit: float, d: int
+    name: str, x: Symbols, y: Symbols, limit: float, d: int, exact: bool
 ):
-    """Replay the Levenshtein-family bounded twin at *limit* from the exact
-    ``d_E``.
+    """Replay the Levenshtein-family bounded twin at *limit* from a banded
+    batch-kernel result.
 
     Each branch mirrors the matching function in :mod:`repro.core.bounded`
     expression by expression; the scalar twins decide "exact vs pruned" by
     comparing their banded DP result against the edit budget ``k``, and
-    that comparison is equivalent to ``true d_E <= k``, so replaying with
-    the true distance reproduces their values bit for bit (asserted by the
+    that comparison is equivalent to ``true d_E <= k``.  The batch kernel
+    ran with the *maximum* budget over this pair's requests, so ``exact
+    and d <= k`` is exactly that test (``not exact`` means the true
+    distance exceeds the kernel budget, hence every request's ``k``), and
+    replaying reproduces the scalar values bit for bit (asserted by the
     tests against :meth:`CountingDistance.within`).
     """
     if limit == _INF:  # within() skips the twin entirely at +inf
-        return _lev_value(name, x, y, d)
+        return _lev_value(name, x, y, d)  # budget == total: exact
     m, n = len(x), len(y)
     if name in ("levenshtein", _LEV_INT):
-        value = _lev_bounded_int(x, y, limit, d)
+        value = _lev_bounded_int(x, y, limit, d, exact)
         return value if name == _LEV_INT else float(value)
     if name == "dmax":
         longest = max(m, n)
         if longest == 0:
             return 0.0
         k = _edit_budget(limit * longest)
-        return d / longest if d <= k else (k + 1) / longest
+        return d / longest if exact and d <= k else (k + 1) / longest
     if name == "dsum":
         total = m + n
         if total == 0:
             return 0.0
         k = _edit_budget(limit * total)
-        return d / total if d <= k else (k + 1) / total
+        return d / total if exact and d <= k else (k + 1) / total
     if name == "dmin":
         shortest = min(m, n)
         if shortest == 0:
             return 0.0 if x == y else float("inf")
         k = _edit_budget(limit * shortest)
-        return d / shortest if d <= k else (k + 1) / shortest
+        return d / shortest if exact and d <= k else (k + 1) / shortest
     if name == "yujian_bo":
         if not x and not y:
             return 0.0
         total = m + n
         if limit >= 1.0:
-            return 2.0 * d / (total + d)
+            return 2.0 * d / (total + d)  # budget == total: exact
         k = 0 if limit < 0.0 else _edit_budget(limit * total / (2.0 - limit))
-        if d <= k:
+        if exact and d <= k:
             return 2.0 * d / (total + d)
         return 2.0 * (k + 1) / (total + k + 1)
     raise AssertionError(  # pragma: no cover - guarded by _LEV_FAMILY
@@ -461,12 +504,14 @@ def _replay_bounded_lev(
 
 
 def _replay_bounded_contextual(
-    x: Symbols, y: Symbols, limit: float, d_e: int, ni: int
+    x: Symbols, y: Symbols, limit: float, d_e: int, ni: int, exact: bool
 ) -> float:
-    """Replay ``bounded_contextual_heuristic`` from exact ``(d_E, Ni)``.
+    """Replay ``bounded_contextual_heuristic`` from a banded twin-table
+    kernel result.
 
     The twin's banded DP recovers exactly these integers whenever
-    ``d_E`` fits the edit budget, so the canonical-cost branch is
+    ``d_E`` fits the edit budget (``exact`` from the kernel, whose
+    budget covers this request's), so the canonical-cost branch is
     bit-identical; the pruned branches replay the twin's closed forms.
     """
     if x == y:
@@ -474,7 +519,7 @@ def _replay_bounded_contextual(
     m, n = len(x), len(y)
     total = m + n
     k = total if limit == _INF else contextual_edit_budget(limit, total)
-    if k >= total or d_e <= k:
+    if exact and (k >= total or d_e <= k):
         cost = canonical_cost(m, n, d_e, ni)
         if cost is None:  # pragma: no cover - DP guarantees feasibility
             raise AssertionError(f"infeasible heuristic for {x!r}, {y!r}")
@@ -482,6 +527,50 @@ def _replay_bounded_contextual(
     if abs(m - n) > k:
         return contextual_pruned_value(max(k, abs(m - n) - 1), total)
     return contextual_pruned_value(k, total)
+
+
+def _kernel_budget(name: str, x: Symbols, y: Symbols, limit: float) -> int:
+    """The edit budget the banded kernel must honour for one request.
+
+    Derived by inverting each twin's normalisation exactly as the scalar
+    functions in :mod:`repro.core.bounded` do; the replay needs the true
+    ``d_E`` (and ``Ni``) precisely when it is at most this bound, and
+    only closed forms of the lengths and the limit otherwise.  Requests
+    whose replay always needs the exact value (``inf`` limits, budgets
+    past the table) return the pair's combined length, which makes the
+    band cover the whole table.
+    """
+    m, n = len(x), len(y)
+    total = m + n
+    if limit == _INF:
+        return total
+    if name == "contextual_heuristic":
+        k = contextual_edit_budget(limit, total)
+    elif name in ("levenshtein", _LEV_INT):
+        if limit >= total:
+            return total
+        k = int(limit) if limit >= 0 else -1
+    elif name == "dmax":
+        longest = max(m, n)
+        if longest == 0:
+            return 0
+        k = _edit_budget(limit * longest)
+    elif name == "dsum":
+        if total == 0:
+            return 0
+        k = _edit_budget(limit * total)
+    elif name == "dmin":
+        shortest = min(m, n)
+        if shortest == 0:
+            return 0
+        k = _edit_budget(limit * shortest)
+    elif name == "yujian_bo":
+        if limit >= 1.0:
+            return total
+        k = 0 if limit < 0.0 else _edit_budget(limit * total / (2.0 - limit))
+    else:  # pragma: no cover - guarded by the caller
+        return total
+    return min(max(k, 0), total)
 
 
 def pairwise_values_bounded(
@@ -505,13 +594,20 @@ def pairwise_values_bounded(
       degrades to the full distance, exactly like ``within``.
 
     Kernel-backed distances (the Levenshtein family and the contextual
-    heuristic) run one deduplicated batched sweep for the underlying
-    integer DP and replay each request's bounded arithmetic at its own
-    limit; other twins (``d_MV``'s parametric probe) evaluate the scalar
-    twin per unique ``(pair, limit)``.  ``workers`` is accepted for
-    signature parity but the bounded path always runs serially -- the
-    lockstep drivers call it once per (small) round, where a pool could
-    never amortise.
+    heuristic) run one deduplicated *banded* batched sweep: each unique
+    pair carries the widest edit budget over its requests into the
+    kernels of :mod:`repro.batch.kernels`, which clamp the anti-diagonal
+    window to the bucket's widest surviving band and retire pairs whose
+    diagonal minima bust their budget -- tight limits touch a thin
+    stripe of the padded tables instead of all of them.  Each request's
+    bounded arithmetic is then replayed at its own limit from the
+    ``(value, exact)`` kernel result; buckets with nothing to prune (and
+    runs under ``REPRO_BANDED_BATCH=0``) fall back to the full-table
+    kernels, bit-identically.  Other twins (``d_MV``'s parametric probe)
+    evaluate the scalar twin per unique ``(pair, limit)``.  ``workers``
+    is accepted for signature parity but the bounded path always runs
+    serially -- the lockstep drivers call it once per (small) round,
+    where a pool could never amortise.
     """
     n = len(pairs)
     if len(limits) != n:
@@ -574,27 +670,63 @@ def pairwise_values_bounded(
             dtype=float,
         )
     contextual = name == "contextual_heuristic"
+    # Per-unique-pair kernel budget: the widest budget over that pair's
+    # requests.  Exactness at the maximum budget decides every smaller
+    # one (exact there and d <= k, or provably above every k).
+    limits_f = [float(limit) for limit in limits]
+    bounds = np.zeros(len(unique), dtype=np.int64)
+    for p, (x, y) in enumerate(norm):
+        slot = take[p]
+        budget = _kernel_budget(name, x, y, limits_f[p])
+        if budget > bounds[slot]:
+            bounds[slot] = budget
+    banded_enabled = _banded_batch_enabled()
     d_unique = np.zeros(len(unique), dtype=np.int64)
     ni_unique = np.zeros(len(unique), dtype=np.int64)
+    exact_unique = np.ones(len(unique), dtype=bool)
     for bucket in _buckets(unique, _BUCKET_SIZE):
         chunk = [unique[i] for i in bucket]
+        chunk_bounds = bounds[bucket]
+        # full-table fallback: when no budget in the bucket is below its
+        # pair's combined length the band covers every table anyway, so
+        # the plain kernels (no window/retirement bookkeeping) win
+        banded = banded_enabled and bool(
+            (
+                chunk_bounds
+                < np.asarray([len(x) + len(y) for x, y in chunk])
+            ).any()
+        )
         if contextual:
-            d_chunk, ni_chunk = contextual_heuristic_batch(chunk)
+            if banded:
+                d_chunk, ni_chunk, exact_chunk = (
+                    contextual_heuristic_batch_bounded(chunk, chunk_bounds)
+                )
+                exact_unique[bucket] = exact_chunk
+            else:
+                d_chunk, ni_chunk = contextual_heuristic_batch(chunk)
             d_unique[bucket] = d_chunk
             ni_unique[bucket] = ni_chunk
         else:
-            d_unique[bucket] = levenshtein_batch(chunk)
+            if banded:
+                d_chunk, exact_chunk = levenshtein_batch_bounded(
+                    chunk, chunk_bounds
+                )
+                exact_unique[bucket] = exact_chunk
+            else:
+                d_chunk = levenshtein_batch(chunk)
+            d_unique[bucket] = d_chunk
     out = np.empty(n, dtype=np.int64 if name == _LEV_INT else float)
     for p, (x, y) in enumerate(norm):
         slot = int(take[p])
-        limit = float(limits[p])
+        limit = limits_f[p]
+        exact = bool(exact_unique[slot])
         if contextual:
             out[p] = _replay_bounded_contextual(
-                x, y, limit, int(d_unique[slot]), int(ni_unique[slot])
+                x, y, limit, int(d_unique[slot]), int(ni_unique[slot]), exact
             )
         else:
             out[p] = _replay_bounded_lev(
-                name, x, y, limit, int(d_unique[slot])
+                name, x, y, limit, int(d_unique[slot]), exact
             )
     return out
 

@@ -39,8 +39,12 @@ __all__ = [
     "encode_batch",
     "levenshtein_batch",
     "levenshtein_batch_numpy",
+    "levenshtein_batch_bounded",
+    "levenshtein_batch_bounded_numpy",
     "contextual_heuristic_batch",
     "contextual_heuristic_batch_numpy",
+    "contextual_heuristic_batch_bounded",
+    "contextual_heuristic_batch_bounded_numpy",
 ]
 
 _NEG = -(1 << 30)
@@ -132,6 +136,41 @@ def contextual_heuristic_batch(
     if jit is not None:
         return jit.contextual_heuristic_batch(pairs)
     return contextual_heuristic_batch_numpy(pairs)
+
+
+def levenshtein_batch_bounded(
+    pairs: Sequence[Tuple[Symbols, Symbols]], bounds: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Banded bounded ``d_E`` of every pair (backend-dispatched).
+
+    ``bounds[p]`` is pair ``p``'s edit budget.  Returns ``(values,
+    exact)``: ``exact[p]`` is True iff the true distance is at most the
+    budget, in which case ``values[p]`` is that exact distance; pruned
+    pairs hold ``bounds[p] + 1`` (any value above the budget would do --
+    callers replay their own closed-form pruned values).  The two
+    backends agree bit for bit: exactness below the budget is a property
+    of Ukkonen's band, not of the sweep order.
+    """
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.levenshtein_batch_bounded(pairs, bounds)
+    return levenshtein_batch_bounded_numpy(pairs, bounds)
+
+
+def contextual_heuristic_batch_bounded(
+    pairs: Sequence[Tuple[Symbols, Symbols]], bounds: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Banded bounded twin tables of every pair (backend-dispatched).
+
+    Returns ``(d_e, ni, exact)`` with the same contract as
+    :func:`levenshtein_batch_bounded`: exact ``(d_E, Ni)`` whenever
+    ``d_E <= bounds[p]``, a pruned sentinel (``bounds[p] + 1``, ``0``)
+    otherwise.
+    """
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.contextual_heuristic_batch_bounded(pairs, bounds)
+    return contextual_heuristic_batch_bounded_numpy(pairs, bounds)
 
 
 def levenshtein_batch_numpy(
@@ -286,3 +325,234 @@ def contextual_heuristic_batch_numpy(
             out_ni[idx] = d * K - pack
         prev2, prev, cur = prev, cur, prev2
     return out_d, out_ni
+
+
+# ---------------------------------------------------------------------------
+# banded bounded batch sweeps
+# ---------------------------------------------------------------------------
+#
+# The bounded twins only need the exact DP result when it fits the pair's
+# edit budget; above the budget any witness value ``> budget`` suffices
+# (the engine replays each request's closed-form pruned value itself).
+# Carrying the budgets through the batch sweep therefore allows three
+# savings over the full-table kernels:
+#
+# * the active window of each anti-diagonal is clamped to the *widest
+#   surviving band* in the bucket (``|2i - t| <= B`` with
+#   ``B = max(bounds[live])``), so tight-radius buckets touch a thin
+#   stripe of the padded table instead of all of it;
+# * per-pair minima of the last two diagonals are tracked, and a pair
+#   whose minima both exceed its own budget is *retired* (all later cells
+#   derive from those diagonals by non-negative increments, so its final
+#   value provably busts the budget) -- the anti-diagonal analogue of the
+#   scalar twins' row-abort;
+# * once at least half a bucket has retired or harvested, the matrices
+#   are compacted to the surviving rows, so the bucket physically shrinks
+#   mid-sweep.
+#
+# Exactness inside the band is Ukkonen's argument per pair: the computed
+# window always contains the pair's own band (the shared clamp uses
+# ``B >= bounds[p]``), any min-cost path of cost ``<= bounds[p]`` stays
+# inside that band, and a final value ``<= bounds[p]`` is therefore the
+# true one -- so ``exact[p]`` iff the true distance fits the budget, with
+# the exact value (and, for the twin tables, the exact ``Ni``) in that
+# case.  Out-of-window neighbours are sentinel-infinity, which only makes
+# band-edge cells *larger*, never smaller, preserving both directions.
+
+
+def levenshtein_batch_bounded_numpy(
+    pairs: Sequence[Tuple[Symbols, Symbols]], bounds: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Banded bounded ``d_E`` sweep (see the block comment above).
+
+    Returns ``(values, exact)``: exact distances where they fit the
+    per-pair budgets, ``bounds[p] + 1`` where they provably do not.
+    """
+    P = len(pairs)
+    out = np.zeros(P, dtype=np.int64)
+    exact = np.zeros(P, dtype=bool)
+    if P == 0:
+        return out, exact
+    X, Y, mx, my = encode_batch(pairs)
+    b_all = np.minimum(
+        np.maximum(np.asarray(bounds, dtype=np.int64), 0), mx + my
+    )
+    gap = np.abs(mx - my)
+    pruned = gap > b_all  # d_E >= |m - n| already busts the budget
+    trivial = ((mx == 0) | (my == 0)) & ~pruned
+    out[trivial] = np.maximum(mx, my)[trivial]
+    exact[trivial] = True  # gap <= budget and d_E == gap for empty sides
+    out[pruned] = b_all[pruned] + 1
+    rows = np.nonzero(~trivial & ~pruned)[0]
+    if len(rows) == 0:
+        return out, exact
+    X, Y = X[rows], Y[rows]
+    mx, my, b = mx[rows], my[rows], b_all[rows]
+    M, N = X.shape[1], Y.shape[1]
+    size = M + 1
+    inf = M + N + 2
+    final = mx + my
+    live = np.ones(len(rows), dtype=bool)
+    prev2 = np.full((len(rows), size), inf, dtype=np.int64)
+    prev = np.full((len(rows), size), inf, dtype=np.int64)
+    prev2[:, 0] = 0  # cell (0, 0)
+    prev[:, 0] = 1  # cell (0, 1)
+    prev[:, 1] = 1  # cell (1, 0)
+    cur = np.empty((len(rows), size), dtype=np.int64)
+    min_prev = np.ones(len(rows), dtype=np.int64)  # min of diagonal 1
+    for t in range(2, M + N + 1):
+        if not live.any():
+            break
+        # widest surviving band; >= 1 so the window never goes empty and
+        # its edges move by at most one column per diagonal (the sweep's
+        # sentinel bookkeeping relies on that, exactly like the full
+        # kernels' one-cell-beyond-the-window reads)
+        B = max(int(b[live].max()), 1)
+        lo = max(0, t - N)
+        hi = min(M, t)
+        L = max(lo, (t - B + 1) // 2)  # ceil((t - B) / 2)
+        H = min(hi, (t + B) // 2)
+        a = max(1, L)
+        bb = min(H, t - 1)
+        cur[:, a - 1] = inf
+        if bb + 1 <= M:
+            cur[:, bb + 1] = inf
+        if L == 0:
+            cur[:, 0] = t  # cell (0, t): t insertions
+        if H == t:
+            cur[:, t] = t  # cell (t, 0): t deletions
+        if a <= bb:
+            xs = X[:, a - 1 : bb]
+            ys = Y[:, t - bb - 1 : t - a][:, ::-1]
+            sub = prev2[:, a - 1 : bb] + (xs != ys)
+            step = np.minimum(prev[:, a - 1 : bb], prev[:, a : bb + 1]) + 1
+            np.minimum(sub, step, out=cur[:, a : bb + 1])
+        min_cur = cur[:, L : H + 1].min(axis=1)
+        ready = live & (final == t)
+        if ready.any():
+            idx = np.nonzero(ready)[0]
+            vals = cur[idx, mx[idx]]
+            ok = vals <= b[idx]
+            out[rows[idx]] = np.where(ok, vals, b[idx] + 1)
+            exact[rows[idx]] = ok
+            live[idx] = False
+        dead = live & (min_cur > b) & (min_prev > b)
+        if dead.any():
+            idx = np.nonzero(dead)[0]
+            out[rows[idx]] = b[idx] + 1
+            live[idx] = False
+        prev2, prev, cur = prev, cur, prev2
+        min_prev = min_cur
+        n_live = int(live.sum())
+        if n_live and n_live * 2 <= len(rows):
+            keep = np.nonzero(live)[0]
+            rows, X, Y = rows[keep], X[keep], Y[keep]
+            mx, my, b, final = mx[keep], my[keep], b[keep], final[keep]
+            prev2, prev, cur = prev2[keep], prev[keep], cur[keep]
+            min_prev = min_prev[keep]
+            live = np.ones(n_live, dtype=bool)
+    return out, exact
+
+
+def contextual_heuristic_batch_bounded_numpy(
+    pairs: Sequence[Tuple[Symbols, Symbols]], bounds: Sequence[int]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Banded bounded twin-table sweep (packed cells, see block comment).
+
+    Returns ``(d_e, ni, exact)``: the exact twin values where ``d_E``
+    fits the per-pair budgets, the pruned sentinel ``(bounds[p] + 1, 0)``
+    where it provably does not.  Retirement compares the packed minima
+    against ``bounds[p] * K``: ``pack = d * K - ni`` with ``ni <= d``
+    keeps ``pack > b * K`` equivalent to ``d > b``.
+    """
+    P = len(pairs)
+    out_d = np.zeros(P, dtype=np.int64)
+    out_ni = np.zeros(P, dtype=np.int64)
+    exact = np.zeros(P, dtype=bool)
+    if P == 0:
+        return out_d, out_ni, exact
+    X, Y, mx, my = encode_batch(pairs)
+    b_all = np.minimum(
+        np.maximum(np.asarray(bounds, dtype=np.int64), 0), mx + my
+    )
+    gap = np.abs(mx - my)
+    pruned = gap > b_all
+    x_empty = (mx == 0) & ~pruned
+    y_empty = (my == 0) & ~x_empty & ~pruned
+    out_d[x_empty] = my[x_empty]
+    out_ni[x_empty] = my[x_empty]  # pure insertions
+    out_d[y_empty] = mx[y_empty]
+    out_ni[y_empty] = 0  # pure deletions
+    exact[x_empty | y_empty] = True
+    out_d[pruned] = b_all[pruned] + 1
+    rows = np.nonzero(~x_empty & ~y_empty & ~pruned)[0]
+    if len(rows) == 0:
+        return out_d, out_ni, exact
+    X, Y = X[rows], Y[rows]
+    mx, my, b = mx[rows], my[rows], b_all[rows]
+    M, N = X.shape[1], Y.shape[1]
+    size = M + 1
+    K = M + N + 2  # strictly above any feasible ni
+    inf = (M + N + 1) * K
+    final = mx + my
+    live = np.ones(len(rows), dtype=bool)
+    prev2 = np.full((len(rows), size), inf, dtype=np.int64)
+    prev = np.full((len(rows), size), inf, dtype=np.int64)
+    prev2[:, 0] = 0  # (0, 0): d=0, ni=0
+    prev[:, 0] = K - 1  # (0, 1): d=1, ni=1 (one insertion)
+    prev[:, 1] = K  # (1, 0): d=1, ni=0 (one deletion)
+    cur = np.empty((len(rows), size), dtype=np.int64)
+    min_prev = np.full(len(rows), K - 1, dtype=np.int64)  # min of diag 1
+    for t in range(2, M + N + 1):
+        if not live.any():
+            break
+        B = max(int(b[live].max()), 1)
+        lo = max(0, t - N)
+        hi = min(M, t)
+        L = max(lo, (t - B + 1) // 2)
+        H = min(hi, (t + B) // 2)
+        a = max(1, L)
+        bb = min(H, t - 1)
+        cur[:, a - 1] = inf
+        if bb + 1 <= M:
+            cur[:, bb + 1] = inf
+        if L == 0:
+            cur[:, 0] = t * K - t  # (0, t): d=t, ni=t insertions
+        if H == t:
+            cur[:, t] = t * K  # (t, 0): d=t, ni=0
+        if a <= bb:
+            xs = X[:, a - 1 : bb]
+            ys = Y[:, t - bb - 1 : t - a][:, ::-1]
+            diag = prev2[:, a - 1 : bb] + (xs != ys) * K
+            step = np.minimum(
+                prev[:, a - 1 : bb] + K,  # deletion of x[i-1]
+                prev[:, a : bb + 1] + (K - 1),  # insertion of y[j-1]
+            )
+            np.minimum(diag, step, out=cur[:, a : bb + 1])
+        min_cur = cur[:, L : H + 1].min(axis=1)
+        ready = live & (final == t)
+        if ready.any():
+            idx = np.nonzero(ready)[0]
+            pack = cur[idx, mx[idx]]
+            d = -(-pack // K)
+            ok = d <= b[idx]
+            out_d[rows[idx]] = np.where(ok, d, b[idx] + 1)
+            out_ni[rows[idx]] = np.where(ok, d * K - pack, 0)
+            exact[rows[idx]] = ok
+            live[idx] = False
+        dead = live & (min_cur > b * K) & (min_prev > b * K)
+        if dead.any():
+            idx = np.nonzero(dead)[0]
+            out_d[rows[idx]] = b[idx] + 1
+            live[idx] = False
+        prev2, prev, cur = prev, cur, prev2
+        min_prev = min_cur
+        n_live = int(live.sum())
+        if n_live and n_live * 2 <= len(rows):
+            keep = np.nonzero(live)[0]
+            rows, X, Y = rows[keep], X[keep], Y[keep]
+            mx, my, b, final = mx[keep], my[keep], b[keep], final[keep]
+            prev2, prev, cur = prev2[keep], prev[keep], cur[keep]
+            min_prev = min_prev[keep]
+            live = np.ones(n_live, dtype=bool)
+    return out_d, out_ni, exact

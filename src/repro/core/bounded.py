@@ -365,6 +365,12 @@ def bounded_marzal_vidal(x: StringLike, y: StringLike, limit: float) -> float:
     if abs(m - n) > band:
         # every path performs >= |m - n| indels over <= total columns
         return abs(m - n) / total
+    # Probe selection is identical on every kernel backend (the branch
+    # changes the pruned *value*, not just the speed); the JIT backend
+    # merely swaps each probe for its compiled bit-identical twin.
+    from ._kernels import jit_backend
+
+    jit = jit_backend()
     if (
         total >= _MV_NUMPY_PROBE_THRESHOLD
         and (2 * band + 1) * min(m, n) >= _MV_BANDED_CELL_LIMIT
@@ -372,13 +378,19 @@ def bounded_marzal_vidal(x: StringLike, y: StringLike, limit: float) -> float:
         # wide band on long strings: the full-table anti-diagonal kernel
         # is cheaper than banded Python; a full-table minimum is a valid
         # (indeed stronger) probe, and its slack needs no band term
-        from ._kernels import parametric_alignment_numpy
+        if jit is not None:
+            weight, length = jit.parametric_alignment(x, y, limit)
+        else:
+            from ._kernels import parametric_alignment_numpy
 
-        weight, length = parametric_alignment_numpy(x, y, limit)
+            weight, length = parametric_alignment_numpy(x, y, limit)
         score = weight - limit * length
         slack = score
     else:
-        score = _banded_parametric(x, y, limit, band)
+        if jit is not None:
+            score = jit.banded_parametric(x, y, limit, band)
+        else:
+            score = _banded_parametric(x, y, limit, band)
         # out-of-band paths pay > band indels: their score is at least
         # band + 1 - limit * total > 0, so the global minimum is bounded
         # below by the smaller of the two

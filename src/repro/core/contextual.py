@@ -167,6 +167,9 @@ def _insertion_table_final(x, y, k_max=None):
     m, n = len(x), len(y)
     if k_max is None or k_max > m + n:
         k_max = m + n
+    jit = _jit()
+    if jit is not None:  # compiled backend: thresholds drop to zero
+        return jit.insertion_table_final(x, y, k_max)
     if m + n < _EXACT_PY_THRESHOLD:
         return _insertion_table_final_py(x, y, k_max)
     kk = k_max + 1

@@ -174,6 +174,15 @@ def mv_normalized_distance_fractional(
     x, y = require_strings(x, y)
     if len(x) == 0 and len(y) == 0:
         return 0.0
+    if costs is UNIT_COSTS:
+        from ._kernels import jit_backend
+
+        jit = jit_backend()
+        if jit is not None:
+            # compiled Dinkelbach: one encode, all parametric passes and
+            # the ratio iteration inside the kernel (every length -- a
+            # compiled kernel has no per-call dispatch crossover)
+            return jit.mv_distance(x, y, max_iterations, tolerance)
     use_numpy = costs is UNIT_COSTS and len(x) + len(y) >= _FRACTIONAL_THRESHOLD
     if use_numpy:
         from ._kernels import parametric_alignment_numpy

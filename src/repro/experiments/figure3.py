@@ -12,34 +12,93 @@ number of computed distances.
 from __future__ import annotations
 
 import random
-from typing import List, Tuple, Union
+from typing import Dict, List, Tuple, Union
 
 from ..core import PAPER_ALL
 from ..datasets import perturbed_queries
 from .config import ExperimentScale, get_scale
 from .data import dictionary_for
-from .laesa_sweep import LaesaSweepResult, run_sweep
+from .laesa_sweep import LaesaSweepResult, draw_trial_seeds, run_sweep
 
 __all__ = ["run"]
 
 
 def run(
-    scale: Union[str, ExperimentScale] = "default", seed: int = 4
+    scale: Union[str, ExperimentScale] = "default",
+    seed: int = 4,
+    pool_mode: str = "auto",
 ) -> LaesaSweepResult:
-    """Sweep LAESA pivot counts over the dictionary for all five distances."""
+    """Sweep LAESA pivot counts over the dictionary for all five distances.
+
+    Unlike Figure 4 (whose trials all shuffle one digit pool), each trial
+    here samples a small training set out of a dictionary that is orders
+    of magnitude larger -- so the shared pool matrix ``run_sweep`` reuses
+    across trials is built over the *union of the pre-drawn trials'
+    training sets*, not the dictionary.  Trials are pre-drawn by
+    replaying :func:`~repro.experiments.laesa_sweep.draw_trial_seeds`'s
+    per-trial RNG stream, so every sample, perturbation and pivot
+    selection is identical to the un-pooled sweep (the pool matrix itself
+    is bit-identical to fresh evaluation).
+
+    ``pool_mode`` selects the preprocessing strategy: ``"auto"``
+    (default) uses the union pool only when its one-off ``C(|union|, 2)``
+    matrix costs no more than the per-trial pivot selections it replaces
+    (``trials * max_pivots * n_train`` evaluations -- heavy trial overlap
+    or many trials); ``"pool"`` / ``"plain"`` force either path (results
+    are identical, only preprocessing cost moves).
+    """
+    if pool_mode not in ("auto", "pool", "plain"):
+        raise ValueError(
+            f"pool_mode must be auto, pool or plain; got {pool_mode!r}"
+        )
     cfg = get_scale(scale)
     words = dictionary_for(cfg)
 
-    # No shared pool matrix here (unlike Figure 4): each trial samples a
-    # small training set out of a dictionary that is orders of magnitude
-    # larger, so a pool-wide distance memmap would cost C(|dict|, 2)
-    # evaluations against the trials' p * n pivot rows -- the wrong side
-    # of the amortisation run_sweep's pool mode exists for.
-    def make_trial(rng: random.Random) -> Tuple[List, List]:
+    def sample_trial(rng: random.Random):
         train = words.sample(cfg.laesa_train, rng)
-        queries = perturbed_queries(
-            train, cfg.laesa_queries, rng, operations=2
+        queries = perturbed_queries(train, cfg.laesa_queries, rng, operations=2)
+        return train, queries
+
+    use_pool = pool_mode == "pool"
+    pool: List = []
+    if pool_mode != "plain":
+        # Pre-draw every trial (replaying the sweep's exact RNG stream)
+        # to learn the union of the training sets.
+        index_of: Dict = {}
+        for trial_seed in draw_trial_seeds(seed, cfg.laesa_trials):
+            train, _ = sample_trial(random.Random(trial_seed))
+            for word in train.items:
+                if word not in index_of:
+                    index_of[word] = len(pool)
+                    pool.append(word)
+        if pool_mode == "auto":
+            pool_cost = len(pool) * (len(pool) - 1) // 2
+            plain_cost = (
+                cfg.laesa_trials * max(cfg.pivot_counts) * cfg.laesa_train
+            )
+            use_pool = pool_cost <= plain_cost
+
+    if use_pool:
+
+        def make_trial(rng: random.Random) -> Tuple[List[int], List]:
+            # consume rng exactly like the plain path so the pivot
+            # selection draws that follow remain identical
+            train, queries = sample_trial(rng)
+            return [index_of[word] for word in train.items], queries
+
+        return run_sweep(
+            title="Figure 3 (Spanish dictionary)",
+            scale_name=cfg.name,
+            distance_names=PAPER_ALL,
+            pivot_counts=cfg.pivot_counts,
+            n_trials=cfg.laesa_trials,
+            seed=seed,
+            make_trial=make_trial,
+            pool=pool,
         )
+
+    def make_trial_plain(rng: random.Random) -> Tuple[List, List]:
+        train, queries = sample_trial(rng)
         return list(train.items), queries
 
     return run_sweep(
@@ -49,5 +108,5 @@ def run(
         pivot_counts=cfg.pivot_counts,
         n_trials=cfg.laesa_trials,
         seed=seed,
-        make_trial=make_trial,
+        make_trial=make_trial_plain,
     )

@@ -18,9 +18,12 @@ slices each trial's ``train x train`` submatrix out of it, so pivot
 selection (:func:`~repro.index.select_pivots_from_matrix`) costs zero
 distance evaluations after the first trial touches the pool.  The
 amortisation wins whenever ``trials * max_pivots`` exceeds about half the
-pool size; Figure 3 samples small training sets out of a dictionary that
-is orders of magnitude larger, so it keeps the per-trial path.  Reported
-query-phase statistics are identical either way (the matrix is
+pool size.  Figure 3 samples small training sets out of a dictionary that
+is orders of magnitude larger, so its pool (when the amortisation gate
+decides one pays) is the *union of the pre-drawn trials' training sets*:
+:func:`draw_trial_seeds` exposes the per-trial RNG stream so the trials
+can be replayed up front without perturbing a single random draw.
+Reported query-phase statistics are identical either way (the matrix is
 bit-identical to scalar evaluation, so the selected pivots -- and hence
 every search -- are too).
 
@@ -51,7 +54,20 @@ from ..index import (
 )
 from .tables import Table
 
-__all__ = ["SweepSeries", "LaesaSweepResult", "run_sweep"]
+__all__ = ["SweepSeries", "LaesaSweepResult", "draw_trial_seeds", "run_sweep"]
+
+
+def draw_trial_seeds(seed: int, n_trials: int) -> List[int]:
+    """The per-trial RNG seeds :func:`run_sweep` derives from *seed*.
+
+    Exposed so callers can *pre-draw* trials (replay each trial's
+    sampling with ``random.Random(trial_seed)``) before invoking the
+    sweep -- e.g. to learn the union of the trials' training sets and
+    pass it as ``pool=`` (Figure 3) -- while keeping every random draw
+    identical to the un-previewed sweep.
+    """
+    master = random.Random(seed)
+    return [master.randrange(2**31) for _ in range(n_trials)]
 
 
 @dataclass(frozen=True)
@@ -136,7 +152,6 @@ def run_sweep(
     per_distance: Dict[str, Dict[int, List[Tuple[float, float]]]] = {
         name: {p: [] for p in pivot_counts} for name in distance_names
     }
-    master = random.Random(seed)
     checked = False
     n_train = 0
     pool_matrices: Dict[str, np.memmap] = {}
@@ -154,8 +169,8 @@ def run_sweep(
         return matrix
 
     try:
-        for _ in range(n_trials):
-            trial_rng = random.Random(master.randrange(2**31))
+        for trial_seed in draw_trial_seeds(seed, n_trials):
+            trial_rng = random.Random(trial_seed)
             if pool is None:
                 train, queries = make_trial(trial_rng)
                 train_indices = None

@@ -72,12 +72,15 @@ class AesaIndex(NearestNeighborIndex):
         self.matrix = matrix
         self.preprocessing_computations = self._counter.take()
 
-    def _range_search(self, query, radius: float) -> List[SearchResult]:
-        """Range search with the full-matrix bounds: repeatedly compare the
-        undecided item with the smallest lower bound, tighten everyone's
-        bounds with the new distance, and discard items whose bound
-        exceeds *radius*."""
-        distance = self._counter
+    def _range_requests(self, radius: float):
+        """Range search with the full-matrix bounds as a request
+        generator: repeatedly compare the undecided item with the
+        smallest lower bound, tighten everyone's bounds with the new
+        distance, and discard items whose bound exceeds *radius*.  Every
+        comparison doubles as a pivot, so each request needs the exact
+        distance (``limit=None``) and is cacheable at ``cache_pos=item``
+        when a bulk driver precomputed the ``queries x items`` sweep.
+        """
         items = self.items
         n = len(items)
         bounds = np.zeros(n, dtype=float)
@@ -91,7 +94,7 @@ class AesaIndex(NearestNeighborIndex):
             # (infinite distances) would otherwise re-pick a decided index
             current = int(candidates[np.argmin(bounds[candidates])])
             undecided[current] = False
-            d = distance(query, items[current])
+            d = yield (current, None, current)
             if d <= radius:
                 hits.append(
                     SearchResult(item=items[current], index=current, distance=d)
@@ -100,6 +103,29 @@ class AesaIndex(NearestNeighborIndex):
             undecided &= bounds <= radius
         hits.sort(key=canonical_key)
         return hits
+
+    def bulk_range_search(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """Batched range search over the same lockstep machinery as
+        :meth:`bulk_knn`, with the same ``_BULK_SWEEP_MAX_ITEMS`` gate on
+        the front-loaded ``queries x items`` sweep.  Hits and per-query
+        counts are identical to looping :meth:`range_search`.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        queries = list(queries)
+        if not queries:
+            return []
+        generators = [self._range_requests(radius) for _ in queries]
+        if len(self.items) > self._BULK_SWEEP_MAX_ITEMS:
+            return self._lockstep_drive(queries, generators)
+        started = time.perf_counter()
+        cache = self._counter.precompute(queries, self.items)
+        sweep_seconds = time.perf_counter() - started
+        return self._lockstep_drive(
+            queries, generators, pivot_cache=cache, extra_elapsed=sweep_seconds
+        )
 
     def _search(
         self,

@@ -22,7 +22,17 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Callable, Generic, List, Sequence, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Generator,
+    Generic,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
@@ -207,17 +217,22 @@ class NearestNeighborIndex(ABC, Generic[Item]):
     def _range_search(self, query: Item, radius: float) -> List[SearchResult]:
         """Return every item within *radius*; default scans linearly.
 
-        Subclasses with pruning structures override this with a
-        triangle-inequality-aware version.
+        Subclasses with pruning structures implement
+        :meth:`_range_requests` instead, which this method then drives
+        scalar-style (and :meth:`bulk_range_search` drives in lockstep).
         """
-        distance = self._counter
-        hits = []
-        for idx, item in enumerate(self.items):
-            d = distance(query, item)
-            if d <= radius:
-                hits.append(SearchResult(item=item, index=idx, distance=d))
-        hits.sort(key=canonical_key)
-        return hits
+        try:
+            gen = self._range_requests(radius)
+        except NotImplementedError:
+            distance = self._counter
+            hits = []
+            for idx, item in enumerate(self.items):
+                d = distance(query, item)
+                if d <= radius:
+                    hits.append(SearchResult(item=item, index=idx, distance=d))
+            hits.sort(key=canonical_key)
+            return hits
+        return self._drive_requests(query, gen)
 
     def range_search(
         self, query: Item, radius: float
@@ -303,13 +318,27 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             f"{type(self).__name__} has no request-generator search"
         )
 
-    def _drive_search(
+    def _range_requests(self, radius: float):
+        """Range-search twin of :meth:`_search_requests`.
+
+        Same request protocol (yield ``(item_index, limit, cache_pos)``,
+        receive the distance, return the sorted hit list via
+        ``StopIteration.value``), with the fixed *radius* in place of
+        the shrinking k-th-best limit.  Structures that implement it get
+        a scalar :meth:`_range_search` and a lockstep
+        :meth:`bulk_range_search` for free.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no request-generator range search"
+        )
+
+    def _drive_requests(
         self,
         query: Item,
-        k: int,
+        gen: Generator,
         pivot_cache: Optional[np.ndarray] = None,
-    ) -> List[SearchResult]:
-        """Run :meth:`_search_requests` for one query, scalar-style.
+    ):
+        """Run one request generator scalar-style (k-NN or range).
 
         Exact requests are answered with a plain counted call (or a
         charged *pivot_cache* read when a bulk driver precomputed them);
@@ -319,7 +348,6 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         """
         distance = self._counter
         items = self.items
-        gen = self._search_requests(k)
         value: Optional[float] = None
         while True:
             try:
@@ -335,6 +363,16 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             else:
                 value = distance.within(query, items[idx], limit)
 
+    def _drive_search(
+        self,
+        query: Item,
+        k: int,
+        pivot_cache: Optional[np.ndarray] = None,
+    ) -> List[SearchResult]:
+        """Scalar driver for :meth:`_search_requests` (see
+        :meth:`_drive_requests`)."""
+        return self._drive_requests(query, self._search_requests(k), pivot_cache)
+
     def _bulk_knn_lockstep(
         self,
         queries: Sequence[Item],
@@ -342,29 +380,72 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         pivot_cache: Optional[np.ndarray] = None,
         extra_elapsed: float = 0.0,
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
-        """Run every query's elimination loop in lockstep rounds, batching
-        each round's candidate evaluations into one engine call.
+        """Lockstep driver over :meth:`_search_requests` (see
+        :meth:`_lockstep_drive`)."""
+        return self._lockstep_drive(
+            queries,
+            [self._search_requests(k) for _ in queries],
+            pivot_cache=pivot_cache,
+            extra_elapsed=extra_elapsed,
+        )
+
+    def bulk_range_search(
+        self, queries: Sequence[Item], radius: float
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """Range search for a whole query batch, one ``(hits, stats)``
+        tuple per query, closest first.
+
+        Structures that implement :meth:`_range_requests` run every
+        query's pruning loop in lockstep
+        (:meth:`_lockstep_drive`), grouping each round's candidate
+        evaluations -- one bounded comparison per still-active query --
+        into a single banded :func:`~repro.batch.pairwise_values_bounded`
+        engine call; hits, order and per-query
+        ``distance_computations`` are identical to looping
+        :meth:`range_search` (asserted by the tests).  Structures
+        without the generator fall back to exactly that loop.  LAESA
+        and AESA override this to also precompute their pivot sweeps.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        queries = list(queries)
+        if not queries:
+            return []
+        try:
+            generators = [self._range_requests(radius) for _ in queries]
+        except NotImplementedError:
+            return [self.range_search(query, radius) for query in queries]
+        return self._lockstep_drive(queries, generators)
+
+    def _lockstep_drive(
+        self,
+        queries: Sequence[Item],
+        generators: List[Generator],
+        pivot_cache: Optional[np.ndarray] = None,
+        extra_elapsed: float = 0.0,
+    ) -> List[Tuple[Any, SearchStats]]:
+        """Run every query's request generator in lockstep rounds,
+        batching each round's candidate evaluations into one engine call.
 
         All query generators advance together: cached pivot requests are
         served inline from *pivot_cache* (row ``qi``), and the remaining
         requests of the round -- one per still-active query -- are grouped
         into a single :meth:`CountingDistance.precompute_bounded` call, so
-        the scalar tail of the candidate phase runs through the batched
-        DP kernels instead of one bounded Python call per candidate.
+        the scalar tail of the candidate phase runs through the banded
+        batch DP kernels instead of one bounded Python call per candidate.
 
         Each query's request stream depends only on its own distances, so
-        lockstep scheduling returns bit-identical neighbours, distances
-        and per-query ``distance_computations`` to looping :meth:`knn`
-        (one count per request, exactly like the scalar drivers; asserted
-        by the tests).  Wall-clock (plus *extra_elapsed*, e.g. a pivot
-        sweep) is split evenly across the per-query stats.
+        lockstep scheduling returns bit-identical results, distances
+        and per-query ``distance_computations`` to the scalar drivers
+        (one count per request; asserted by the tests).  Wall-clock (plus
+        *extra_elapsed*, e.g. a pivot sweep) is split evenly across the
+        per-query stats.
         """
         started = time.perf_counter()
         items = self.items
         n_queries = len(queries)
-        generators = [self._search_requests(k) for _ in queries]
         counts = [0] * n_queries
-        results: List[Optional[List[SearchResult]]] = [None] * n_queries
+        results: List[Optional[Any]] = [None] * n_queries
         requests: List[Optional[Tuple[int, Optional[float], Optional[int]]]]
         requests = [None] * n_queries
         active: List[int] = []

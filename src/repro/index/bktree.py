@@ -81,15 +81,20 @@ class BKTreeIndex(NearestNeighborIndex):
             return max(radius, max(node.children) + radius)
         return radius
 
-    def _range_search(self, query, radius: float) -> List[SearchResult]:
-        """Classic BK-tree range query: visit children whose key lies in
-        ``[d - radius, d + radius]``."""
+    def _range_requests(self, radius: float):
+        """Classic BK-tree range query as a request generator: visit
+        children whose key lies in ``[d - radius, d + radius]``.  Every
+        request carries the node's early-exit limit, so both the scalar
+        driver (``within``) and the lockstep bulk driver (banded batch
+        kernels) may stop each DP at the point the traversal stops
+        caring; requests are not precomputable (``cache_pos=None``).
+        """
         hits: List[SearchResult] = []
         stack = [self._root]
         while stack:
             node = stack.pop()
             limit = self._node_limit(node, radius)
-            d = self._counter.within(query, self.items[node.index], limit)
+            d = yield (node.index, limit, None)
             if d > limit:
                 continue  # no hit, and no child interval can be reached
             if d <= radius:

@@ -75,10 +75,41 @@ class ExhaustiveIndex(NearestNeighborIndex):
 
     def _range_search(self, query, radius: float) -> List[SearchResult]:
         distances = self._counter.many([(query, item) for item in self.items])
+        return self._row_hits(distances, radius)
+
+    def _row_hits(self, row: np.ndarray, radius: float) -> List[SearchResult]:
         hits = [
             SearchResult(item=self.items[idx], index=int(idx), distance=float(d))
-            for idx, d in enumerate(distances)
+            for idx, d in enumerate(row)
             if d <= radius
         ]
         hits.sort(key=canonical_key)
         return hits
+
+    def bulk_range_search(
+        self, queries: Sequence, radius: float
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """All queries' scans in one engine sweep, exactly like
+        :meth:`bulk_knn`: same hits and per-query counts as looping
+        :meth:`range_search`, one length-bucketed batch instead of ``q``
+        scans."""
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        queries = list(queries)
+        if not queries:
+            return []
+        n = len(self.items)
+        self._counter.take()
+        started = time.perf_counter()
+        flat = self._counter.many(
+            [(query, item) for query in queries for item in self.items]
+        )
+        matrix = flat.reshape(len(queries), n)
+        results = [self._row_hits(row, radius) for row in matrix]
+        elapsed = time.perf_counter() - started
+        self._counter.take()
+        per_query = SearchStats(
+            distance_computations=n,
+            elapsed_seconds=elapsed / len(queries),
+        )
+        return [(row_hits, per_query) for row_hits in results]

@@ -130,21 +130,25 @@ class LaesaIndex(NearestNeighborIndex):
         }
         return index
 
-    def _range_search(self, query, radius: float) -> List[SearchResult]:
-        """Pivot-filtered range search.
+    def _range_requests(self, radius: float):
+        """Pivot-filtered range search as a request generator.
 
-        Computes the query-to-pivot distances once; every candidate whose
-        lower bound ``max_p |d(q,p) - d(p,u)|`` exceeds *radius* is
-        discarded without computing its distance.
+        Computes the query-to-pivot distances once (``limit=None``,
+        cacheable at the pivot's row, like :meth:`_search_requests`);
+        every candidate whose lower bound ``max_p |d(q,p) - d(p,u)|``
+        exceeds *radius* is discarded without computing its distance,
+        and the survivors are requested at limit *radius* -- exact iff
+        within the radius, which is the only case that can produce a
+        hit.  Scalar and lockstep drivers account one computation per
+        request, exactly like the pre-generator loop.
         """
-        distance = self._counter
         items = self.items
         n = len(items)
         bounds = np.zeros(n, dtype=float)
         pivot_distances = {}
         hits: List[SearchResult] = []
         for row, item_idx in enumerate(self.pivot_indices):
-            d = distance(query, items[item_idx])
+            d = yield (item_idx, None, row)
             pivot_distances[item_idx] = d
             np.maximum(bounds, np.abs(self.pivot_rows[row] - d), out=bounds)
         for idx in range(n):
@@ -152,13 +156,40 @@ class LaesaIndex(NearestNeighborIndex):
                 continue
             d = pivot_distances.get(idx)
             if d is None:
-                # Early-exit distance: exact iff <= radius, which is the
-                # only case that can produce a hit.
-                d = distance.within(query, items[idx], radius)
+                d = yield (idx, radius, None)
             if d <= radius:
                 hits.append(SearchResult(item=items[idx], index=idx, distance=d))
         hits.sort(key=canonical_key)
         return hits
+
+    def bulk_range_search(
+        self, queries: Sequence[Any], radius: float
+    ) -> List[Tuple[List[SearchResult], SearchStats]]:
+        """Range search for a whole query batch with batched pivot *and*
+        candidate phases, exactly like :meth:`bulk_knn`: one engine sweep
+        for the ``queries x pivots`` matrix, then lockstep pruning loops
+        whose per-round candidate evaluations group into single banded
+        engine calls.  Hits and per-query ``distance_computations`` are
+        identical to looping :meth:`range_search`.
+        """
+        if radius < 0:
+            raise ValueError(f"radius must be >= 0, got {radius}")
+        queries = list(queries)
+        if not queries:
+            return []
+        cache = None
+        sweep_seconds = 0.0
+        if self.pivot_indices:
+            pivot_items = [self.items[i] for i in self.pivot_indices]
+            started = time.perf_counter()
+            cache = self._counter.precompute(queries, pivot_items)
+            sweep_seconds = time.perf_counter() - started
+        return self._lockstep_drive(
+            queries,
+            [self._range_requests(radius) for _ in queries],
+            pivot_cache=cache,
+            extra_elapsed=sweep_seconds,
+        )
 
     def _search(
         self,

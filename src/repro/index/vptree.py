@@ -71,18 +71,25 @@ class VPTreeIndex(NearestNeighborIndex):
             return search_radius
         return node.radius + search_radius
 
-    def _range_search(self, query, radius: float) -> List[SearchResult]:
-        """Subtree-pruned range query around *query*."""
+    def _range_requests(self, radius: float):
+        """Subtree-pruned range query as a request generator.
+
+        The recursion yields its comparisons through ``yield from``, so
+        the scalar driver answers them with ``within`` and the lockstep
+        bulk driver groups them -- one per still-active query -- into
+        banded batch-kernel calls; requests are not precomputable
+        (``cache_pos=None``).
+        """
         hits: List[SearchResult] = []
 
-        def visit(node) -> None:
+        def visit(node):
             if node is None:
                 return
             limit = self._node_limit(node, radius)
-            d = self._counter.within(query, self.items[node.index], limit)
+            d = yield (node.index, limit, None)
             if d > limit:
-                visit(node.outside)  # far side is the only reachable one
-                return
+                yield from visit(node.outside)  # far side is the only
+                return  # reachable one
             if d <= radius:
                 hits.append(
                     SearchResult(
@@ -90,11 +97,11 @@ class VPTreeIndex(NearestNeighborIndex):
                     )
                 )
             if d - radius <= node.radius:
-                visit(node.inside)
+                yield from visit(node.inside)
             if d + radius > node.radius:
-                visit(node.outside)
+                yield from visit(node.outside)
 
-        visit(self._root)
+        yield from visit(self._root)
         hits.sort(key=canonical_key)
         return hits
 
