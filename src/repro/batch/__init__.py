@@ -26,6 +26,7 @@ Every entry point defaults to ``workers="auto"``: unique-pair chunks fan
 out over a process pool when the machine and the batch size justify it.
 """
 
+from .corpus import InternedCorpus, PairStore, intern_corpus, interning_enabled
 from .engine import (
     distances_from,
     pairwise_matrix,
@@ -33,6 +34,8 @@ from .engine import (
     pairwise_matrix_memmap,
     pairwise_values,
     pairwise_values_bounded,
+    pairwise_values_bounded_ids,
+    pairwise_values_ids,
 )
 from .kernels import (
     contextual_heuristic_batch,
@@ -40,11 +43,15 @@ from .kernels import (
     encode_batch,
     levenshtein_batch,
     levenshtein_batch_bounded,
+    mv_banded_probe_batch,
 )
+from .runtime import EngineRuntime, get_runtime, persistent_pool_enabled
 
 __all__ = [
     "pairwise_values",
+    "pairwise_values_ids",
     "pairwise_values_bounded",
+    "pairwise_values_bounded_ids",
     "pairwise_matrix",
     "pairwise_matrix_blocks",
     "pairwise_matrix_memmap",
@@ -53,5 +60,13 @@ __all__ = [
     "levenshtein_batch_bounded",
     "contextual_heuristic_batch",
     "contextual_heuristic_batch_bounded",
+    "mv_banded_probe_batch",
     "encode_batch",
+    "InternedCorpus",
+    "PairStore",
+    "intern_corpus",
+    "interning_enabled",
+    "EngineRuntime",
+    "get_runtime",
+    "persistent_pool_enabled",
 ]

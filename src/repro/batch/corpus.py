@@ -1,0 +1,283 @@
+"""Interned corpora: encode a fixed database once, dispatch ids.
+
+Every engine entry point re-normalises and re-encodes its items on each
+call -- fine for one-off pair lists, wasteful for the bulk query paths,
+which evaluate the *same database* over and over (a pivot sweep per bulk
+call, a candidate round per lockstep iteration).  This module makes the
+encoding a build-time cost:
+
+* :class:`InternedCorpus` -- the database's sequences normalised with
+  :func:`~repro.core.types.as_symbols` and encoded against one **shared
+  alphabet table** into padded ``int32`` matrices (one padded with the
+  kernels' ``x`` sentinel, one with the ``y`` sentinel, so a row can
+  serve either side of a pair) plus a length vector;
+* :class:`PairStore` -- the id space the engine's ``*_ids`` entry points
+  dispatch against: ids ``[0, n)`` are the corpus items, ids ``[n, n+q)``
+  an optional per-call query batch encoded with (and extending) the same
+  alphabet.  ``gather`` slices ready-to-sweep ``(X, Y, mx, my)`` kernel
+  inputs straight out of the stored matrices -- no per-call
+  normalisation, hashing or symbol-by-symbol encoding;
+* :func:`intern_corpus` -- the tolerant constructor the indexes call:
+  items that cannot be normalised or hashed (arbitrary user objects)
+  return ``None`` and every caller falls back to the raw-pair paths.
+
+Encoding is equality-preserving by construction: *all* sequences share
+one symbol->code dictionary, so two symbols compare equal after encoding
+iff they compared equal before (the DP kernels only ever test equality).
+This is the same guarantee :func:`~repro.batch.kernels.encode_batch`
+gives per batch, extended to a whole corpus -- cross-representation
+equality (``"ab"`` vs ``("a", "b")``) survives because both encode their
+*normalised* symbols through the shared table.
+
+``REPRO_INTERN=0`` disables interning at index construction (the bulk
+drivers then dispatch raw pairs exactly as before -- a debugging escape
+hatch and the baseline of the interned-vs-raw identity tests).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.types import Symbols, as_symbols
+from .kernels import _PAD_X, _PAD_Y
+
+__all__ = [
+    "InternedCorpus",
+    "PairStore",
+    "gather_rows",
+    "intern_corpus",
+    "interning_enabled",
+]
+
+
+def interning_enabled() -> bool:
+    """Whether indexes intern their items at construction;
+    ``REPRO_INTERN=0`` opts out (read per construction)."""
+    return os.environ.get("REPRO_INTERN", "").strip().lower() not in {
+        "0",
+        "off",
+        "false",
+        "no",
+    }
+
+
+class _Block:
+    """One encoded batch of sequences: twin padded matrices + lengths.
+
+    ``rows_x`` is padded with the kernels' ``x`` sentinel, ``rows_y``
+    with the ``y`` sentinel, so row ``i`` can serve as either side of a
+    pair without re-padding (the sentinels must differ between the two
+    sides of a sweep so padding never compares equal)."""
+
+    __slots__ = ("rows_x", "rows_y", "lengths")
+
+    def __init__(
+        self, rows_x: np.ndarray, rows_y: np.ndarray, lengths: np.ndarray
+    ) -> None:
+        self.rows_x = rows_x
+        self.rows_y = rows_y
+        self.lengths = lengths
+
+    @property
+    def width(self) -> int:
+        return self.rows_x.shape[1]
+
+    def __len__(self) -> int:
+        return len(self.lengths)
+
+
+def _encode_block(
+    symbols: Sequence[Symbols], codes: Dict[Hashable, int]
+) -> _Block:
+    """Encode normalised *symbols* against the shared table *codes*
+    (extending it in place) into a :class:`_Block`."""
+    P = len(symbols)
+    encoded: List[List[int]] = []
+    for seq in symbols:
+        row = []
+        for symbol in seq:
+            code = codes.get(symbol)
+            if code is None:
+                code = len(codes)
+                codes[symbol] = code
+            row.append(code)
+        encoded.append(row)
+    lengths = np.fromiter((len(r) for r in encoded), dtype=np.int64, count=P)
+    width = int(lengths.max()) if P else 0
+    rows_x = np.full((P, width), _PAD_X, dtype=np.int32)
+    rows_y = np.full((P, width), _PAD_Y, dtype=np.int32)
+    for p, row in enumerate(encoded):
+        rows_x[p, : len(row)] = row
+        rows_y[p, : len(row)] = row
+    return _Block(rows_x, rows_y, lengths)
+
+
+class InternedCorpus:
+    """A fixed item list encoded once against a shared alphabet table.
+
+    Raises ``TypeError`` when an item cannot be normalised to a symbol
+    sequence or holds unhashable symbols (use :func:`intern_corpus` for
+    the tolerant form).
+    """
+
+    def __init__(self, items: Sequence[Any]) -> None:
+        self.items: List[Any] = list(items)
+        self.symbols: List[Symbols] = [as_symbols(item) for item in self.items]
+        self.codes: Dict[Hashable, int] = {}
+        self.block = _encode_block(self.symbols, self.codes)
+        #: Set by the engine runtime when this corpus has been published
+        #: to shared memory: a ``(publication generation, token)`` pair,
+        #: revalidated per publish so tokens never outlive a runtime
+        #: shutdown (one live publication per corpus per process).
+        self.shm_token = None
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return self.block.lengths
+
+    def encode(self, items: Sequence[Any]) -> Tuple[List[Symbols], _Block]:
+        """Encode *items* with (and extending) this corpus' alphabet.
+
+        Raises ``TypeError`` for non-normalisable or unhashable items,
+        exactly like construction."""
+        symbols = [as_symbols(item) for item in items]
+        return symbols, _encode_block(symbols, self.codes)
+
+    def store(self, queries: Sequence[Any] = ()) -> "PairStore":
+        """A :class:`PairStore` over this corpus plus an optional query
+        batch encoded against the same alphabet."""
+        return PairStore(self, queries)
+
+
+class PairStore:
+    """The id space interned engine calls dispatch against.
+
+    Ids ``[0, n_corpus)`` address the corpus, ids ``[n_corpus,
+    n_corpus + n_extra)`` the per-call extra batch (queries).  Kernel
+    inputs are *gathered* -- row-sliced out of the stored matrices --
+    instead of re-encoded.
+    """
+
+    def __init__(self, corpus: InternedCorpus, extras: Sequence[Any] = ()) -> None:
+        self.corpus = corpus
+        self.raw_items: List[Any] = list(extras)
+        self.extra_symbols, self.extra = corpus.encode(self.raw_items)
+        self.n_corpus = len(corpus)
+        #: lengths over the whole id space (corpus then extras)
+        self.lengths = (
+            np.concatenate([corpus.block.lengths, self.extra.lengths])
+            if len(self.extra)
+            else corpus.block.lengths
+        )
+
+    def __len__(self) -> int:
+        return self.n_corpus + len(self.extra)
+
+    def extra_id(self, position: int) -> int:
+        """The store id of extra (query) number *position*."""
+        return self.n_corpus + position
+
+    def raw(self, i: int) -> Any:
+        """The original item behind id *i* (for scalar fallbacks)."""
+        if i < self.n_corpus:
+            return self.corpus.items[i]
+        return self.raw_items[i - self.n_corpus]
+
+    def sym(self, i: int) -> Symbols:
+        """The normalised symbols behind id *i*."""
+        if i < self.n_corpus:
+            return self.corpus.symbols[i]
+        return self.extra_symbols[i - self.n_corpus]
+
+    def _row(self, i: int) -> np.ndarray:
+        """Id *i*'s encoded symbols (unpadded view)."""
+        if i < self.n_corpus:
+            return self.corpus.block.rows_x[i, : self.lengths[i]]
+        j = i - self.n_corpus
+        return self.extra.rows_x[j, : self.lengths[i]]
+
+    def same(self, i: int, j: int) -> bool:
+        """Exact symbol equality of ids *i* and *j* (the encoding is
+        equality-preserving, so encoded rows decide it)."""
+        if i == j:
+            return True
+        if self.lengths[i] != self.lengths[j]:
+            return False
+        return bool(np.array_equal(self._row(i), self._row(j)))
+
+    def gather(
+        self, x_ids: np.ndarray, y_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Ready-to-sweep kernel inputs ``(X, Y, mx, my)`` for the id
+        pairs ``zip(x_ids, y_ids)`` -- the zero-(re)encode counterpart of
+        :func:`~repro.batch.kernels.encode_batch`."""
+        return gather_rows(
+            (self.corpus.block.rows_x, self.corpus.block.rows_y),
+            (self.extra.rows_x, self.extra.rows_y) if len(self.extra) else None,
+            self.lengths,
+            self.n_corpus,
+            x_ids,
+            y_ids,
+        )
+
+
+def _take_rows(
+    ids: np.ndarray,
+    lengths: np.ndarray,
+    n_corpus: int,
+    corpus_rows: np.ndarray,
+    extra_rows: Optional[np.ndarray],
+    pad: int,
+) -> np.ndarray:
+    """Stack the rows of *ids* out of the corpus/extra matrices, padded
+    with *pad* to the tightest width for this id set."""
+    width = int(lengths[ids].max()) if len(ids) else 0
+    out = np.full((len(ids), width), pad, dtype=np.int32)
+    corp = ids < n_corpus
+    if corp.any():
+        w = min(width, corpus_rows.shape[1])
+        out[corp, :w] = corpus_rows[ids[corp], :w]
+    rest = ~corp
+    if rest.any():
+        w = min(width, extra_rows.shape[1])
+        out[rest, :w] = extra_rows[ids[rest] - n_corpus, :w]
+    return out
+
+
+def gather_rows(
+    corpus_xy: Tuple[np.ndarray, np.ndarray],
+    extra_xy: Optional[Tuple[np.ndarray, np.ndarray]],
+    lengths: np.ndarray,
+    n_corpus: int,
+    x_ids: np.ndarray,
+    y_ids: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The shared gather behind :meth:`PairStore.gather` and the
+    worker-side shared-memory store (:mod:`repro.batch.runtime`): one
+    implementation, so the master and worker paths cannot drift apart
+    on sentinel, width or id-split rules."""
+    x_ids = np.asarray(x_ids, dtype=np.int64)
+    y_ids = np.asarray(y_ids, dtype=np.int64)
+    extra_x = extra_xy[0] if extra_xy is not None else None
+    extra_y = extra_xy[1] if extra_xy is not None else None
+    return (
+        _take_rows(x_ids, lengths, n_corpus, corpus_xy[0], extra_x, _PAD_X),
+        _take_rows(y_ids, lengths, n_corpus, corpus_xy[1], extra_y, _PAD_Y),
+        lengths[x_ids],
+        lengths[y_ids],
+    )
+
+
+def intern_corpus(items: Sequence[Any]) -> Optional[InternedCorpus]:
+    """Intern *items*, or ``None`` when they cannot be (non-sequence
+    items, unhashable symbols) -- callers then keep the raw-pair paths."""
+    try:
+        return InternedCorpus(items)
+    except TypeError:
+        return None

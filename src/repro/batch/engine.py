@@ -24,7 +24,22 @@ has more than one core and every worker would receive at least
 ``_MIN_PAIRS_PER_WORKER`` pairs -- big consumers (Table 2 trials, AESA
 preprocessing, histogram sweeps, bulk query phases) parallelise without
 opting in pair-list by pair-list.  Pass an integer to force a pool size,
-or ``None``/``0``/``1`` to force serial evaluation.
+or ``None``/``0``/``1`` to force serial evaluation.  The pool itself is
+the **persistent** one of :mod:`repro.batch.runtime` (spawned once,
+reused across calls; ``REPRO_PERSISTENT_POOL=0`` restores the old
+one-pool-per-call behaviour bit-identically).
+
+Interned dispatch
+-----------------
+:func:`pairwise_values_ids` and :func:`pairwise_values_bounded_ids` are
+the id-space twins of the two pair-list entry points: callers holding an
+interned corpus (:mod:`repro.batch.corpus`) dispatch ``(id, id)`` pairs
+against matrices encoded once at index-build time, so repeated bulk
+queries skip normalisation, content hashing and ``encode_batch``
+entirely; sharded fan-out sends workers only id arrays against a
+shared-memory publication of the corpus.  Values are bit-identical to
+the raw-pair entry points (same kernels, same replay arithmetic --
+asserted by the tests).
 
 Which distances are batched
 ---------------------------
@@ -59,24 +74,37 @@ import numpy as np
 from ..core import registry
 from ..core._kernels import jit_backend
 from ..core.bounded import (
+    _MV_EPS,
     _edit_budget,
     bounded_for,
     contextual_edit_budget,
     contextual_pruned_value,
+    mv_bound_plan,
+    mv_pruned_value,
 )
 from ..core.contextual import canonical_cost
 from ..core.levenshtein import levenshtein_distance
+from ..core.marzal_vidal import mv_normalized_distance
 from ..core.types import Symbols, as_symbols
 from .kernels import (
     contextual_heuristic_batch,
     contextual_heuristic_batch_bounded,
+    contextual_heuristic_batch_bounded_encoded,
+    contextual_heuristic_batch_encoded,
+    encode_batch,
     levenshtein_batch,
     levenshtein_batch_bounded,
+    levenshtein_batch_bounded_encoded,
+    levenshtein_batch_encoded,
+    mv_banded_probe_batch,
+    mv_banded_probe_batch_encoded,
 )
 
 __all__ = [
     "pairwise_values",
+    "pairwise_values_ids",
     "pairwise_values_bounded",
+    "pairwise_values_bounded_ids",
     "pairwise_matrix",
     "pairwise_matrix_blocks",
     "pairwise_matrix_memmap",
@@ -138,6 +166,15 @@ def _is_batched(name: Optional[str]) -> bool:
         return True
     return name in ("marzal_vidal", "contextual") and jit_backend() is not None
 
+
+def has_batched_kernel(distance: DistanceLike) -> bool:
+    """Whether the engine evaluates *distance* through batch kernels --
+    consumers whose batching strategy only pays when the per-distance
+    cost amortises (AESA's front-loaded grid sweep) consult this instead
+    of hard-coding distance names."""
+    name, _ = _resolve(distance)
+    return _is_batched(name)
+
 #: Default row-block height for the streaming matrix entry points.
 _BLOCK_ROWS = 256
 
@@ -192,11 +229,15 @@ def _resolve(distance: DistanceLike) -> Tuple[Optional[str], Callable]:
     return None, distance
 
 
-def _lev_value(name: str, x: Symbols, y: Symbols, d: int):
+def _lev_value(name: str, m: int, n: int, d: int):
     """One normalised value from an exact ``d_E``, replaying the scalar
     expressions of :mod:`repro.core.ratios` / :mod:`repro.core.yujian_bo`
-    exactly so the floats are bit-identical to the scalar functions."""
-    m, n = len(x), len(y)
+    exactly so the floats are bit-identical to the scalar functions.
+
+    Lengths suffice: the only branch that used to inspect the symbols
+    (``d_min`` with an empty side) is decided by ``d == 0``, which holds
+    iff ``x == y`` for an exact ``d_E``.
+    """
     if name == _LEV_INT:
         return d
     if name == "levenshtein":
@@ -210,7 +251,7 @@ def _lev_value(name: str, x: Symbols, y: Symbols, d: int):
     if name == "dmin":
         shortest = min(m, n)
         if shortest == 0:
-            return 0.0 if x == y else float("inf")
+            return 0.0 if d == 0 else float("inf")
         return d / shortest
     if name == "yujian_bo":
         return 2.0 * d / (m + n + d) if (m or n) else 0.0
@@ -220,32 +261,30 @@ def _lev_value(name: str, x: Symbols, y: Symbols, d: int):
 
 
 def _lev_finalize(
-    name: str, pairs: Sequence[Tuple[Symbols, Symbols]], d_e: np.ndarray
+    name: str, mx: np.ndarray, my: np.ndarray, d_e: np.ndarray
 ) -> np.ndarray:
     """Apply the scalar normalisation formulas to batched ``d_E`` values."""
     if name == _LEV_INT:
         return d_e.copy()
-    out = np.empty(len(pairs), dtype=float)
-    for p, (x, y) in enumerate(pairs):
-        out[p] = _lev_value(name, x, y, int(d_e[p]))
+    out = np.empty(len(d_e), dtype=float)
+    for p in range(len(d_e)):
+        out[p] = _lev_value(name, int(mx[p]), int(my[p]), int(d_e[p]))
     return out
 
 
-def _buckets(
-    pairs: Sequence[Tuple[Symbols, Symbols]], bucket_size: int
-) -> List[List[int]]:
-    """Group pair indices by combined length to keep kernel padding low.
+def _sizes_buckets(sizes: Sequence[int], bucket_size: int) -> List[List[int]]:
+    """Group indices by size to keep kernel padding low.
 
-    Pairs are sorted by ``|x| + |y|`` and chunked; a chunk also closes
-    early when the next pair is much longer than the chunk's first (so one
+    Indices are sorted by size and chunked; a chunk also closes early
+    when the next entry is much longer than the chunk's first (so one
     gene never drags a bucket of words up to its padding).
     """
-    order = sorted(range(len(pairs)), key=lambda p: len(pairs[p][0]) + len(pairs[p][1]))
+    order = sorted(range(len(sizes)), key=lambda p: sizes[p])
     buckets: List[List[int]] = []
     current: List[int] = []
     first_size = 0
     for p in order:
-        size = len(pairs[p][0]) + len(pairs[p][1])
+        size = sizes[p]
         if current and (
             len(current) >= bucket_size or size > 2 * first_size + 16
         ):
@@ -259,6 +298,46 @@ def _buckets(
     return buckets
 
 
+def _buckets(
+    pairs: Sequence[Tuple[Symbols, Symbols]], bucket_size: int
+) -> List[List[int]]:
+    """Group pair indices by combined length (see :func:`_sizes_buckets`)."""
+    return _sizes_buckets(
+        [len(x) + len(y) for x, y in pairs], bucket_size
+    )
+
+
+def _evaluate_encoded(
+    name: str,
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+) -> np.ndarray:
+    """One kernel sweep over an already-encoded (single-bucket) chunk.
+
+    The shared back half of :func:`_evaluate_batched` and the interned
+    id-dispatch paths: everything downstream of encoding works from the
+    code matrices and lengths alone (``d_C,h``'s ``canonical_cost``
+    replay included -- equal pairs recover ``(d_E, Ni) = (0, 0)`` from
+    the DP, so their cost is 0.0 without a symbol comparison).
+    """
+    if name == "contextual_heuristic":
+        d_e, ni = contextual_heuristic_batch_encoded(X, Y, mx, my)
+        out = np.empty(len(mx), dtype=float)
+        for p in range(len(mx)):
+            cost = canonical_cost(int(mx[p]), int(my[p]), int(d_e[p]), int(ni[p]))
+            if cost is None:  # pragma: no cover - DP guarantees feasibility
+                raise AssertionError(f"infeasible heuristic at slot {p}")
+            out[p] = cost
+        return out
+    if name == "marzal_vidal":  # jit-only: gated by _is_batched
+        return jit_backend().mv_distance_batch_encoded(X, Y, mx, my)
+    if name == "contextual":  # jit-only: gated by _is_batched
+        return jit_backend().contextual_distance_batch_encoded(X, Y, mx, my)
+    return _lev_finalize(name, mx, my, levenshtein_batch_encoded(X, Y, mx, my))
+
+
 def _evaluate_batched(
     name: str, pairs: Sequence[Tuple[Symbols, Symbols]]
 ) -> np.ndarray:
@@ -266,28 +345,21 @@ def _evaluate_batched(
     out = np.empty(len(pairs), dtype=np.int64 if name == _LEV_INT else float)
     for bucket in _buckets(pairs, _BUCKET_SIZE):
         chunk = [pairs[p] for p in bucket]
-        if name == "contextual_heuristic":
-            d_e, ni = contextual_heuristic_batch(chunk)
-            for slot, p in enumerate(bucket):
-                x, y = pairs[p]
-                if x == y:
-                    out[p] = 0.0
-                    continue
-                cost = canonical_cost(
-                    len(x), len(y), int(d_e[slot]), int(ni[slot])
-                )
-                if cost is None:  # pragma: no cover - DP guarantees feasibility
-                    raise AssertionError(
-                        f"infeasible heuristic for {x!r}, {y!r}"
-                    )
-                out[p] = cost
-        elif name == "marzal_vidal":  # jit-only: gated by _is_batched
-            out[bucket] = jit_backend().mv_distance_batch(chunk)
-        elif name == "contextual":  # jit-only: gated by _is_batched
-            out[bucket] = jit_backend().contextual_distance_batch(chunk)
-        else:
-            values = _lev_finalize(name, chunk, levenshtein_batch(chunk))
-            out[bucket] = values
+        X, Y, mx, my = encode_batch(chunk)
+        out[bucket] = _evaluate_encoded(name, X, Y, mx, my)
+    return out
+
+
+def _evaluate_ids(name: str, store, x_ids: np.ndarray, y_ids: np.ndarray) -> np.ndarray:
+    """Batched evaluation of kernel-backed distances over store ids:
+    bucket by combined length, *gather* (never re-encode) each bucket's
+    kernel inputs out of the store's interned matrices, sweep."""
+    sizes = store.lengths[x_ids] + store.lengths[y_ids]
+    out = np.empty(len(x_ids), dtype=np.int64 if name == _LEV_INT else float)
+    for bucket in _sizes_buckets(sizes.tolist(), _BUCKET_SIZE):
+        idx = np.asarray(bucket, dtype=np.int64)
+        X, Y, mx, my = store.gather(x_ids[idx], y_ids[idx])
+        out[idx] = _evaluate_encoded(name, X, Y, mx, my)
     return out
 
 
@@ -309,14 +381,63 @@ def _evaluate_unique(
     return np.asarray([fn(x, y) for x, y in raw_pairs], dtype=float)
 
 
+#: Worker-lifetime memo of registry resolutions: a persistent-pool
+#: worker serves many task shards over its life, and resolving the
+#: distance (a registry scan) per shard was pure overhead.  Harmless in
+#: per-call pools too (each worker simply resolves once).
+_WORKER_FNS: Dict[str, Callable] = {}
+
+
+def _worker_fn(name: str) -> Callable:
+    """Resolve *name* once per worker lifetime."""
+    fn = _WORKER_FNS.get(name)
+    if fn is None:
+        fn = registry.get_distance(name)
+        _WORKER_FNS[name] = fn
+    return fn
+
+
 def _mp_evaluate(args: Tuple[str, List[Tuple[Symbols, Symbols]]]) -> np.ndarray:
     """Process-pool worker: evaluate one chunk of pairs by registry name."""
     name, chunk = args
     if _is_batched(name):
         return _evaluate_batched(name, chunk)
-    return np.asarray(
-        [registry.get_distance(name)(x, y) for x, y in chunk], dtype=float
-    )
+    fn = _worker_fn(name)
+    return np.asarray([fn(x, y) for x, y in chunk], dtype=float)
+
+
+def _mp_evaluate_ids(args) -> np.ndarray:
+    """Process-pool worker: evaluate one chunk of *id pairs* against a
+    shared-memory store publication -- only the name, the token and two
+    id arrays crossed the process boundary."""
+    from . import runtime as _runtime
+
+    name, token, x_ids, y_ids = args
+    store, ephemeral = _runtime.attach_store(token)
+    try:
+        return _evaluate_ids(name, store, x_ids, y_ids)
+    finally:
+        _runtime.release_attachment(ephemeral)
+
+
+def _map_chunks(worker: Callable, chunks: List, workers: int):
+    """Run *chunks* through the persistent pool (default) or a per-call
+    pool (``REPRO_PERSISTENT_POOL=0``); None when pooling fails."""
+    from . import runtime as _runtime
+
+    if _runtime.persistent_pool_enabled():
+        return _runtime.get_runtime().map(worker, chunks, workers)
+    import multiprocessing
+
+    try:
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(processes=len(chunks)) as pool:
+            return pool.map(worker, chunks)
+    except Exception:  # pragma: no cover - sandboxed/forbidden fork
+        return None
 
 
 def _fan_out(
@@ -330,8 +451,6 @@ def _fan_out(
     processes re-resolve the distance from its registry *name*, so only
     strings/tuples cross the process boundary.
     """
-    import multiprocessing
-
     chunk_count = min(workers, max(1, len(pairs) // _min_pairs_per_worker()))
     if chunk_count < 2:
         return None
@@ -339,14 +458,49 @@ def _fan_out(
     chunks = [
         (name, pairs[bounds[c] : bounds[c + 1]]) for c in range(chunk_count)
     ]
+    parts = _map_chunks(_mp_evaluate, chunks, chunk_count)
+    if parts is None:
+        return None
+    return np.concatenate(parts)
+
+
+def _fan_out_ids(
+    name: str,
+    store,
+    x_ids: np.ndarray,
+    y_ids: np.ndarray,
+    workers: int,
+) -> Optional[np.ndarray]:
+    """Evaluate id pairs across the persistent pool via a shared-memory
+    publication of *store*; None when anything is unavailable (the
+    caller then evaluates serially -- identical values).
+
+    The corpus block is published once per corpus and cached by every
+    worker for its lifetime; the per-call query block is published
+    ephemerally and unlinked as soon as the call returns.  Only the id
+    arrays travel per task.
+    """
+    from . import runtime as _runtime
+
+    if not _runtime.persistent_pool_enabled():
+        return None
+    chunk_count = min(workers, max(1, len(x_ids) // _min_pairs_per_worker()))
+    if chunk_count < 2:
+        return None
+    rt = _runtime.get_runtime()
+    token = rt.publish_store(store)
+    if token is None:
+        return None
+    bounds = np.linspace(0, len(x_ids), chunk_count + 1).astype(int)
+    chunks = [
+        (name, token, x_ids[bounds[c] : bounds[c + 1]], y_ids[bounds[c] : bounds[c + 1]])
+        for c in range(chunk_count)
+    ]
     try:
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - platforms without fork
-            ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=chunk_count) as pool:
-            parts = pool.map(_mp_evaluate, chunks)
-    except Exception:  # pragma: no cover - sandboxed/forbidden fork
+        parts = rt.map(_mp_evaluate_ids, chunks, chunk_count)
+    finally:
+        rt.release_block(token.extra)
+    if parts is None:
         return None
     return np.concatenate(parts)
 
@@ -427,8 +581,75 @@ def pairwise_values(
     return out
 
 
+def pairwise_values_ids(
+    distance: DistanceLike,
+    store,
+    x_ids: Sequence[int],
+    y_ids: Sequence[int],
+    *,
+    workers: Workers = "auto",
+) -> np.ndarray:
+    """:func:`pairwise_values` over interned store ids.
+
+    ``store`` is a :class:`~repro.batch.corpus.PairStore`; entry ``p``
+    equals ``pairwise_values(distance, [(store.raw(x_ids[p]),
+    store.raw(y_ids[p]))])[0]`` bit for bit, but kernel inputs are
+    *gathered* from the store's encoded matrices instead of re-encoded,
+    deduplication keys on integer id pairs instead of content, and
+    sharded fan-out ships only id arrays against a shared-memory
+    publication of the store (persistent pool).  Distances without a
+    batched kernel path fall back to :func:`pairwise_values` on the
+    stored raw items -- identical behaviour, including for arbitrary
+    representation-sensitive callables.
+
+    Two deliberate differences from content-keyed dedupe: distinct ids
+    holding equal content are evaluated per id pair (their kernel result
+    is identical), and the ``x == y`` shortcut triggers on ``id_x ==
+    id_y`` (duplicated items still evaluate to the same 0.0 through the
+    kernels).
+    """
+    x_ids = np.asarray(x_ids, dtype=np.int64)
+    y_ids = np.asarray(y_ids, dtype=np.int64)
+    if len(x_ids) != len(y_ids):
+        raise ValueError(
+            f"{len(x_ids)} x_ids but {len(y_ids)} y_ids; they must align"
+        )
+    n = len(x_ids)
+    name, _ = _resolve(distance)
+    if name is None or not _is_batched(name):
+        pairs = [
+            (store.raw(int(i)), store.raw(int(j)))
+            for i, j in zip(x_ids, y_ids)
+        ]
+        return pairwise_values(distance, pairs, workers=workers)
+    dtype = np.int64 if name == _LEV_INT else float
+    out = np.zeros(n, dtype=dtype)
+    if n == 0:
+        return out
+    # id-level dedupe: one composite key per ordered id pair
+    n_store = len(store)
+    composite = x_ids * n_store + y_ids
+    uniq, take_from = np.unique(composite, return_inverse=True)
+    ux = uniq // n_store
+    uy = uniq % n_store
+    # registered x == y shortcut on ids (values stay 0 either way)
+    nonzero = np.nonzero(ux != uy)[0]
+    values = np.zeros(len(uniq), dtype=dtype)
+    if len(nonzero):
+        ux_nz, uy_nz = ux[nonzero], uy[nonzero]
+        n_workers = _resolve_workers(workers, len(nonzero), True)
+        part: Optional[np.ndarray] = None
+        if n_workers > 1:
+            part = _fan_out_ids(name, store, ux_nz, uy_nz, n_workers)
+        if part is None:
+            part = _evaluate_ids(name, store, ux_nz, uy_nz)
+        values[nonzero] = part
+    out[:] = values[take_from]
+    return out
+
+
 def _lev_bounded_int(
-    x: Symbols, y: Symbols, limit: float, d: int, exact: bool
+    m: int, n: int, limit: float, d: int, exact: bool
 ) -> int:
     """Replay :func:`~repro.core.levenshtein.levenshtein_bounded` from a
     banded-kernel result: same exact-below / above-limit values, no DP.
@@ -437,7 +658,6 @@ def _lev_bounded_int(
     distance (its budget always covers this request's, so ``not exact``
     implies the true distance exceeds every bound tested here).
     """
-    m, n = len(x), len(y)
     if limit >= m + n:
         return d  # budget == m + n: the kernel was exact
     bound = int(limit) if limit >= 0 else -1
@@ -449,7 +669,7 @@ def _lev_bounded_int(
 
 
 def _replay_bounded_lev(
-    name: str, x: Symbols, y: Symbols, limit: float, d: int, exact: bool
+    name: str, m: int, n: int, limit: float, d: int, exact: bool
 ):
     """Replay the Levenshtein-family bounded twin at *limit* from a banded
     batch-kernel result.
@@ -462,13 +682,14 @@ def _replay_bounded_lev(
     and d <= k`` is exactly that test (``not exact`` means the true
     distance exceeds the kernel budget, hence every request's ``k``), and
     replaying reproduces the scalar values bit for bit (asserted by the
-    tests against :meth:`CountingDistance.within`).
+    tests against :meth:`CountingDistance.within`).  Lengths suffice:
+    the one branch that used to compare symbols (``d_min`` with an empty
+    side) holds iff both sides are empty.
     """
     if limit == _INF:  # within() skips the twin entirely at +inf
-        return _lev_value(name, x, y, d)  # budget == total: exact
-    m, n = len(x), len(y)
+        return _lev_value(name, m, n, d)  # budget == total: exact
     if name in ("levenshtein", _LEV_INT):
-        value = _lev_bounded_int(x, y, limit, d, exact)
+        value = _lev_bounded_int(m, n, limit, d, exact)
         return value if name == _LEV_INT else float(value)
     if name == "dmax":
         longest = max(m, n)
@@ -485,13 +706,14 @@ def _replay_bounded_lev(
     if name == "dmin":
         shortest = min(m, n)
         if shortest == 0:
-            return 0.0 if x == y else float("inf")
+            # x == y iff both empty: equal content implies equal lengths
+            return 0.0 if m == n else float("inf")
         k = _edit_budget(limit * shortest)
         return d / shortest if exact and d <= k else (k + 1) / shortest
     if name == "yujian_bo":
-        if not x and not y:
-            return 0.0
         total = m + n
+        if total == 0:
+            return 0.0
         if limit >= 1.0:
             return 2.0 * d / (total + d)  # budget == total: exact
         k = 0 if limit < 0.0 else _edit_budget(limit * total / (2.0 - limit))
@@ -504,7 +726,7 @@ def _replay_bounded_lev(
 
 
 def _replay_bounded_contextual(
-    x: Symbols, y: Symbols, limit: float, d_e: int, ni: int, exact: bool
+    same: bool, m: int, n: int, limit: float, d_e: int, ni: int, exact: bool
 ) -> float:
     """Replay ``bounded_contextual_heuristic`` from a banded twin-table
     kernel result.
@@ -513,23 +735,24 @@ def _replay_bounded_contextual(
     ``d_E`` fits the edit budget (``exact`` from the kernel, whose
     budget covers this request's), so the canonical-cost branch is
     bit-identical; the pruned branches replay the twin's closed forms.
+    ``same`` is the twin's leading ``x == y`` shortcut (callers decide
+    it from content or from interned encoded rows).
     """
-    if x == y:
+    if same:
         return 0.0
-    m, n = len(x), len(y)
     total = m + n
     k = total if limit == _INF else contextual_edit_budget(limit, total)
     if exact and (k >= total or d_e <= k):
         cost = canonical_cost(m, n, d_e, ni)
         if cost is None:  # pragma: no cover - DP guarantees feasibility
-            raise AssertionError(f"infeasible heuristic for {x!r}, {y!r}")
+            raise AssertionError(f"infeasible heuristic ({m}, {n}) slot")
         return cost
     if abs(m - n) > k:
         return contextual_pruned_value(max(k, abs(m - n) - 1), total)
     return contextual_pruned_value(k, total)
 
 
-def _kernel_budget(name: str, x: Symbols, y: Symbols, limit: float) -> int:
+def _kernel_budget(name: str, m: int, n: int, limit: float) -> int:
     """The edit budget the banded kernel must honour for one request.
 
     Derived by inverting each twin's normalisation exactly as the scalar
@@ -540,7 +763,6 @@ def _kernel_budget(name: str, x: Symbols, y: Symbols, limit: float) -> int:
     past the table) return the pair's combined length, which makes the
     band cover the whole table.
     """
-    m, n = len(x), len(y)
     total = m + n
     if limit == _INF:
         return total
@@ -603,9 +825,14 @@ def pairwise_values_bounded(
     bounded arithmetic is then replayed at its own limit from the
     ``(value, exact)`` kernel result; buckets with nothing to prune (and
     runs under ``REPRO_BANDED_BATCH=0``) fall back to the full-table
-    kernels, bit-identically.  Other twins (``d_MV``'s parametric probe)
-    evaluate the scalar twin per unique ``(pair, limit)``.  ``workers``
-    is accepted for signature parity but the bounded path always runs
+    kernels, bit-identically.  ``marzal_vidal`` requests run the batched
+    banded *parametric* kernel: every unique banded-regime ``(pair,
+    limit)`` probe joins one anti-diagonal float sweep whose scores are
+    bit-identical to the scalar probe, and only probes that cannot prune
+    pay a full Dinkelbach evaluation (``REPRO_BANDED_BATCH=0`` restores
+    the one-scalar-probe-per-request loop).  Remaining twins evaluate
+    the scalar twin per unique ``(pair, limit)``.  ``workers`` is
+    accepted for signature parity but the bounded path always runs
     serially -- the lockstep drivers call it once per (small) round,
     where a pool could never amortise.
     """
@@ -620,6 +847,8 @@ def pairwise_values_bounded(
         # no early-exit twin registered: within() falls back to the full
         # distance at every limit, and so does the batched path
         return pairwise_values(distance, pairs, workers=workers)
+    if name == "marzal_vidal" and _banded_batch_enabled():
+        return _bounded_mv_raw(fn, bounded_fn, pairs, limits)
     if name not in _LEV_FAMILY and name != "contextual_heuristic":
         # scalar twin (e.g. d_MV's banded parametric probe): dedupe on
         # (pair, limit) and call the twin exactly as within() would
@@ -677,7 +906,7 @@ def pairwise_values_bounded(
     bounds = np.zeros(len(unique), dtype=np.int64)
     for p, (x, y) in enumerate(norm):
         slot = take[p]
-        budget = _kernel_budget(name, x, y, limits_f[p])
+        budget = _kernel_budget(name, len(x), len(y), limits_f[p])
         if budget > bounds[slot]:
             bounds[slot] = budget
     banded_enabled = _banded_batch_enabled()
@@ -722,11 +951,306 @@ def pairwise_values_bounded(
         exact = bool(exact_unique[slot])
         if contextual:
             out[p] = _replay_bounded_contextual(
-                x, y, limit, int(d_unique[slot]), int(ni_unique[slot]), exact
+                x == y,
+                len(x),
+                len(y),
+                limit,
+                int(d_unique[slot]),
+                int(ni_unique[slot]),
+                exact,
             )
         else:
             out[p] = _replay_bounded_lev(
-                name, x, y, limit, int(d_unique[slot]), exact
+                name, len(x), len(y), limit, int(d_unique[slot]), exact
+            )
+    return out
+
+
+def _mv_bounded_values(
+    bounded_fn: Callable,
+    syms: List[Tuple[Symbols, Symbols]],
+    sames: List[bool],
+    limits: List[float],
+    gather: Optional[Callable] = None,
+) -> np.ndarray:
+    """Bounded ``d_MV`` values for a list of unique requests.
+
+    Every request is classified by :func:`~repro.core.bounded.mv_bound_plan`
+    (the scalar twin's own regime selector, so the two can never drift):
+    closed-form regimes are answered in place, full-table-probe regimes
+    call the scalar twin (*bounded_fn* -- it IS that path), and all
+    banded-regime probes join length-bucketed
+    :func:`~repro.batch.kernels.mv_banded_probe_batch` sweeps whose
+    scores are bit-identical to the scalar probe; only probes that fail
+    to prune pay a full Dinkelbach evaluation, exactly like the twin.
+    ``gather`` (interned dispatch) supplies pre-encoded kernel inputs for
+    a list of request positions; without it the probe buckets encode
+    their symbol pairs on the fly.
+    """
+    count = len(syms)
+    out = np.empty(count, dtype=float)
+    probe: List[int] = []
+    probe_band: List[int] = []
+    for i in range(count):
+        x, y = syms[i]
+        if sames[i]:
+            out[i] = 0.0
+            continue
+        tag, aux = mv_bound_plan(len(x), len(y), limits[i])
+        if tag == "exact":
+            # the limit cannot prune: within() computes the full distance
+            # (the registered d_MV function) at inf and the twin does the
+            # same from 1.0 up -- one function either way
+            out[i] = mv_normalized_distance(x, y)
+        elif tag == "pruned":
+            out[i] = aux
+        elif tag == "full":
+            # wide band on long strings: the scalar twin already probes
+            # with the full-table parametric kernel there; calling it is
+            # the identity-by-construction path
+            out[i] = bounded_fn(x, y, limits[i])
+        else:
+            probe.append(i)
+            probe_band.append(int(aux))
+    if probe:
+        sizes = [len(syms[i][0]) + len(syms[i][1]) for i in probe]
+        for bucket in _sizes_buckets(sizes, _BUCKET_SIZE):
+            sel = [probe[k] for k in bucket]
+            bands = np.asarray([probe_band[k] for k in bucket], dtype=np.int64)
+            lams = np.asarray([limits[i] for i in sel], dtype=np.float64)
+            if gather is None:
+                scores = mv_banded_probe_batch(
+                    [syms[i] for i in sel], lams, bands
+                )
+            else:
+                X, Y, mx, my = gather(sel)
+                scores = mv_banded_probe_batch_encoded(X, Y, mx, my, lams, bands)
+            for k, i in enumerate(sel):
+                x, y = syms[i]
+                score = float(scores[k])
+                if score <= _MV_EPS:
+                    out[i] = mv_normalized_distance(x, y)
+                else:
+                    out[i] = mv_pruned_value(
+                        limits[i], len(x) + len(y), int(bands[k]), score
+                    )
+    return out
+
+
+def _bounded_mv_raw(
+    fn: Callable,
+    bounded_fn: Callable,
+    pairs: Sequence[Tuple[Any, Any]],
+    limits: Sequence[float],
+) -> np.ndarray:
+    """The ``marzal_vidal`` branch of :func:`pairwise_values_bounded`:
+    dedupe on ``(pair, limit)``, answer through :func:`_mv_bounded_values`."""
+    n = len(pairs)
+    try:
+        norm = [(as_symbols(x), as_symbols(y)) for x, y in pairs]
+        limits_f = [float(limit) for limit in limits]
+        slot_of: Dict[Tuple[Symbols, Symbols, float], int] = {}
+        syms: List[Tuple[Symbols, Symbols]] = []
+        sames: List[bool] = []
+        u_limits: List[float] = []
+        take = np.empty(n, dtype=np.int64)
+        for p, pair in enumerate(norm):
+            key = (pair[0], pair[1], limits_f[p])
+            slot = slot_of.get(key)
+            if slot is None:
+                slot = len(syms)
+                slot_of[key] = slot
+                syms.append(pair)
+                sames.append(pair[0] == pair[1])
+                u_limits.append(limits_f[p])
+            take[p] = slot
+    except TypeError:
+        # unhashable symbols: mirror within() pair by pair
+        return np.asarray(
+            [
+                fn(x, y)
+                if float(limit) == _INF
+                else bounded_fn(x, y, float(limit))
+                for (x, y), limit in zip(pairs, limits)
+            ],
+            dtype=float,
+        )
+    values = _mv_bounded_values(bounded_fn, syms, sames, u_limits)
+    return values[take]
+
+
+def _bounded_mv_ids(
+    bounded_fn: Callable,
+    store,
+    x_ids: np.ndarray,
+    y_ids: np.ndarray,
+    limits: Sequence[float],
+) -> np.ndarray:
+    """The ``marzal_vidal`` branch of :func:`pairwise_values_bounded_ids`:
+    dedupe on ``(id, id, limit)``, gather probe inputs from the store."""
+    n = len(x_ids)
+    limits_f = [float(limit) for limit in limits]
+    slot_of: Dict[Tuple[int, int, float], int] = {}
+    u_x: List[int] = []
+    u_y: List[int] = []
+    u_limits: List[float] = []
+    take = np.empty(n, dtype=np.int64)
+    for p in range(n):
+        key = (int(x_ids[p]), int(y_ids[p]), limits_f[p])
+        slot = slot_of.get(key)
+        if slot is None:
+            slot = len(u_x)
+            slot_of[key] = slot
+            u_x.append(key[0])
+            u_y.append(key[1])
+            u_limits.append(limits_f[p])
+        take[p] = slot
+    syms = [(store.sym(i), store.sym(j)) for i, j in zip(u_x, u_y)]
+    sames = [store.same(i, j) for i, j in zip(u_x, u_y)]
+
+    def gather(sel: List[int]):
+        return store.gather(
+            np.asarray([u_x[i] for i in sel], dtype=np.int64),
+            np.asarray([u_y[i] for i in sel], dtype=np.int64),
+        )
+
+    values = _mv_bounded_values(bounded_fn, syms, sames, u_limits, gather)
+    return values[take]
+
+
+def pairwise_values_bounded_ids(
+    distance: DistanceLike,
+    store,
+    x_ids: Sequence[int],
+    y_ids: Sequence[int],
+    limits: Sequence[float],
+) -> np.ndarray:
+    """:func:`pairwise_values_bounded` over interned store ids.
+
+    Entry ``p`` is bit-identical to ``CountingDistance.within(
+    store.raw(x_ids[p]), store.raw(y_ids[p]), limits[p])`` -- the same
+    guarantee as the raw-pair entry point, with the same banded batch
+    sweeps -- but deduplication keys on integer id pairs and every kernel
+    input is *gathered* from the store's interned matrices instead of
+    normalised, hashed and re-encoded per call.  This is what each
+    lockstep bulk-query round dispatches
+    (:meth:`~repro.index.base.NearestNeighborIndex._lockstep_drive`).
+
+    Distances without a registered twin degrade to full distances
+    (:func:`pairwise_values_ids`); twins outside the kernel families
+    evaluate the scalar twin per unique ``(id pair, limit)`` on the
+    stored raw items, exactly as ``within`` would.
+    """
+    x_ids = np.asarray(x_ids, dtype=np.int64)
+    y_ids = np.asarray(y_ids, dtype=np.int64)
+    n = len(x_ids)
+    if len(y_ids) != n or len(limits) != n:
+        raise ValueError(
+            f"{n} x_ids but {len(y_ids)} y_ids and {len(limits)} limits; "
+            "they must align"
+        )
+    name, fn = _resolve(distance)
+    bounded_fn = bounded_for(fn)
+    if bounded_fn is None:
+        # no early-exit twin: within() computes full distances
+        return pairwise_values_ids(distance, store, x_ids, y_ids, workers=None)
+    if name == "marzal_vidal" and _banded_batch_enabled():
+        return _bounded_mv_ids(bounded_fn, store, x_ids, y_ids, limits)
+    if name not in _LEV_FAMILY and name != "contextual_heuristic":
+        # scalar twin: dedupe on (id pair, limit), call the twin on the
+        # stored raw items exactly as within() would
+        out = np.empty(n, dtype=float)
+        cache: Dict[Tuple[int, int, float], float] = {}
+        for p in range(n):
+            limit = float(limits[p])
+            key = (int(x_ids[p]), int(y_ids[p]), limit)
+            value = cache.get(key)
+            if value is None:
+                raw_x, raw_y = store.raw(key[0]), store.raw(key[1])
+                if limit == _INF:
+                    value = fn(raw_x, raw_y)
+                else:
+                    value = bounded_fn(raw_x, raw_y, limit)
+                cache[key] = value
+            out[p] = value
+        return out
+    contextual = name == "contextual_heuristic"
+    lens = store.lengths
+    limits_f = [float(limit) for limit in limits]
+    n_store = len(store)
+    composite = x_ids * n_store + y_ids
+    uniq, take = np.unique(composite, return_inverse=True)
+    ux = uniq // n_store
+    uy = uniq % n_store
+    # Per-unique-pair kernel budget: the widest budget over that pair's
+    # requests (exactness at the maximum budget decides every smaller one).
+    bounds = np.zeros(len(uniq), dtype=np.int64)
+    for p in range(n):
+        slot = take[p]
+        budget = _kernel_budget(
+            name, int(lens[x_ids[p]]), int(lens[y_ids[p]]), limits_f[p]
+        )
+        if budget > bounds[slot]:
+            bounds[slot] = budget
+    banded_enabled = _banded_batch_enabled()
+    d_unique = np.zeros(len(uniq), dtype=np.int64)
+    ni_unique = np.zeros(len(uniq), dtype=np.int64)
+    exact_unique = np.ones(len(uniq), dtype=bool)
+    sizes = (lens[ux] + lens[uy]).tolist()
+    for bucket in _sizes_buckets(sizes, _BUCKET_SIZE):
+        idx = np.asarray(bucket, dtype=np.int64)
+        X, Y, mx, my = store.gather(ux[idx], uy[idx])
+        chunk_bounds = bounds[idx]
+        # full-table fallback: when no budget in the bucket is below its
+        # pair's combined length the band covers every table anyway
+        banded = banded_enabled and bool((chunk_bounds < mx + my).any())
+        if contextual:
+            if banded:
+                d_chunk, ni_chunk, exact_chunk = (
+                    contextual_heuristic_batch_bounded_encoded(
+                        X, Y, mx, my, chunk_bounds
+                    )
+                )
+                exact_unique[idx] = exact_chunk
+            else:
+                d_chunk, ni_chunk = contextual_heuristic_batch_encoded(
+                    X, Y, mx, my
+                )
+            d_unique[idx] = d_chunk
+            ni_unique[idx] = ni_chunk
+        else:
+            if banded:
+                d_chunk, exact_chunk = levenshtein_batch_bounded_encoded(
+                    X, Y, mx, my, chunk_bounds
+                )
+                exact_unique[idx] = exact_chunk
+            else:
+                d_chunk = levenshtein_batch_encoded(X, Y, mx, my)
+            d_unique[idx] = d_chunk
+    out = np.empty(n, dtype=np.int64 if name == _LEV_INT else float)
+    same_cache: Dict[int, bool] = {}
+    for p in range(n):
+        slot = int(take[p])
+        limit = limits_f[p]
+        exact = bool(exact_unique[slot])
+        m, n_len = int(lens[x_ids[p]]), int(lens[y_ids[p]])
+        if contextual:
+            same = same_cache.get(slot)
+            if same is None:
+                same = store.same(int(ux[slot]), int(uy[slot]))
+                same_cache[slot] = same
+            out[p] = _replay_bounded_contextual(
+                same,
+                m,
+                n_len,
+                limit,
+                int(d_unique[slot]),
+                int(ni_unique[slot]),
+                exact,
+            )
+        else:
+            out[p] = _replay_bounded_lev(
+                name, m, n_len, limit, int(d_unique[slot]), exact
             )
     return out
 

@@ -38,18 +38,25 @@ __all__ = [
     "active",
     "backend_name",
     "levenshtein_batch",
+    "levenshtein_batch_encoded",
     "levenshtein_batch_bounded",
+    "levenshtein_batch_bounded_encoded",
     "contextual_heuristic_batch",
+    "contextual_heuristic_batch_encoded",
     "contextual_heuristic_batch_bounded",
+    "contextual_heuristic_batch_bounded_encoded",
     "levenshtein_single",
     "contextual_heuristic_single",
     "parametric_alignment",
     "banded_parametric",
+    "mv_banded_probe_batch_encoded",
     "mv_distance",
     "mv_distance_batch",
+    "mv_distance_batch_encoded",
     "insertion_table_final",
     "contextual_distance",
     "contextual_distance_batch",
+    "contextual_distance_batch_encoded",
 ]
 
 #: Max-insertion sentinel, matching the numpy kernels.
@@ -443,6 +450,26 @@ def _banded_parametric_pair(cx, cy, lam, band):  # pragma: no cover
 
 
 @_njit(cache=True)
+def _mv_probe_batch(X, Y, mx, my, lams, bands, out):  # pragma: no cover
+    """Compiled batch of banded parametric probes -- one
+    ``_banded_parametric_pair`` per pair, all inside a single call.
+
+    Pairs whose band cannot reach the final cell return ``+inf``
+    (matching the pure-Python probe, whose final cell is never
+    written) -- ``_banded_parametric_pair`` assumes a reachable band,
+    so the gap test lives out here."""
+    for p in range(X.shape[0]):
+        m, n = mx[p], my[p]
+        gap = m - n if m > n else n - m
+        if gap > bands[p]:
+            out[p] = np.inf
+        else:
+            out[p] = _banded_parametric_pair(
+                X[p, : mx[p]], Y[p, : my[p]], lams[p], bands[p]
+            )
+
+
+@_njit(cache=True)
 def _mv_pair(cx, cy, max_iterations, tolerance):  # pragma: no cover
     """Dinkelbach iteration over the compiled parametric kernel.
 
@@ -605,11 +632,19 @@ def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
     """Compiled twin of :func:`repro.batch.kernels.levenshtein_batch`."""
     from .kernels import encode_batch
 
-    out = np.zeros(len(pairs), dtype=np.int64)
     if not len(pairs):
-        return out
-    X, Y, mx, my = encode_batch(pairs)
-    _lev_batch(X, Y, mx, my, out)
+        return np.zeros(0, dtype=np.int64)
+    return levenshtein_batch_encoded(*encode_batch(pairs))
+
+
+def levenshtein_batch_encoded(
+    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+) -> np.ndarray:
+    """:func:`levenshtein_batch` over pre-encoded matrices (the
+    interned-corpus dispatch path)."""
+    out = np.zeros(len(mx), dtype=np.int64)
+    if len(mx):
+        _lev_batch(X, Y, mx, my, out)
     return out
 
 
@@ -620,12 +655,19 @@ def contextual_heuristic_batch(
     :func:`repro.batch.kernels.contextual_heuristic_batch`."""
     from .kernels import encode_batch
 
-    out_d = np.zeros(len(pairs), dtype=np.int64)
-    out_ni = np.zeros(len(pairs), dtype=np.int64)
     if not len(pairs):
-        return out_d, out_ni
-    X, Y, mx, my = encode_batch(pairs)
-    _ctx_batch(X, Y, mx, my, out_d, out_ni)
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return contextual_heuristic_batch_encoded(*encode_batch(pairs))
+
+
+def contextual_heuristic_batch_encoded(
+    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`contextual_heuristic_batch` over pre-encoded matrices."""
+    out_d = np.zeros(len(mx), dtype=np.int64)
+    out_ni = np.zeros(len(mx), dtype=np.int64)
+    if len(mx):
+        _ctx_batch(X, Y, mx, my, out_d, out_ni)
     return out_d, out_ni
 
 
@@ -646,12 +688,26 @@ def levenshtein_batch_bounded(
     :func:`repro.batch.kernels.levenshtein_batch_bounded_numpy`."""
     from .kernels import encode_batch
 
-    out = np.zeros(len(pairs), dtype=np.int64)
-    exact = np.zeros(len(pairs), dtype=np.bool_)
     if not len(pairs):
-        return out, exact
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.bool_)
     X, Y, mx, my = encode_batch(pairs)
-    _lev_batch_bounded(X, Y, mx, my, _clamped_bounds(bounds, mx, my), out, exact)
+    return levenshtein_batch_bounded_encoded(X, Y, mx, my, bounds)
+
+
+def levenshtein_batch_bounded_encoded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    bounds: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`levenshtein_batch_bounded` over pre-encoded matrices."""
+    out = np.zeros(len(mx), dtype=np.int64)
+    exact = np.zeros(len(mx), dtype=np.bool_)
+    if len(mx):
+        _lev_batch_bounded(
+            X, Y, mx, my, _clamped_bounds(bounds, mx, my), out, exact
+        )
     return out, exact
 
 
@@ -662,16 +718,56 @@ def contextual_heuristic_batch_bounded(
     :func:`repro.batch.kernels.contextual_heuristic_batch_bounded_numpy`."""
     from .kernels import encode_batch
 
-    out_d = np.zeros(len(pairs), dtype=np.int64)
-    out_ni = np.zeros(len(pairs), dtype=np.int64)
-    exact = np.zeros(len(pairs), dtype=np.bool_)
     if not len(pairs):
-        return out_d, out_ni, exact
+        zeros = np.zeros(0, dtype=np.int64)
+        return zeros, zeros.copy(), np.zeros(0, dtype=np.bool_)
     X, Y, mx, my = encode_batch(pairs)
-    _ctx_batch_bounded(
-        X, Y, mx, my, _clamped_bounds(bounds, mx, my), out_d, out_ni, exact
-    )
+    return contextual_heuristic_batch_bounded_encoded(X, Y, mx, my, bounds)
+
+
+def contextual_heuristic_batch_bounded_encoded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    bounds: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`contextual_heuristic_batch_bounded` over pre-encoded
+    matrices."""
+    out_d = np.zeros(len(mx), dtype=np.int64)
+    out_ni = np.zeros(len(mx), dtype=np.int64)
+    exact = np.zeros(len(mx), dtype=np.bool_)
+    if len(mx):
+        _ctx_batch_bounded(
+            X, Y, mx, my, _clamped_bounds(bounds, mx, my), out_d, out_ni, exact
+        )
     return out_d, out_ni, exact
+
+
+def mv_banded_probe_batch_encoded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    lams: Sequence[float],
+    bands: Sequence[int],
+) -> np.ndarray:
+    """Compiled twin of
+    :func:`repro.batch.kernels.mv_banded_probe_batch_encoded_numpy`: one
+    banded parametric probe per pair, all inside a single call, each
+    bit-identical to :func:`banded_parametric`."""
+    out = np.zeros(len(mx), dtype=np.float64)
+    if len(mx):
+        _mv_probe_batch(
+            X,
+            Y,
+            mx,
+            my,
+            np.asarray(lams, dtype=np.float64),
+            np.asarray(bands, dtype=np.int64),
+            out,
+        )
+    return out
 
 
 def parametric_alignment(x: Symbols, y: Symbols, lam: float) -> Tuple[float, int]:
@@ -712,11 +808,24 @@ def mv_distance_batch(
     """Compiled batch of :func:`mv_distance`, one kernel call per bucket."""
     from .kernels import encode_batch
 
-    out = np.zeros(len(pairs), dtype=np.float64)
     if not len(pairs):
-        return out
+        return np.zeros(0, dtype=np.float64)
     X, Y, mx, my = encode_batch(pairs)
-    _mv_batch(X, Y, mx, my, max_iterations, tolerance, out)
+    return mv_distance_batch_encoded(X, Y, mx, my, max_iterations, tolerance)
+
+
+def mv_distance_batch_encoded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    max_iterations: int = 64,
+    tolerance: float = 1e-12,
+) -> np.ndarray:
+    """:func:`mv_distance_batch` over pre-encoded matrices."""
+    out = np.zeros(len(mx), dtype=np.float64)
+    if len(mx):
+        _mv_batch(X, Y, mx, my, max_iterations, tolerance, out)
     return out
 
 
@@ -751,9 +860,17 @@ def contextual_distance_batch(
     """Compiled batch of exact ``d_C``, one kernel call per bucket."""
     from .kernels import encode_batch
 
-    out = np.zeros(len(pairs), dtype=np.float64)
     if not len(pairs):
-        return out
+        return np.zeros(0, dtype=np.float64)
     X, Y, mx, my = encode_batch(pairs)
-    _cdc_batch(X, Y, mx, my, _harmonic_prefix(int((mx + my).max())), out)
+    return contextual_distance_batch_encoded(X, Y, mx, my)
+
+
+def contextual_distance_batch_encoded(
+    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+) -> np.ndarray:
+    """:func:`contextual_distance_batch` over pre-encoded matrices."""
+    out = np.zeros(len(mx), dtype=np.float64)
+    if len(mx):
+        _cdc_batch(X, Y, mx, my, _harmonic_prefix(int((mx + my).max())), out)
     return out

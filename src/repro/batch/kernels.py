@@ -18,6 +18,15 @@ cells beyond it are computed but never read.  Each pair's answer lives on
 anti-diagonal ``t = |x_p| + |y_p|`` and is harvested when the sweep passes
 it.
 
+Encoded inputs
+--------------
+Every batch kernel has an ``*_encoded`` twin taking pre-encoded
+``(X, Y, mx, my)`` matrices directly -- the interned-corpus runtime
+(:mod:`repro.batch.corpus`) gathers those out of a database encoded once
+at index-build time, so repeated bulk queries skip ``encode_batch``
+entirely.  The pair-list entry points are thin ``encode_batch`` +
+``*_encoded`` compositions.
+
 Length bucketing (so that short pairs do not pay for the padding of long
 ones) lives in :mod:`repro.batch.engine`; these kernels assume the caller
 already grouped pairs of broadly similar length.
@@ -28,6 +37,7 @@ test-suite on randomised inputs, including empty strings and duplicates.
 
 from __future__ import annotations
 
+import os
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
@@ -38,13 +48,20 @@ from ..core.types import Symbols
 __all__ = [
     "encode_batch",
     "levenshtein_batch",
+    "levenshtein_batch_encoded",
     "levenshtein_batch_numpy",
     "levenshtein_batch_bounded",
+    "levenshtein_batch_bounded_encoded",
     "levenshtein_batch_bounded_numpy",
     "contextual_heuristic_batch",
+    "contextual_heuristic_batch_encoded",
     "contextual_heuristic_batch_numpy",
     "contextual_heuristic_batch_bounded",
+    "contextual_heuristic_batch_bounded_encoded",
     "contextual_heuristic_batch_bounded_numpy",
+    "mv_banded_probe_batch",
+    "mv_banded_probe_batch_encoded",
+    "mv_banded_probe_batch_encoded_numpy",
 ]
 
 _NEG = -(1 << 30)
@@ -53,6 +70,24 @@ _NEG = -(1 << 30)
 #: distinct from each other so padded x never matches padded y.
 _PAD_X = -1
 _PAD_Y = -2
+
+#: Default retirement-sampling cadence for the banded bounded sweeps:
+#: per-pair window minima (the retirement test) are computed every this
+#: many diagonals instead of every diagonal.  Retirement is purely an
+#: optimisation -- a pair that retires a few diagonals later produces the
+#: identical ``(value, exact)`` output -- so any cadence is bit-identical
+#: to cadence 1 (asserted by the tests); sampling just shaves the two
+#: window reductions per diagonal on buckets that rarely retire.
+_RETIRE_CADENCE = 4
+
+
+def _retire_cadence() -> int:
+    """The retirement sampling cadence, honouring ``REPRO_RETIRE_CADENCE``
+    (read per call; values < 1 clamp to 1 == check every diagonal)."""
+    env = os.environ.get("REPRO_RETIRE_CADENCE")
+    if env is not None and env.strip():
+        return max(1, int(env))
+    return _RETIRE_CADENCE
 
 
 def _encode_one(seq: Symbols, codes: Dict[Hashable, int]) -> np.ndarray:
@@ -111,6 +146,11 @@ def encode_batch(
     return X, Y, mx, my
 
 
+# ---------------------------------------------------------------------------
+# backend dispatchers
+# ---------------------------------------------------------------------------
+
+
 def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
     """Levenshtein distance of every pair (backend-dispatched).
 
@@ -122,6 +162,16 @@ def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
     if jit is not None:
         return jit.levenshtein_batch(pairs)
     return levenshtein_batch_numpy(pairs)
+
+
+def levenshtein_batch_encoded(
+    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+) -> np.ndarray:
+    """:func:`levenshtein_batch` over pre-encoded matrices."""
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.levenshtein_batch_encoded(X, Y, mx, my)
+    return _levenshtein_swept(X, Y, mx, my)
 
 
 def contextual_heuristic_batch(
@@ -136,6 +186,16 @@ def contextual_heuristic_batch(
     if jit is not None:
         return jit.contextual_heuristic_batch(pairs)
     return contextual_heuristic_batch_numpy(pairs)
+
+
+def contextual_heuristic_batch_encoded(
+    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`contextual_heuristic_batch` over pre-encoded matrices."""
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.contextual_heuristic_batch_encoded(X, Y, mx, my)
+    return _contextual_swept(X, Y, mx, my)
 
 
 def levenshtein_batch_bounded(
@@ -157,6 +217,20 @@ def levenshtein_batch_bounded(
     return levenshtein_batch_bounded_numpy(pairs, bounds)
 
 
+def levenshtein_batch_bounded_encoded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    bounds: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """:func:`levenshtein_batch_bounded` over pre-encoded matrices."""
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.levenshtein_batch_bounded_encoded(X, Y, mx, my, bounds)
+    return _levenshtein_swept_bounded(X, Y, mx, my, bounds)
+
+
 def contextual_heuristic_batch_bounded(
     pairs: Sequence[Tuple[Symbols, Symbols]], bounds: Sequence[int]
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -173,6 +247,63 @@ def contextual_heuristic_batch_bounded(
     return contextual_heuristic_batch_bounded_numpy(pairs, bounds)
 
 
+def contextual_heuristic_batch_bounded_encoded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    bounds: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`contextual_heuristic_batch_bounded` over pre-encoded
+    matrices."""
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.contextual_heuristic_batch_bounded_encoded(
+            X, Y, mx, my, bounds
+        )
+    return _contextual_swept_bounded(X, Y, mx, my, bounds)
+
+
+def mv_banded_probe_batch(
+    pairs: Sequence[Tuple[Symbols, Symbols]],
+    lams: Sequence[float],
+    bands: Sequence[int],
+) -> np.ndarray:
+    """Banded parametric probe scores of every pair (backend-dispatched).
+
+    ``scores[p]`` is the minimum of ``W(pi) - lams[p] * L(pi)`` over
+    alignment paths of pair ``p`` staying inside the band
+    ``|i - j| <= bands[p]`` -- bit-identical, per pair, to the scalar
+    probe ``repro.core.bounded._banded_parametric`` (and to its compiled
+    twin on the numba backend).  ``+inf`` when the band excludes the
+    final cell (``|len(x)-len(y)| > bands[p]``), exactly like the scalar
+    probe.  This is the decision kernel of the batched bounded ``d_MV``
+    path: a strictly positive score proves ``d_MV > lam``.
+    """
+    X, Y, mx, my = encode_batch(pairs)
+    return mv_banded_probe_batch_encoded(X, Y, mx, my, lams, bands)
+
+
+def mv_banded_probe_batch_encoded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    lams: Sequence[float],
+    bands: Sequence[int],
+) -> np.ndarray:
+    """:func:`mv_banded_probe_batch` over pre-encoded matrices."""
+    jit = _jit_backend()
+    if jit is not None:
+        return jit.mv_banded_probe_batch_encoded(X, Y, mx, my, lams, bands)
+    return mv_banded_probe_batch_encoded_numpy(X, Y, mx, my, lams, bands)
+
+
+# ---------------------------------------------------------------------------
+# numpy sweeps (full tables)
+# ---------------------------------------------------------------------------
+
+
 def levenshtein_batch_numpy(
     pairs: Sequence[Tuple[Symbols, Symbols]],
 ) -> np.ndarray:
@@ -182,11 +313,18 @@ def levenshtein_batch_numpy(
     ``[levenshtein_distance(x, y) for x, y in pairs]`` (the tests verify
     this), but every anti-diagonal step runs once for the whole batch.
     """
-    P = len(pairs)
+    if len(pairs) == 0:
+        return np.zeros(0, dtype=np.int64)
+    return _levenshtein_swept(*encode_batch(pairs))
+
+
+def _levenshtein_swept(
+    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+) -> np.ndarray:
+    P = len(mx)
     out = np.zeros(P, dtype=np.int64)
     if P == 0:
         return out
-    X, Y, mx, my = encode_batch(pairs)
     # Empty-sided pairs are pure insertions/deletions; exclude them from
     # the sweep (whose t=0/1 seed diagonals assume both sides non-empty).
     trivial = (mx == 0) | (my == 0)
@@ -261,12 +399,19 @@ def contextual_heuristic_batch_numpy(
     (insertions are paid operations), so packs stay non-negative and
     decode as ``d = ceil(pack / K)``, ``ni = d * K - pack``.
     """
-    P = len(pairs)
+    if len(pairs) == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+    return _contextual_swept(*encode_batch(pairs))
+
+
+def _contextual_swept(
+    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    P = len(mx)
     out_d = np.zeros(P, dtype=np.int64)
     out_ni = np.zeros(P, dtype=np.int64)
     if P == 0:
         return out_d, out_ni
-    X, Y, mx, my = encode_batch(pairs)
     x_empty = mx == 0
     y_empty = (my == 0) & ~x_empty
     out_d[x_empty] = my[x_empty]
@@ -341,11 +486,15 @@ def contextual_heuristic_batch_numpy(
 #   surviving band* in the bucket (``|2i - t| <= B`` with
 #   ``B = max(bounds[live])``), so tight-radius buckets touch a thin
 #   stripe of the padded table instead of all of it;
-# * per-pair minima of the last two diagonals are tracked, and a pair
-#   whose minima both exceed its own budget is *retired* (all later cells
-#   derive from those diagonals by non-negative increments, so its final
-#   value provably busts the budget) -- the anti-diagonal analogue of the
-#   scalar twins' row-abort;
+# * per-pair minima of the last two diagonals are sampled every
+#   ``_RETIRE_CADENCE`` diagonals (env ``REPRO_RETIRE_CADENCE``), and a
+#   pair whose minima both exceed its own budget is *retired* (all later
+#   cells derive from those diagonals by non-negative increments, so its
+#   final value provably busts the budget) -- the anti-diagonal analogue
+#   of the scalar twins' row-abort.  Sampling cannot change any output:
+#   a pair that retires a few diagonals late still reports the same
+#   pruned sentinel, and harvest (which runs every diagonal) compares
+#   the final cell against the budget either way;
 # * once at least half a bucket has retired or harvested, the matrices
 #   are compacted to the surviving rows, so the bucket physically shrinks
 #   mid-sweep.
@@ -368,12 +517,24 @@ def levenshtein_batch_bounded_numpy(
     Returns ``(values, exact)``: exact distances where they fit the
     per-pair budgets, ``bounds[p] + 1`` where they provably do not.
     """
-    P = len(pairs)
+    if len(pairs) == 0:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+    X, Y, mx, my = encode_batch(pairs)
+    return _levenshtein_swept_bounded(X, Y, mx, my, bounds)
+
+
+def _levenshtein_swept_bounded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    bounds: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray]:
+    P = len(mx)
     out = np.zeros(P, dtype=np.int64)
     exact = np.zeros(P, dtype=bool)
     if P == 0:
         return out, exact
-    X, Y, mx, my = encode_batch(pairs)
     b_all = np.minimum(
         np.maximum(np.asarray(bounds, dtype=np.int64), 0), mx + my
     )
@@ -392,6 +553,9 @@ def levenshtein_batch_bounded_numpy(
     size = M + 1
     inf = M + N + 2
     final = mx + my
+    cadence = _retire_cadence()
+    since_check = 0
+    prev_win = (0, min(M, 1))  # written window of diagonal 1
     live = np.ones(len(rows), dtype=bool)
     prev2 = np.full((len(rows), size), inf, dtype=np.int64)
     prev = np.full((len(rows), size), inf, dtype=np.int64)
@@ -399,7 +563,6 @@ def levenshtein_batch_bounded_numpy(
     prev[:, 0] = 1  # cell (0, 1)
     prev[:, 1] = 1  # cell (1, 0)
     cur = np.empty((len(rows), size), dtype=np.int64)
-    min_prev = np.ones(len(rows), dtype=np.int64)  # min of diagonal 1
     for t in range(2, M + N + 1):
         if not live.any():
             break
@@ -427,7 +590,6 @@ def levenshtein_batch_bounded_numpy(
             sub = prev2[:, a - 1 : bb] + (xs != ys)
             step = np.minimum(prev[:, a - 1 : bb], prev[:, a : bb + 1]) + 1
             np.minimum(sub, step, out=cur[:, a : bb + 1])
-        min_cur = cur[:, L : H + 1].min(axis=1)
         ready = live & (final == t)
         if ready.any():
             idx = np.nonzero(ready)[0]
@@ -436,20 +598,27 @@ def levenshtein_batch_bounded_numpy(
             out[rows[idx]] = np.where(ok, vals, b[idx] + 1)
             exact[rows[idx]] = ok
             live[idx] = False
-        dead = live & (min_cur > b) & (min_prev > b)
-        if dead.any():
-            idx = np.nonzero(dead)[0]
-            out[rows[idx]] = b[idx] + 1
-            live[idx] = False
+        since_check += 1
+        if since_check >= cadence and live.any():
+            # retirement check, sampled: minima of the last two diagonals
+            # over their written windows (all later cells derive from
+            # them by non-negative increments)
+            since_check = 0
+            min_cur = cur[:, L : H + 1].min(axis=1)
+            min_prev = prev[:, prev_win[0] : prev_win[1] + 1].min(axis=1)
+            dead = live & (min_cur > b) & (min_prev > b)
+            if dead.any():
+                idx = np.nonzero(dead)[0]
+                out[rows[idx]] = b[idx] + 1
+                live[idx] = False
         prev2, prev, cur = prev, cur, prev2
-        min_prev = min_cur
+        prev_win = (L, H)
         n_live = int(live.sum())
         if n_live and n_live * 2 <= len(rows):
             keep = np.nonzero(live)[0]
             rows, X, Y = rows[keep], X[keep], Y[keep]
             mx, my, b, final = mx[keep], my[keep], b[keep], final[keep]
             prev2, prev, cur = prev2[keep], prev[keep], cur[keep]
-            min_prev = min_prev[keep]
             live = np.ones(n_live, dtype=bool)
     return out, exact
 
@@ -465,13 +634,26 @@ def contextual_heuristic_batch_bounded_numpy(
     against ``bounds[p] * K``: ``pack = d * K - ni`` with ``ni <= d``
     keeps ``pack > b * K`` equivalent to ``d > b``.
     """
-    P = len(pairs)
+    if len(pairs) == 0:
+        zeros = np.zeros(0, dtype=np.int64)
+        return zeros, zeros.copy(), np.zeros(0, dtype=bool)
+    X, Y, mx, my = encode_batch(pairs)
+    return _contextual_swept_bounded(X, Y, mx, my, bounds)
+
+
+def _contextual_swept_bounded(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    bounds: Sequence[int],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    P = len(mx)
     out_d = np.zeros(P, dtype=np.int64)
     out_ni = np.zeros(P, dtype=np.int64)
     exact = np.zeros(P, dtype=bool)
     if P == 0:
         return out_d, out_ni, exact
-    X, Y, mx, my = encode_batch(pairs)
     b_all = np.minimum(
         np.maximum(np.asarray(bounds, dtype=np.int64), 0), mx + my
     )
@@ -495,6 +677,9 @@ def contextual_heuristic_batch_bounded_numpy(
     K = M + N + 2  # strictly above any feasible ni
     inf = (M + N + 1) * K
     final = mx + my
+    cadence = _retire_cadence()
+    since_check = 0
+    prev_win = (0, min(M, 1))  # written window of diagonal 1
     live = np.ones(len(rows), dtype=bool)
     prev2 = np.full((len(rows), size), inf, dtype=np.int64)
     prev = np.full((len(rows), size), inf, dtype=np.int64)
@@ -502,7 +687,6 @@ def contextual_heuristic_batch_bounded_numpy(
     prev[:, 0] = K - 1  # (0, 1): d=1, ni=1 (one insertion)
     prev[:, 1] = K  # (1, 0): d=1, ni=0 (one deletion)
     cur = np.empty((len(rows), size), dtype=np.int64)
-    min_prev = np.full(len(rows), K - 1, dtype=np.int64)  # min of diag 1
     for t in range(2, M + N + 1):
         if not live.any():
             break
@@ -529,7 +713,6 @@ def contextual_heuristic_batch_bounded_numpy(
                 prev[:, a : bb + 1] + (K - 1),  # insertion of y[j-1]
             )
             np.minimum(diag, step, out=cur[:, a : bb + 1])
-        min_cur = cur[:, L : H + 1].min(axis=1)
         ready = live & (final == t)
         if ready.any():
             idx = np.nonzero(ready)[0]
@@ -540,19 +723,147 @@ def contextual_heuristic_batch_bounded_numpy(
             out_ni[rows[idx]] = np.where(ok, d * K - pack, 0)
             exact[rows[idx]] = ok
             live[idx] = False
-        dead = live & (min_cur > b * K) & (min_prev > b * K)
-        if dead.any():
-            idx = np.nonzero(dead)[0]
-            out_d[rows[idx]] = b[idx] + 1
-            live[idx] = False
+        since_check += 1
+        if since_check >= cadence and live.any():
+            since_check = 0
+            min_cur = cur[:, L : H + 1].min(axis=1)
+            min_prev = prev[:, prev_win[0] : prev_win[1] + 1].min(axis=1)
+            dead = live & (min_cur > b * K) & (min_prev > b * K)
+            if dead.any():
+                idx = np.nonzero(dead)[0]
+                out_d[rows[idx]] = b[idx] + 1
+                live[idx] = False
         prev2, prev, cur = prev, cur, prev2
-        min_prev = min_cur
+        prev_win = (L, H)
         n_live = int(live.sum())
         if n_live and n_live * 2 <= len(rows):
             keep = np.nonzero(live)[0]
             rows, X, Y = rows[keep], X[keep], Y[keep]
             mx, my, b, final = mx[keep], my[keep], b[keep], final[keep]
             prev2, prev, cur = prev2[keep], prev[keep], cur[keep]
-            min_prev = min_prev[keep]
             live = np.ones(n_live, dtype=bool)
     return out_d, out_ni, exact
+
+
+# ---------------------------------------------------------------------------
+# banded parametric probe batch (the bounded d_MV decision kernel)
+# ---------------------------------------------------------------------------
+#
+# ``d_MV <= lam`` iff some editing path has ``W(pi) - lam * L(pi) <= 0``,
+# so one banded alignment DP per pair decides prunability (see
+# ``repro.core.bounded.bounded_marzal_vidal``).  This sweep lifts the
+# scalar probe to a batch:
+#
+# * the anti-diagonal window is clamped to the widest band among pairs
+#   still awaiting their final diagonal, like the integer bounded sweeps;
+# * bands are enforced **per pair**: cells with ``|i - j| > bands[p]``
+#   are forced to ``+inf`` for pair ``p`` even when the shared window
+#   computed them, because the probe's *score itself* is the result (the
+#   engine turns it into the pruned value ``lam + slack / total``) -- a
+#   wider-than-requested band would admit more paths and change the
+#   score, unlike the integer kernels whose out-of-band values are
+#   discarded by the exactness test;
+# * pairs retire at harvest (their final diagonal).  There is no
+#   value-based early retirement: parametric steps can be *negative*
+#   (a match adds ``-lam``), so diagonal minima are not lower bounds of
+#   later cells -- the scalar probe has no row-abort either;
+# * the bucket compacts once at least half its pairs have harvested.
+#
+# Per-cell arithmetic replays the scalar probe's expressions exactly
+# (same two-operand sums, same 3-way minimum), so scores are
+# bit-identical to ``_banded_parametric`` -- asserted by the tests.
+
+
+def mv_banded_probe_batch_encoded_numpy(
+    X: np.ndarray,
+    Y: np.ndarray,
+    mx: np.ndarray,
+    my: np.ndarray,
+    lams: Sequence[float],
+    bands: Sequence[int],
+) -> np.ndarray:
+    """Banded parametric probe scores (numpy sweep; see block comment)."""
+    P = len(mx)
+    scores = np.zeros(P, dtype=np.float64)
+    if P == 0:
+        return scores
+    lams = np.asarray(lams, dtype=np.float64)
+    bands = np.asarray(bands, dtype=np.int64)
+    paid = 1.0 - lams
+    inf = np.inf
+    final = mx + my
+    # the band must reach the final cell at all; otherwise the scalar
+    # probe returns +inf (its final cell is never written)
+    unreachable = np.abs(mx - my) > bands
+    scores[unreachable] = inf
+    # diagonals 0 and 1 are the sweep's seeds; answer them directly
+    f1 = (final == 1) & ~unreachable
+    scores[f1] = paid[f1]  # one indel; |m-n| = 1 <= band here
+    sweep = (final >= 2) & ~unreachable
+    rows = np.nonzero(sweep)[0]
+    if len(rows) == 0:
+        return scores  # final == 0 pairs keep score 0.0 (the empty path)
+    X, Y = X[rows], Y[rows]
+    mx, my = mx[rows], my[rows]
+    lams, paid, bands, final = lams[rows], paid[rows], bands[rows], final[rows]
+    M, N = X.shape[1], Y.shape[1]
+    size = M + 1
+    live = np.ones(len(rows), dtype=bool)
+    prev2 = np.full((len(rows), size), inf, dtype=np.float64)
+    prev = np.full((len(rows), size), inf, dtype=np.float64)
+    prev2[:, 0] = 0.0  # cell (0, 0): the empty path
+    in_band = bands >= 1
+    prev[:, 0] = np.where(in_band, paid, inf)  # cell (0, 1): one insertion
+    if size > 1:
+        prev[:, 1] = np.where(in_band, paid, inf)  # cell (1, 0): one deletion
+    cur = np.empty((len(rows), size), dtype=np.float64)
+    for t in range(2, M + N + 1):
+        if not live.any():
+            break
+        B = max(int(bands[live].max()), 1)
+        lo = max(0, t - N)
+        hi = min(M, t)
+        L = max(lo, (t - B + 1) // 2)
+        H = min(hi, (t + B) // 2)
+        a = max(1, L)
+        bb = min(H, t - 1)
+        cur[:, a - 1] = inf
+        if bb + 1 <= M:
+            cur[:, bb + 1] = inf
+        if L == 0:
+            # cell (0, t): t insertions, in-band only while t <= band
+            cur[:, 0] = np.where(t <= bands, t * paid, inf)
+        if H == t:
+            # cell (t, 0): t deletions
+            cur[:, t] = np.where(t <= bands, t * paid, inf)
+        if a <= bb:
+            xs = X[:, a - 1 : bb]
+            ys = Y[:, t - bb - 1 : t - a][:, ::-1]
+            # -lam on a match, (1 - lam) on a substitution: `(xs != ys)
+            # - lam` lands on exactly the scalar probe's two step values
+            step = (xs != ys) - lams[:, None]
+            diag = prev2[:, a - 1 : bb] + step
+            gap = (
+                np.minimum(prev[:, a - 1 : bb], prev[:, a : bb + 1])
+                + paid[:, None]
+            )
+            block = np.minimum(diag, gap)
+            # per-pair band enforcement (see block comment)
+            cols = np.arange(a, bb + 1)
+            off = np.abs(2 * cols - t)[None, :] > bands[:, None]
+            cur[:, a : bb + 1] = np.where(off, inf, block)
+        ready = live & (final == t)
+        if ready.any():
+            idx = np.nonzero(ready)[0]
+            scores[rows[idx]] = cur[idx, mx[idx]]
+            live[idx] = False
+        prev2, prev, cur = prev, cur, prev2
+        n_live = int(live.sum())
+        if n_live and n_live * 2 <= len(rows):
+            keep = np.nonzero(live)[0]
+            rows, X, Y = rows[keep], X[keep], Y[keep]
+            mx, my, final = mx[keep], my[keep], final[keep]
+            lams, paid, bands = lams[keep], paid[keep], bands[keep]
+            prev2, prev, cur = prev2[keep], prev[keep], cur[keep]
+            live = np.ones(n_live, dtype=bool)
+    return scores

@@ -1,0 +1,392 @@
+"""The persistent engine runtime: a reusable worker pool plus
+shared-memory corpus publication.
+
+Before this module, every :func:`~repro.batch.engine.pairwise_values`
+fan-out created a fresh ``multiprocessing.Pool`` (fork + import cost per
+*call*) and pickled raw string pairs to the workers.  At bulk-query
+serving scale both costs dwarf the DP arithmetic, so the runtime makes
+them one-time:
+
+* :class:`EngineRuntime` (one per process, via :func:`get_runtime`) owns
+  a **lazily spawned, reused** process pool.  The first sharded engine
+  call pays the spawn; every later call just maps chunks onto the live
+  workers.  ``REPRO_PERSISTENT_POOL=0`` opts out (read per call), which
+  restores the old one-pool-per-call behaviour bit-identically -- the
+  pool only moves *where* chunks run, never what they compute;
+* interned corpora (:mod:`repro.batch.corpus`) are published to
+  ``multiprocessing.shared_memory`` **once**: the padded code matrices
+  and length vector are copied into named segments, and the sharded
+  fan-out then sends workers only ``(name, token, id-array)`` tuples --
+  each worker attaches the segments on first sight, caches the mapping
+  for its lifetime, and gathers kernel inputs straight out of shared
+  pages.  Per-call query batches ride along as *ephemeral* blocks,
+  unlinked as soon as the call returns;
+* worker-side caches also memoise the distance-function resolution per
+  registry name, so a worker resolves each kernel **once per lifetime**
+  instead of once per task shard.
+
+Everything here degrades gracefully: platforms without ``fork`` or
+shared memory, sandboxes that forbid subprocesses, and broken pools all
+return ``None`` from the runtime's entry points, and the engine falls
+back to its serial (or per-call-pool) paths -- same values, no sharing.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import os
+import uuid
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "persistent_pool_enabled",
+    "EngineRuntime",
+    "get_runtime",
+    "BlockToken",
+    "StoreToken",
+    "attach_store",
+    "release_attachment",
+]
+
+
+def persistent_pool_enabled() -> bool:
+    """Whether sharded fan-out may reuse the persistent pool;
+    ``REPRO_PERSISTENT_POOL=0`` opts out (read per call)."""
+    return os.environ.get("REPRO_PERSISTENT_POOL", "").strip().lower() not in {
+        "0",
+        "off",
+        "false",
+        "no",
+    }
+
+
+@dataclass(frozen=True)
+class _ArraySpec:
+    """One shared-memory segment holding one numpy array."""
+
+    shm_name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+@dataclass(frozen=True)
+class BlockToken:
+    """One encoded block (padded x/y matrices + lengths) in shared memory.
+
+    ``persistent`` blocks (interned corpora) may be cached by workers for
+    their lifetime; ephemeral blocks (per-call query batches) are
+    attached per task and closed immediately after.
+    """
+
+    key: str
+    persistent: bool
+    rows_x: _ArraySpec
+    rows_y: _ArraySpec
+    lengths: _ArraySpec
+
+
+@dataclass(frozen=True)
+class StoreToken:
+    """A :class:`~repro.batch.corpus.PairStore` published to shared
+    memory: the corpus block plus an optional extra (query) block."""
+
+    corpus: BlockToken
+    extra: Optional[BlockToken]
+
+
+class _ShmStore:
+    """Worker-side :class:`~repro.batch.corpus.PairStore` stand-in backed
+    by attached shared-memory blocks -- just the ``lengths`` vector and
+    the ``gather`` method the encoded evaluation path needs (the gather
+    itself is :func:`repro.batch.corpus.gather_rows`, shared with the
+    master-side store so the two paths cannot drift)."""
+
+    def __init__(
+        self,
+        corpus: Tuple[np.ndarray, np.ndarray, np.ndarray],
+        extra: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]],
+    ) -> None:
+        self._corpus_xy = (corpus[0], corpus[1])
+        c_len = corpus[2]
+        self.n_corpus = len(c_len)
+        if extra is not None:
+            self._extra_xy = (extra[0], extra[1])
+            self.lengths = np.concatenate([c_len, extra[2]])
+        else:
+            self._extra_xy = None
+            self.lengths = c_len
+
+    def gather(
+        self, x_ids: np.ndarray, y_ids: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        from .corpus import gather_rows
+
+        return gather_rows(
+            self._corpus_xy,
+            self._extra_xy,
+            self.lengths,
+            self.n_corpus,
+            x_ids,
+            y_ids,
+        )
+
+
+# ---------------------------------------------------------------------------
+# worker-side attachment (runs inside pool processes)
+# ---------------------------------------------------------------------------
+
+#: Worker-lifetime cache of attached *persistent* blocks:
+#: key -> ((rows_x, rows_y, lengths), [SharedMemory handles]).
+_ATTACHED_BLOCKS: Dict[str, Tuple[Tuple[np.ndarray, ...], List[Any]]] = {}
+
+
+def _attach_array(spec: _ArraySpec) -> Tuple[np.ndarray, Any]:
+    from multiprocessing import shared_memory
+
+    # Workers are *forked*, so they share the master's resource tracker:
+    # the attach-side registration is an idempotent set-add there, and
+    # the master's unlink balances it -- no attach-side unregister (which
+    # would steal the master's registration and make the eventual unlink
+    # a tracker error).
+    shm = shared_memory.SharedMemory(name=spec.shm_name)
+    arr = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+    return arr, shm
+
+
+def _attach_block(token: BlockToken) -> Tuple[Tuple[np.ndarray, ...], List[Any]]:
+    cached = _ATTACHED_BLOCKS.get(token.key) if token.persistent else None
+    if cached is not None:
+        return cached
+    arrays: List[np.ndarray] = []
+    handles: List[Any] = []
+    for spec in (token.rows_x, token.rows_y, token.lengths):
+        arr, shm = _attach_array(spec)
+        arrays.append(arr)
+        handles.append(shm)
+    attachment = (tuple(arrays), handles)
+    if token.persistent:
+        _ATTACHED_BLOCKS[token.key] = attachment
+    return attachment
+
+
+def attach_store(token: StoreToken) -> Tuple[_ShmStore, List[Any]]:
+    """Attach a published store inside a worker.  Returns the store and
+    the list of *ephemeral* handles the caller must close after use
+    (persistent blocks stay cached for the worker's lifetime)."""
+    corpus_arrays, _ = _attach_block(token.corpus)
+    ephemeral: List[Any] = []
+    extra_arrays = None
+    if token.extra is not None:
+        extra_arrays, handles = _attach_block(token.extra)
+        if not token.extra.persistent:
+            ephemeral.extend(handles)
+    return _ShmStore(corpus_arrays, extra_arrays), ephemeral
+
+
+def release_attachment(handles: Sequence[Any]) -> None:
+    """Close ephemeral worker-side attachments after a task."""
+    for shm in handles:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+
+
+# ---------------------------------------------------------------------------
+# master-side runtime
+# ---------------------------------------------------------------------------
+
+#: Bumped by every EngineRuntime.shutdown(): corpora cache their
+#: publication per generation, so a token whose segments a shutdown
+#: already unlinked is never handed out again (it would make every
+#: worker attach fail and tear the pool down on each call).
+_PUBLISH_GENERATION = 0
+
+
+class EngineRuntime:
+    """Process-wide holder of the persistent pool and published corpora.
+
+    Use :func:`get_runtime`; constructing more than one per process
+    works but forfeits the sharing this class exists for.
+    """
+
+    def __init__(self) -> None:
+        self._pool = None
+        self._pool_size = 0
+        self._published: List[Any] = []  # SharedMemory handles we own
+        self._counter = itertools.count()
+        atexit.register(self.shutdown)
+
+    # -- pool ---------------------------------------------------------------
+
+    def pool(self, workers: int):
+        """The shared pool with at least *workers* processes, spawning or
+        growing it lazily; ``None`` when subprocesses are unavailable."""
+        if self._pool is not None and self._pool_size >= workers:
+            return self._pool
+        import multiprocessing
+
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - platforms without fork
+            ctx = multiprocessing.get_context()
+        size = max(workers, self._pool_size, os.cpu_count() or 1)
+        try:
+            pool = ctx.Pool(processes=size)
+        except Exception:  # pragma: no cover - sandboxed/forbidden fork
+            return None
+        self._discard_pool()
+        self._pool = pool
+        self._pool_size = size
+        return pool
+
+    def map(self, fn: Callable, chunks: Sequence[Any], workers: int):
+        """``pool.map`` on the persistent pool; ``None`` when the pool is
+        unavailable or died mid-call (the caller falls back)."""
+        pool = self.pool(workers)
+        if pool is None:
+            return None
+        try:
+            return pool.map(fn, chunks)
+        except Exception:
+            # a dead pool poisons every later call: discard so the next
+            # sharded call can spawn a fresh one
+            self._discard_pool()
+            return None
+
+    def _discard_pool(self) -> None:
+        if self._pool is not None:
+            try:
+                self._pool.terminate()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            self._pool = None
+            self._pool_size = 0
+
+    # -- shared-memory publication -------------------------------------------
+
+    def _publish_array(self, arr: np.ndarray) -> Optional[_ArraySpec]:
+        from multiprocessing import shared_memory
+
+        arr = np.ascontiguousarray(arr)
+        try:
+            shm = shared_memory.SharedMemory(
+                create=True, size=max(1, arr.nbytes)
+            )
+        except Exception:  # pragma: no cover - no /dev/shm or similar
+            return None
+        if arr.nbytes:
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+        self._published.append(shm)
+        return _ArraySpec(shm.name, tuple(arr.shape), arr.dtype.str)
+
+    def publish_block(
+        self,
+        rows_x: np.ndarray,
+        rows_y: np.ndarray,
+        lengths: np.ndarray,
+        persistent: bool,
+    ) -> Optional[BlockToken]:
+        """Copy one encoded block into shared memory; ``None`` on failure
+        (callers fall back to raw-pair dispatch)."""
+        specs = []
+        for arr in (rows_x, rows_y, lengths):
+            spec = self._publish_array(arr)
+            if spec is None:
+                return None
+            specs.append(spec)
+        key = f"repro-{os.getpid()}-{next(self._counter)}-{uuid.uuid4().hex[:8]}"
+        return BlockToken(key, persistent, *specs)
+
+    def publish_store(self, store) -> Optional[StoreToken]:
+        """Publish a :class:`~repro.batch.corpus.PairStore`: the corpus
+        block once per corpus (cached on the corpus object, invalidated
+        by any :meth:`shutdown`, unlinked when the corpus is garbage
+        collected), the extra block ephemerally per call."""
+        import weakref
+
+        corpus = store.corpus
+        cached = corpus.shm_token
+        token = None
+        if cached is not None and cached[0] == _PUBLISH_GENERATION:
+            token = cached[1]
+        if token is None:
+            token = self.publish_block(
+                corpus.block.rows_x,
+                corpus.block.rows_y,
+                corpus.block.lengths,
+                persistent=True,
+            )
+            if token is None:
+                return None
+            corpus.shm_token = (_PUBLISH_GENERATION, token)
+            # segments live exactly as long as the corpus (its index):
+            # without this, a long-lived process building many indexes
+            # would accumulate dead corpora in /dev/shm until exit
+            weakref.finalize(corpus, self.release_block, token)
+        extra_token = None
+        if len(store.extra):
+            extra_token = self.publish_block(
+                store.extra.rows_x,
+                store.extra.rows_y,
+                store.extra.lengths,
+                persistent=False,
+            )
+            if extra_token is None:
+                return None
+        return StoreToken(token, extra_token)
+
+    def release_block(self, token: Optional[BlockToken]) -> None:
+        """Unlink an ephemeral block's segments once a call is done (the
+        master copy; workers closed their attachments per task)."""
+        if token is None:
+            return
+        names = {
+            token.rows_x.shm_name,
+            token.rows_y.shm_name,
+            token.lengths.shm_name,
+        }
+        kept = []
+        for shm in self._published:
+            if shm.name in names:
+                try:
+                    shm.close()
+                    shm.unlink()
+                except Exception:  # pragma: no cover - already gone
+                    pass
+            else:
+                kept.append(shm)
+        self._published = kept
+
+    def shutdown(self) -> None:
+        """Terminate the pool and unlink every published segment (atexit;
+        also used by tests to reset process-wide state).  Bumps the
+        publication generation so corpora holding a now-unlinked cached
+        token republish on their next sharded call instead of handing
+        workers dead segment names."""
+        global _PUBLISH_GENERATION
+        _PUBLISH_GENERATION += 1
+        self._discard_pool()
+        for shm in self._published:
+            try:
+                shm.close()
+                shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+        self._published = []
+
+
+_RUNTIME: Optional[EngineRuntime] = None
+
+
+def get_runtime() -> EngineRuntime:
+    """The process-wide :class:`EngineRuntime`, created on first use."""
+    global _RUNTIME
+    if _RUNTIME is None:
+        _RUNTIME = EngineRuntime()
+    return _RUNTIME

@@ -38,6 +38,8 @@ __all__ = [
     "bounded_yujian_bo",
     "bounded_contextual_heuristic",
     "bounded_marzal_vidal",
+    "mv_bound_plan",
+    "mv_pruned_value",
     "contextual_edit_budget",
     "contextual_pruned_value",
     "register_bounded",
@@ -329,6 +331,55 @@ def _banded_parametric(
     return prev[n]
 
 
+def mv_bound_plan(m: int, n: int, limit: float) -> Tuple[str, float]:
+    """Classify one bounded ``d_MV`` request from lengths and limit only.
+
+    The single source of truth for the regime selection of
+    :func:`bounded_marzal_vidal` *and* of the batched bounded path in
+    :mod:`repro.batch.engine` (which must replay the scalar twin bit for
+    bit, so the two may never drift).  Returns ``(tag, aux)``:
+
+    * ``("exact", 0)`` -- the limit cannot prune (``limit >= 1``, the
+      unit-cost ``d_MV`` ceiling): compute the full distance;
+    * ``("pruned", value)`` -- a closed form already decides the request
+      (negative limits, or ``|m - n|`` busting the band): return *value*;
+    * ``("full", band)`` -- probe with the full-table parametric kernel
+      (wide band on long strings; the pruned value uses the full score
+      as its slack, so this branch changes the *value*, not just the
+      speed);
+    * ``("banded", band)`` -- probe with the banded parametric DP at
+      ``lam = limit`` inside ``|i - j| <= band``.
+
+    Caller guarantees ``x != y`` (the zero case never reaches a probe).
+    """
+    total = m + n
+    if limit >= 1.0:
+        # unit-cost d_MV never exceeds 1: the limit cannot prune
+        return "exact", 0
+    if limit < 0.0:
+        # any x != y pays >= 1 weight over <= total columns
+        return "pruned", 1.0 / total
+    band = _edit_budget(limit * total)
+    if abs(m - n) > band:
+        # every path performs >= |m - n| indels over <= total columns
+        return "pruned", abs(m - n) / total
+    if (
+        total >= _MV_NUMPY_PROBE_THRESHOLD
+        and (2 * band + 1) * min(m, n) >= _MV_BANDED_CELL_LIMIT
+    ):
+        return "full", band
+    return "banded", band
+
+
+def mv_pruned_value(limit: float, total: int, band: int, score: float) -> float:
+    """The above-limit value a *banded* probe with a positive *score*
+    proves: out-of-band paths pay more than *band* indels, so their
+    score is at least ``band + 1 - limit * total > 0`` and the global
+    parametric minimum is bounded below by the smaller of the two."""
+    slack = min(score, band + 1 - limit * total)
+    return limit + slack / total
+
+
 def bounded_marzal_vidal(x: StringLike, y: StringLike, limit: float) -> float:
     """Early-exit Marzal--Vidal ``d_MV`` via a banded parametric probe.
 
@@ -346,7 +397,8 @@ def bounded_marzal_vidal(x: StringLike, y: StringLike, limit: float) -> float:
     The band is sound because any path with ``W <= limit * L`` performs
     at most ``limit * (|x| + |y|)`` indels; wider excursions pay more
     weight than the ratio allows, so they can only make the probe's
-    minimum larger.
+    minimum larger.  Regime selection lives in :func:`mv_bound_plan`,
+    shared with the batched bounded path.
     """
     x, y = require_strings(x, y)
     if x == y:
@@ -355,26 +407,19 @@ def bounded_marzal_vidal(x: StringLike, y: StringLike, limit: float) -> float:
 
     m, n = len(x), len(y)
     total = m + n
-    if limit >= 1.0:
-        # unit-cost d_MV never exceeds 1: the limit cannot prune
+    tag, aux = mv_bound_plan(m, n, limit)
+    if tag == "exact":
         return mv_normalized_distance(x, y)
-    if limit < 0.0:
-        # any x != y pays >= 1 weight over <= total columns
-        return 1.0 / total
-    band = _edit_budget(limit * total)
-    if abs(m - n) > band:
-        # every path performs >= |m - n| indels over <= total columns
-        return abs(m - n) / total
+    if tag == "pruned":
+        return aux
+    band = int(aux)
     # Probe selection is identical on every kernel backend (the branch
     # changes the pruned *value*, not just the speed); the JIT backend
     # merely swaps each probe for its compiled bit-identical twin.
     from ._kernels import jit_backend
 
     jit = jit_backend()
-    if (
-        total >= _MV_NUMPY_PROBE_THRESHOLD
-        and (2 * band + 1) * min(m, n) >= _MV_BANDED_CELL_LIMIT
-    ):
+    if tag == "full":
         # wide band on long strings: the full-table anti-diagonal kernel
         # is cheaper than banded Python; a full-table minimum is a valid
         # (indeed stronger) probe, and its slack needs no band term
@@ -385,19 +430,16 @@ def bounded_marzal_vidal(x: StringLike, y: StringLike, limit: float) -> float:
 
             weight, length = parametric_alignment_numpy(x, y, limit)
         score = weight - limit * length
-        slack = score
+        if score <= _MV_EPS:
+            return mv_normalized_distance(x, y)
+        return limit + score / total
+    if jit is not None:
+        score = jit.banded_parametric(x, y, limit, band)
     else:
-        if jit is not None:
-            score = jit.banded_parametric(x, y, limit, band)
-        else:
-            score = _banded_parametric(x, y, limit, band)
-        # out-of-band paths pay > band indels: their score is at least
-        # band + 1 - limit * total > 0, so the global minimum is bounded
-        # below by the smaller of the two
-        slack = min(score, band + 1 - limit * total)
+        score = _banded_parametric(x, y, limit, band)
     if score <= _MV_EPS:
         return mv_normalized_distance(x, y)
-    return limit + slack / total
+    return mv_pruned_value(limit, total, band, score)
 
 
 _BOUNDED: Dict[DistanceFunction, BoundedDistanceFunction] = {}

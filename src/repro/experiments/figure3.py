@@ -12,7 +12,7 @@ number of computed distances.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..core import PAPER_ALL
 from ..datasets import perturbed_queries
@@ -27,6 +27,7 @@ def run(
     scale: Union[str, ExperimentScale] = "default",
     seed: int = 4,
     pool_mode: str = "auto",
+    trial_overlap: Optional[float] = 2.0,
 ) -> LaesaSweepResult:
     """Sweep LAESA pivot counts over the dictionary for all five distances.
 
@@ -39,6 +40,16 @@ def run(
     per-trial RNG stream, so every sample, perturbation and pivot
     selection is identical to the un-pooled sweep (the pool matrix itself
     is bit-identical to fresh evaluation).
+
+    ``trial_overlap`` makes the trials *overlap*: every trial samples its
+    training set from one shared sub-pool of ``trial_overlap *
+    laesa_train`` dictionary words (drawn once per seed) instead of the
+    whole dictionary.  The paper draws repeated training sets without
+    forbidding overlap, and sampling with it bounds the union of the
+    trials' training sets by the sub-pool size -- which is what lets the
+    one-off union matrix amortise at dictionary (paper) scale, where
+    disjoint trials would make ``C(|union|, 2)`` grow quadratically in
+    the trial count.  ``None`` restores whole-dictionary sampling.
 
     ``pool_mode`` selects the preprocessing strategy: ``"auto"``
     (default) uses the union pool only when its one-off ``C(|union|, 2)``
@@ -53,9 +64,21 @@ def run(
         )
     cfg = get_scale(scale)
     words = dictionary_for(cfg)
+    trial_source = words
+    if trial_overlap is not None:
+        if trial_overlap < 1.0:
+            raise ValueError(
+                f"trial_overlap must be >= 1 (got {trial_overlap}): every "
+                "trial needs laesa_train words to sample from"
+            )
+        sub = min(len(words.items), int(round(trial_overlap * cfg.laesa_train)))
+        if sub < len(words.items):
+            # drawn from its own RNG stream so the per-trial draws below
+            # stay identical across pool_mode (and across overlap sizes)
+            trial_source = words.sample(sub, random.Random(seed ^ 0x0DD1))
 
     def sample_trial(rng: random.Random):
-        train = words.sample(cfg.laesa_train, rng)
+        train = trial_source.sample(cfg.laesa_train, rng)
         queries = perturbed_queries(train, cfg.laesa_queries, rng, operations=2)
         return train, queries
 

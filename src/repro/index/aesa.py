@@ -55,13 +55,20 @@ class AesaIndex(NearestNeighborIndex):
             self._BULK_SWEEP_MAX_ITEMS = int(bulk_sweep_max_items)
         n = len(self.items)
         # Upper triangle through the pair-batched engine, then mirrored --
-        # the same C(n, 2) computations the scalar loop performed.
-        pairs = [
-            (self.items[i], self.items[j])
-            for i in range(n)
-            for j in range(i + 1, n)
-        ]
-        flat = self._counter.many(pairs)
+        # the same C(n, 2) computations the scalar loop performed.  With
+        # an interned corpus the whole triangle is an id grid: no pair
+        # list is materialised and the (auto-sharded) fan-out ships only
+        # id arrays against the shared-memory corpus.
+        if self._corpus is not None:
+            iu, ju = np.triu_indices(n, k=1)
+            flat = self._counter.many_ids(self._corpus.store(), iu, ju)
+        else:
+            pairs = [
+                (self.items[i], self.items[j])
+                for i in range(n)
+                for j in range(i + 1, n)
+            ]
+            flat = self._counter.many(pairs)
         matrix = np.zeros((n, n), dtype=float)
         pos = 0
         for i in range(n):
@@ -118,14 +125,53 @@ class AesaIndex(NearestNeighborIndex):
         if not queries:
             return []
         generators = [self._range_requests(radius) for _ in queries]
-        if len(self.items) > self._BULK_SWEEP_MAX_ITEMS:
-            return self._lockstep_drive(queries, generators)
+        store = self._interned_store(queries)
+        if not self._sweep_worthwhile():
+            return self._lockstep_drive(queries, generators, store=store)
         started = time.perf_counter()
-        cache = self._counter.precompute(queries, self.items)
+        cache = self._grid_sweep(queries, store)
         sweep_seconds = time.perf_counter() - started
         return self._lockstep_drive(
-            queries, generators, pivot_cache=cache, extra_elapsed=sweep_seconds
+            queries,
+            generators,
+            pivot_cache=cache,
+            extra_elapsed=sweep_seconds,
+            store=store,
         )
+
+    def _sweep_worthwhile(self) -> bool:
+        """Whether front-loading the full ``queries x items`` sweep can
+        undercut the lockstep loop: the database must be small
+        (``_BULK_SWEEP_MAX_ITEMS``) *and* the distance must run through
+        the engine's batch kernels -- a scalar-fallback distance (exact
+        ``d_C`` / ``d_MV`` on the numpy backend, arbitrary callables)
+        costs the same per sweep entry as per scalar call, so computing
+        the whole grid can never beat AESA's near-constant visited set.
+        Results and counts are identical either way; only the cache is
+        at stake."""
+        from ..batch.engine import has_batched_kernel
+
+        if len(self.items) > self._BULK_SWEEP_MAX_ITEMS:
+            return False
+        return has_batched_kernel(self._counter._distance)
+
+    def _grid_sweep(self, queries, store) -> np.ndarray:
+        """The full ``queries x items`` matrix in one engine sweep -- an
+        id grid against the interned corpus when available, raw items
+        otherwise (identical values; entries are charged only as the
+        elimination loops read them)."""
+        n_queries, n = len(queries), len(self.items)
+        if store is not None:
+            q_ids = np.asarray(
+                [store.extra_id(qi) for qi in range(n_queries)], dtype=np.int64
+            )
+            flat = self._counter.precompute_ids(
+                store,
+                np.repeat(q_ids, n),
+                np.tile(np.arange(n, dtype=np.int64), n_queries),
+            )
+            return flat.reshape(n_queries, n)
+        return self._counter.precompute(queries, self.items)
 
     def _search(
         self,
@@ -200,11 +246,12 @@ class AesaIndex(NearestNeighborIndex):
         queries = list(queries)
         if not queries:
             return []
-        if len(self.items) > self._BULK_SWEEP_MAX_ITEMS:
-            return self._bulk_knn_lockstep(queries, k, pivot_cache=None)
+        store = self._interned_store(queries)
+        if not self._sweep_worthwhile():
+            return self._bulk_knn_lockstep(queries, k, pivot_cache=None, store=store)
         started = time.perf_counter()
-        cache = self._counter.precompute(queries, self.items)
+        cache = self._grid_sweep(queries, store)
         sweep_seconds = time.perf_counter() - started
         return self._bulk_knn_lockstep(
-            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds
+            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds, store=store
         )

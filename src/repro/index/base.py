@@ -168,6 +168,43 @@ class CountingDistance:
 
         return pairwise_values_bounded(self._distance, pairs, limits)
 
+    def precompute_bounded_ids(
+        self,
+        store,
+        x_ids: Sequence[int],
+        y_ids: Sequence[int],
+        limits: Sequence[float],
+    ) -> np.ndarray:
+        """:meth:`precompute_bounded` over interned store ids: the same
+        bit-identical-to-``within`` guarantee, with kernel inputs
+        gathered from the index's interned corpus instead of re-encoded
+        per round.  Uncounted, like every precompute."""
+        from ..batch import pairwise_values_bounded_ids
+
+        return pairwise_values_bounded_ids(
+            self._distance, store, x_ids, y_ids, limits
+        )
+
+    def precompute_ids(
+        self, store, x_ids: Sequence[int], y_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Full distances over interned store ids, **without** touching
+        the counter -- the interned twin of :meth:`precompute` (bulk
+        pivot sweeps dispatch id grids instead of item pairs)."""
+        from ..batch import pairwise_values_ids
+
+        return pairwise_values_ids(self._distance, store, x_ids, y_ids)
+
+    def many_ids(
+        self, store, x_ids: Sequence[int], y_ids: Sequence[int]
+    ) -> np.ndarray:
+        """Distances over interned store ids via the batch engine, one
+        count per pair -- the interned twin of :meth:`many`."""
+        from ..batch import pairwise_values_ids
+
+        self.calls += len(x_ids)
+        return pairwise_values_ids(self._distance, store, x_ids, y_ids)
+
     def precompute(
         self, queries: Sequence[Any], references: Sequence[Any]
     ) -> np.ndarray:
@@ -201,7 +238,19 @@ class CountingDistance:
 
 
 class NearestNeighborIndex(ABC, Generic[Item]):
-    """Base class: counted distance, timing, and the k-NN-from-1-NN glue."""
+    """Base class: counted distance, timing, and the k-NN-from-1-NN glue.
+
+    Construction also *interns* the item list
+    (:func:`~repro.batch.corpus.intern_corpus`): the database's symbol
+    sequences are normalised and encoded into padded code matrices
+    exactly once, so every bulk query against this index dispatches
+    ``(id, id)`` pairs against those matrices instead of re-encoding the
+    same strings round after round.  Items the corpus cannot represent
+    (arbitrary objects, unhashable symbols) simply leave ``_corpus`` as
+    ``None`` and every bulk path falls back to raw-pair dispatch --
+    identical results either way (``REPRO_INTERN=0`` forces the
+    fallback everywhere, the baseline of the identity tests).
+    """
 
     def __init__(self, items: Sequence[Item], distance: Distance) -> None:
         if not items:
@@ -209,6 +258,21 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         self.items: List[Item] = list(items)
         self._counter = CountingDistance(distance)
         self.preprocessing_computations = 0
+        from ..batch import intern_corpus, interning_enabled
+
+        self._corpus = intern_corpus(self.items) if interning_enabled() else None
+
+    def _interned_store(self, queries: Sequence[Item]):
+        """A :class:`~repro.batch.corpus.PairStore` over the interned
+        corpus plus *queries* (encoded once per bulk call against the
+        corpus' shared alphabet), or ``None`` when the corpus or the
+        queries cannot be interned -- callers then use raw pairs."""
+        if self._corpus is None:
+            return None
+        try:
+            return self._corpus.store(queries)
+        except TypeError:
+            return None
 
     @abstractmethod
     def _search(self, query: Item, k: int) -> List[SearchResult]:
@@ -379,6 +443,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         k: int,
         pivot_cache: Optional[np.ndarray] = None,
         extra_elapsed: float = 0.0,
+        store=None,
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
         """Lockstep driver over :meth:`_search_requests` (see
         :meth:`_lockstep_drive`)."""
@@ -387,6 +452,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             [self._search_requests(k) for _ in queries],
             pivot_cache=pivot_cache,
             extra_elapsed=extra_elapsed,
+            store=store,
         )
 
     def bulk_range_search(
@@ -423,6 +489,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         generators: List[Generator],
         pivot_cache: Optional[np.ndarray] = None,
         extra_elapsed: float = 0.0,
+        store=None,
     ) -> List[Tuple[Any, SearchStats]]:
         """Run every query's request generator in lockstep rounds,
         batching each round's candidate evaluations into one engine call.
@@ -433,6 +500,10 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         into a single :meth:`CountingDistance.precompute_bounded` call, so
         the scalar tail of the candidate phase runs through the banded
         batch DP kernels instead of one bounded Python call per candidate.
+        With an interned *store* (built here when the corpus allows it),
+        each round dispatches ``(query id, item id)`` pairs against the
+        corpus matrices (:meth:`CountingDistance.precompute_bounded_ids`)
+        -- same values, none of the per-round re-encoding.
 
         Each query's request stream depends only on its own distances, so
         lockstep scheduling returns bit-identical results, distances
@@ -442,6 +513,8 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         per-query stats.
         """
         started = time.perf_counter()
+        if store is None:
+            store = self._interned_store(queries)
         items = self.items
         n_queries = len(queries)
         counts = [0] * n_queries
@@ -480,7 +553,6 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             if not parked:
                 active = [qi for qi in active if results[qi] is None]
                 continue
-            pairs = [(queries[qi], items[requests[qi][0]]) for qi in parked]
             limits = [
                 float("inf") if requests[qi][1] is None else requests[qi][1]
                 for qi in parked
@@ -491,10 +563,22 @@ class NearestNeighborIndex(ABC, Generic[Item]):
                 # to one banded scalar evaluation; peek_within returns the
                 # same values by the precompute_bounded contract
                 values = [
-                    self._counter.peek_within(x, y, limit)
-                    for (x, y), limit in zip(pairs, limits)
+                    self._counter.peek_within(
+                        queries[qi], items[requests[qi][0]], limit
+                    )
+                    for qi, limit in zip(parked, limits)
                 ]
+            elif store is not None:
+                values = self._counter.precompute_bounded_ids(
+                    store,
+                    [store.extra_id(qi) for qi in parked],
+                    [requests[qi][0] for qi in parked],
+                    limits,
+                )
             else:
+                pairs = [
+                    (queries[qi], items[requests[qi][0]]) for qi in parked
+                ]
                 values = self._counter.precompute_bounded(pairs, limits)
             still_active: List[int] = []
             for qi, value in zip(parked, values):

@@ -30,6 +30,28 @@ class ExhaustiveIndex(NearestNeighborIndex):
         distances = self._counter.many([(query, item) for item in self.items])
         return self._row_results(distances, k)
 
+    def _grid_many(self, queries) -> np.ndarray:
+        """The counted ``q x n`` scan grid -- an id grid against the
+        interned corpus when available (no pair list, no re-encoding),
+        the raw pair list otherwise.  Identical values and counts."""
+        n = len(self.items)
+        store = self._interned_store(queries)
+        if store is not None:
+            q_ids = np.asarray(
+                [store.extra_id(qi) for qi in range(len(queries))],
+                dtype=np.int64,
+            )
+            flat = self._counter.many_ids(
+                store,
+                np.repeat(q_ids, n),
+                np.tile(np.arange(n, dtype=np.int64), len(queries)),
+            )
+        else:
+            flat = self._counter.many(
+                [(query, item) for query in queries for item in self.items]
+            )
+        return flat.reshape(len(queries), n)
+
     def _row_results(self, row: np.ndarray, k: int) -> List[SearchResult]:
         # Canonical (distance, index) order: a *stable* argsort on the
         # distances keeps equal-distance items in ascending index order,
@@ -54,15 +76,13 @@ class ExhaustiveIndex(NearestNeighborIndex):
         than ``q`` separate scans.  Each query still reports its ``n``
         distance computations; the measured wall-clock is split evenly."""
         self._validate_k(k)
+        queries = list(queries)
         if not queries:
             return []
         n = len(self.items)
         self._counter.take()
         started = time.perf_counter()
-        flat = self._counter.many(
-            [(query, item) for query in queries for item in self.items]
-        )
-        matrix = flat.reshape(len(queries), n)
+        matrix = self._grid_many(queries)
         results = [self._row_results(row, k) for row in matrix]
         # selection is timed too, like every per-query _search elsewhere
         elapsed = time.perf_counter() - started
@@ -101,10 +121,7 @@ class ExhaustiveIndex(NearestNeighborIndex):
         n = len(self.items)
         self._counter.take()
         started = time.perf_counter()
-        flat = self._counter.many(
-            [(query, item) for query in queries for item in self.items]
-        )
-        matrix = flat.reshape(len(queries), n)
+        matrix = self._grid_many(queries)
         results = [self._row_hits(row, radius) for row in matrix]
         elapsed = time.perf_counter() - started
         self._counter.take()

@@ -177,19 +177,39 @@ class LaesaIndex(NearestNeighborIndex):
         queries = list(queries)
         if not queries:
             return []
+        store = self._interned_store(queries)
         cache = None
         sweep_seconds = 0.0
         if self.pivot_indices:
-            pivot_items = [self.items[i] for i in self.pivot_indices]
             started = time.perf_counter()
-            cache = self._counter.precompute(queries, pivot_items)
+            cache = self._pivot_sweep(queries, store)
             sweep_seconds = time.perf_counter() - started
         return self._lockstep_drive(
             queries,
             [self._range_requests(radius) for _ in queries],
             pivot_cache=cache,
             extra_elapsed=sweep_seconds,
+            store=store,
         )
+
+    def _pivot_sweep(self, queries, store) -> np.ndarray:
+        """The ``queries x pivots`` distance matrix in one engine sweep
+        -- dispatched as an id grid against the interned corpus when
+        available (the pivots *are* corpus ids), raw items otherwise.
+        Values are identical either way; the bulk drivers charge each
+        entry as its elimination loop demands it."""
+        n_queries, n_pivots = len(queries), len(self.pivot_indices)
+        if store is not None:
+            q_ids = np.asarray(
+                [store.extra_id(qi) for qi in range(n_queries)], dtype=np.int64
+            )
+            p_ids = np.asarray(self.pivot_indices, dtype=np.int64)
+            flat = self._counter.precompute_ids(
+                store, np.repeat(q_ids, n_pivots), np.tile(p_ids, n_queries)
+            )
+            return flat.reshape(n_queries, n_pivots)
+        pivot_items = [self.items[i] for i in self.pivot_indices]
+        return self._counter.precompute(queries, pivot_items)
 
     def _search(
         self,
@@ -313,13 +333,13 @@ class LaesaIndex(NearestNeighborIndex):
         queries = list(queries)
         if not queries:
             return []
+        store = self._interned_store(queries)
         cache = None
         sweep_seconds = 0.0
         if self.pivot_indices:
-            pivot_items = [self.items[i] for i in self.pivot_indices]
             started = time.perf_counter()
-            cache = self._counter.precompute(queries, pivot_items)
+            cache = self._pivot_sweep(queries, store)
             sweep_seconds = time.perf_counter() - started
         return self._bulk_knn_lockstep(
-            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds
+            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds, store=store
         )

@@ -229,3 +229,35 @@ def test_numpy_kernel_returns_witness_dtype():
     values, exact = levenshtein_batch_bounded_numpy([("abc", "xyz")], [1])
     assert values.dtype == np.int64
     assert exact.dtype == np.bool_
+
+
+@pytest.mark.parametrize("cadence", ["1", "2", "4", "7", "1000"])
+def test_retirement_cadence_is_bit_identical(cadence, monkeypatch):
+    """Sampling the retirement check every N diagonals only moves *when*
+    hopeless pairs stop sweeping -- every (value, exact) output must
+    equal the cadence-1 (check-every-diagonal) baseline."""
+    pairs, rng = _pairs(0xCAD, "word", 300)
+    pairs += _pairs(0xCAD + 1, "dna", 120)[0]
+    bounds = [rng.randrange(0, 14) for _ in pairs]
+    monkeypatch.setenv("REPRO_RETIRE_CADENCE", "1")
+    base_lev = levenshtein_batch_bounded_numpy(pairs, bounds)
+    base_ctx = contextual_heuristic_batch_bounded_numpy(pairs, bounds)
+    monkeypatch.setenv("REPRO_RETIRE_CADENCE", cadence)
+    got_lev = levenshtein_batch_bounded_numpy(pairs, bounds)
+    got_ctx = contextual_heuristic_batch_bounded_numpy(pairs, bounds)
+    assert got_lev[0].tolist() == base_lev[0].tolist()
+    assert got_lev[1].tolist() == base_lev[1].tolist()
+    for got, base in zip(got_ctx, base_ctx):
+        assert got.tolist() == base.tolist()
+
+
+def test_retirement_cadence_engine_identity(monkeypatch):
+    """The engine's bounded values (and hence within()) are cadence-
+    independent end to end."""
+    pairs, rng = _pairs(0xCAE, "digit", 60)
+    limits = [rng.random() * 0.4 for _ in pairs]
+    monkeypatch.setenv("REPRO_RETIRE_CADENCE", "1")
+    base = pairwise_values_bounded("dmax", pairs, limits)
+    monkeypatch.setenv("REPRO_RETIRE_CADENCE", "6")
+    got = pairwise_values_bounded("dmax", pairs, limits)
+    assert got.tolist() == base.tolist()

@@ -1,0 +1,131 @@
+"""The interned-corpus layer: encoding, the id store, and its gather."""
+
+import numpy as np
+import pytest
+
+from repro.batch import intern_corpus, interning_enabled
+from repro.batch.kernels import (
+    _PAD_X,
+    _PAD_Y,
+    _levenshtein_swept,
+    levenshtein_batch_numpy,
+)
+
+
+WORDS = ["abc", "", "cab", "abc", "abcd", "dcba", "aaaa"]
+
+
+def test_corpus_lengths_and_dtypes():
+    corpus = intern_corpus(WORDS)
+    assert corpus is not None
+    assert corpus.lengths.tolist() == [len(w) for w in WORDS]
+    assert corpus.block.rows_x.dtype == np.int32
+    assert corpus.block.rows_y.dtype == np.int32
+
+
+def test_corpus_padding_sentinels_differ_per_side():
+    corpus = intern_corpus(WORDS)
+    # beyond each row's true length the x matrix holds the x sentinel and
+    # the y matrix the y sentinel, so padded x never matches padded y
+    for i, word in enumerate(WORDS):
+        assert (corpus.block.rows_x[i, len(word) :] == _PAD_X).all()
+        assert (corpus.block.rows_y[i, len(word) :] == _PAD_Y).all()
+
+
+def test_encoding_preserves_equality_globally():
+    corpus = intern_corpus(WORDS)
+    store = corpus.store()
+    # identical words at different ids encode identically
+    assert store.same(0, 3)
+    assert not store.same(0, 2)  # anagram, different symbol order
+    assert not store.same(0, 4)  # prefix
+    assert store.same(1, 1)
+
+
+def test_cross_representation_equality_survives():
+    corpus = intern_corpus(["ab", ("a", "b"), "ba", (0, 1), (0, 1)])
+    store = corpus.store()
+    assert store.same(0, 1)  # "ab" == ("a", "b") after normalisation
+    assert not store.same(0, 2)
+    assert store.same(3, 4)
+    assert not store.same(1, 3)
+
+
+def test_gather_matches_encode_batch_sweep():
+    corpus = intern_corpus(WORDS)
+    store = corpus.store()
+    x_ids = np.array([0, 1, 2, 5, 6, 3])
+    y_ids = np.array([4, 0, 2, 6, 1, 5])
+    X, Y, mx, my = store.gather(x_ids, y_ids)
+    pairs = [(WORDS[i], WORDS[j]) for i, j in zip(x_ids, y_ids)]
+    # same integer DP results as the per-call encoding path
+    expected = levenshtein_batch_numpy(pairs)
+    assert _levenshtein_swept(X, Y, mx, my).tolist() == expected.tolist()
+
+
+def test_store_with_queries_extends_the_alphabet():
+    corpus = intern_corpus(["abc", "cab"])
+    store = corpus.store(["xyz", "abz"])
+    assert len(store) == 4
+    assert store.extra_id(0) == 2
+    assert store.raw(3) == "abz"
+    assert store.sym(1) == "cab"
+    X, Y, mx, my = store.gather(
+        np.array([2, 3, 0]), np.array([0, 1, 3])
+    )
+    expected = levenshtein_batch_numpy(
+        [("xyz", "abc"), ("abz", "cab"), ("abc", "abz")]
+    )
+    assert _levenshtein_swept(X, Y, mx, my).tolist() == expected.tolist()
+
+
+def test_unencodable_items_return_none():
+    assert intern_corpus([object()]) is None
+    assert intern_corpus(["abc", 3.5]) is None
+    # sequences of unhashable symbols cannot key the alphabet table
+    assert intern_corpus([[["nested"]]]) is None
+
+
+def test_store_rejects_unencodable_queries():
+    corpus = intern_corpus(["abc"])
+    with pytest.raises(TypeError):
+        corpus.store([object()])
+
+
+def test_interning_enabled_env(monkeypatch):
+    assert interning_enabled()
+    monkeypatch.setenv("REPRO_INTERN", "0")
+    assert not interning_enabled()
+    monkeypatch.setenv("REPRO_INTERN", "off")
+    assert not interning_enabled()
+    monkeypatch.setenv("REPRO_INTERN", "1")
+    assert interning_enabled()
+
+
+def test_index_construction_interns(monkeypatch, small_word_list):
+    from repro.core import get_distance
+    from repro.index import LaesaIndex
+
+    index = LaesaIndex(small_word_list[:30], get_distance("dmax"), n_pivots=3)
+    assert index._corpus is not None
+    assert len(index._corpus) == 30
+    monkeypatch.setenv("REPRO_INTERN", "0")
+    off = LaesaIndex(small_word_list[:30], get_distance("dmax"), n_pivots=3)
+    assert off._corpus is None
+
+
+def test_index_with_uninternable_items_falls_back():
+    from repro.index import ExhaustiveIndex
+
+    def length_gap(x, y):
+        return abs(len(x) - len(y))
+
+    class Odd:
+        def __len__(self):
+            return 2
+
+    items = [Odd(), Odd()]
+    index = ExhaustiveIndex(items, length_gap)
+    assert index._corpus is None
+    results = index.bulk_knn([items[0]], 1)
+    assert results[0][0][0].distance == 0.0

@@ -1,0 +1,154 @@
+"""The persistent engine runtime: pool reuse, shared-memory publication,
+and the opt-out that restores the per-call behaviour."""
+
+import os
+
+import numpy as np
+import pytest
+
+import repro.batch.engine as engine
+import repro.batch.runtime as runtime
+from repro.batch import intern_corpus, pairwise_values_ids, persistent_pool_enabled
+
+
+@pytest.fixture
+def fresh_runtime():
+    """An isolated EngineRuntime (module singleton untouched)."""
+    rt = runtime.EngineRuntime()
+    yield rt
+    rt.shutdown()
+
+
+@pytest.fixture
+def corpus():
+    import random
+
+    rng = random.Random(11)
+    words = [
+        "".join(rng.choice("abcdef") for _ in range(rng.randint(3, 12)))
+        for _ in range(120)
+    ]
+    return intern_corpus(words)
+
+
+def test_persistent_pool_env(monkeypatch):
+    assert persistent_pool_enabled()
+    monkeypatch.setenv("REPRO_PERSISTENT_POOL", "0")
+    assert not persistent_pool_enabled()
+    monkeypatch.setenv("REPRO_PERSISTENT_POOL", "no")
+    assert not persistent_pool_enabled()
+
+
+def test_publish_and_attach_roundtrip(fresh_runtime, corpus):
+    store = corpus.store(["abcdef"])
+    token = fresh_runtime.publish_store(store)
+    if token is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    assert token.corpus.persistent
+    assert token.extra is not None and not token.extra.persistent
+    # corpus publication is cached on the corpus object
+    again = fresh_runtime.publish_store(corpus.store(["zzz"]))
+    assert again.corpus is token.corpus
+    # an in-process attach sees the same rows the store gathers
+    attached, ephemeral = runtime.attach_store(token)
+    x_ids = np.array([0, 3, 120])
+    y_ids = np.array([5, 120, 7])
+    for got, want in zip(attached.gather(x_ids, y_ids), store.gather(x_ids, y_ids)):
+        assert np.array_equal(got, want)
+    runtime.release_attachment(ephemeral)
+    fresh_runtime.release_block(token.extra)
+
+
+def test_worker_fn_memoised():
+    engine._WORKER_FNS.clear()
+    fn1 = engine._worker_fn("levenshtein")
+    fn2 = engine._worker_fn("levenshtein")
+    assert fn1 is fn2
+    assert "levenshtein" in engine._WORKER_FNS
+
+
+def test_fan_out_ids_uses_one_pool_across_calls(corpus, monkeypatch):
+    """Two sharded interned calls must reuse the same pool object and
+    return values identical to the serial path."""
+    monkeypatch.setenv("REPRO_MIN_PAIRS_PER_WORKER", "50")
+    store = corpus.store()
+    x_ids = np.repeat(np.arange(120), 20)
+    y_ids = np.tile(np.arange(20), 120)
+    serial = pairwise_values_ids("levenshtein", store, x_ids, y_ids, workers=None)
+    pooled = pairwise_values_ids("levenshtein", store, x_ids, y_ids, workers=2)
+    assert serial.tolist() == pooled.tolist()
+    rt = runtime.get_runtime()
+    if rt._pool is None:  # pragma: no cover - fork unavailable on this host
+        pytest.skip("process pool unavailable")
+    pool = rt._pool
+    again = pairwise_values_ids("dmax", store, x_ids, y_ids, workers=2)
+    assert rt._pool is pool, "second sharded call spawned a fresh pool"
+    check = pairwise_values_ids("dmax", store, x_ids, y_ids, workers=None)
+    assert again.tolist() == check.tolist()
+
+
+def test_opt_out_bypasses_the_persistent_pool(corpus, monkeypatch):
+    monkeypatch.setenv("REPRO_MIN_PAIRS_PER_WORKER", "50")
+    monkeypatch.setenv("REPRO_PERSISTENT_POOL", "0")
+    store = corpus.store()
+    x_ids = np.repeat(np.arange(120), 20)
+    y_ids = np.tile(np.arange(20), 120)
+    calls = []
+    monkeypatch.setattr(
+        runtime.EngineRuntime,
+        "map",
+        lambda self, fn, chunks, workers: calls.append(fn) or None,
+    )
+    values = pairwise_values_ids("levenshtein", store, x_ids, y_ids, workers=2)
+    assert not calls, "persistent pool used despite REPRO_PERSISTENT_POOL=0"
+    serial = pairwise_values_ids("levenshtein", store, x_ids, y_ids, workers=None)
+    assert values.tolist() == serial.tolist()
+
+
+def test_map_survives_a_broken_pool(fresh_runtime):
+    pool = fresh_runtime.pool(2)
+    if pool is None:  # pragma: no cover - fork unavailable on this host
+        pytest.skip("process pool unavailable")
+    pool.terminate()  # kill it behind the runtime's back
+    result = fresh_runtime.map(os.getpid.__class__, [1, 2], 2)  # bad fn too
+    assert result is None
+    assert fresh_runtime._pool is None  # discarded, next call respawns
+
+
+def test_shutdown_invalidates_cached_corpus_tokens(fresh_runtime, corpus):
+    """A token whose segments a shutdown unlinked must never be handed
+    out again -- the corpus republishes under the new generation."""
+    store = corpus.store()
+    first = fresh_runtime.publish_store(store)
+    if first is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    fresh_runtime.shutdown()
+    second = fresh_runtime.publish_store(store)
+    assert second is not None
+    assert second.corpus is not first.corpus
+    # and the fresh segments are attachable
+    attached, ephemeral = runtime.attach_store(second)
+    assert attached.n_corpus == len(corpus)
+    runtime.release_attachment(ephemeral)
+
+
+def test_corpus_segments_released_on_garbage_collection(fresh_runtime):
+    """Persistent corpus publications die with their corpus, not with
+    the process."""
+    import gc
+
+    from repro.batch import intern_corpus as build
+
+    corpus = build(["abc", "defg", "hij"])
+    token = fresh_runtime.publish_store(corpus.store())
+    if token is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    names = {
+        token.corpus.rows_x.shm_name,
+        token.corpus.rows_y.shm_name,
+        token.corpus.lengths.shm_name,
+    }
+    assert any(shm.name in names for shm in fresh_runtime._published)
+    del corpus, token
+    gc.collect()
+    assert not any(shm.name in names for shm in fresh_runtime._published)
