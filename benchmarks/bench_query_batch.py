@@ -379,7 +379,25 @@ def main(argv=None) -> int:
         default=DEFAULT_JSON,
         help=f"JSON-lines results file (default: {DEFAULT_JSON.name})",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help="arm a REPRO_FAULTS spec for the run (chaos smoke, e.g. "
+        "'worker_crash:p=0.2,seed=12'); identity checks still apply -- "
+        "degradation must never change results",
+    )
     args = parser.parse_args(argv)
+
+    if args.faults:
+        import repro.batch.faults as faults
+
+        faults.parse_spec(args.faults)  # fail fast on a typo'd spec
+        os.environ["REPRO_FAULTS"] = args.faults
+        faults._PLAN_CACHE = None
+
+    from repro.batch import DEGRADATION
+
+    degradation_before = DEGRADATION.snapshot()
 
     if args.smoke:
         per_class, n_train = 6, 40
@@ -411,6 +429,15 @@ def main(argv=None) -> int:
         )
         record["search"] = "knn"
     record["mode"] = "smoke" if args.smoke else "full"
+    record["faults"] = args.faults or ""
+    # per-run degradation-ladder events (all zero on a healthy run):
+    # a chaos smoke proves the identity checks held *while* degrading
+    after = DEGRADATION.snapshot()
+    record["degradation"] = {
+        event: after[event] - degradation_before.get(event, 0)
+        for event in after
+        if after[event] - degradation_before.get(event, 0)
+    }
     print(json.dumps(record, indent=2))
 
     with args.json.open("a", encoding="utf-8") as fh:

@@ -24,6 +24,13 @@ Entry points:
 
 Every entry point defaults to ``workers="auto"``: unique-pair chunks fan
 out over a process pool when the machine and the batch size justify it.
+The fan-out is *supervised*: dead or wedged workers surface as failed
+chunks (per-chunk deadlines) and walk a degradation ladder -- fresh-pool
+retry, per-call pool, in-process serial -- that preserves bit-identical
+results (:data:`DEGRADATION` counts the events,
+:class:`DegradedExecutionWarning` announces them, and
+:mod:`repro.batch.faults` injects the failures on demand for the chaos
+suite).
 """
 
 from .corpus import InternedCorpus, PairStore, intern_corpus, interning_enabled
@@ -45,7 +52,16 @@ from .kernels import (
     levenshtein_batch_bounded,
     mv_banded_probe_batch,
 )
-from .runtime import EngineRuntime, get_runtime, persistent_pool_enabled
+from .faults import FaultInjected
+from .runtime import (
+    DEGRADATION,
+    DegradationStats,
+    DegradedExecutionWarning,
+    EngineRuntime,
+    get_runtime,
+    persistent_pool_enabled,
+    reap_orphaned_segments,
+)
 
 __all__ = [
     "pairwise_values",
@@ -69,4 +85,9 @@ __all__ = [
     "EngineRuntime",
     "get_runtime",
     "persistent_pool_enabled",
+    "DEGRADATION",
+    "DegradationStats",
+    "DegradedExecutionWarning",
+    "FaultInjected",
+    "reap_orphaned_segments",
 ]

@@ -37,6 +37,7 @@ hatch and the baseline of the interned-vs-raw identity tests).
 from __future__ import annotations
 
 import os
+import uuid
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -128,6 +129,13 @@ class InternedCorpus:
         self.symbols: List[Symbols] = [as_symbols(item) for item in self.items]
         self.codes: Dict[Hashable, int] = {}
         self.block = _encode_block(self.symbols, self.codes)
+        #: Stable identity for shared-memory publication: the runtime
+        #: keys worker-side block caches by it, so a *republication*
+        #: (same corpus, new segments after a runtime shutdown) lands on
+        #: the same cache slot and the publication-generation check can
+        #: notice the staleness -- a fresh key per publication would make
+        #: that check vacuous.
+        self.key: str = uuid.uuid4().hex[:12]
         #: Set by the engine runtime when this corpus has been published
         #: to shared memory: a ``(publication generation, token)`` pair,
         #: revalidated per publish so tokens never outlive a runtime

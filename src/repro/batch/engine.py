@@ -57,6 +57,8 @@ scalar ones (asserted by the tests).  Everything else (exact ``d_C``,
 from __future__ import annotations
 
 import os
+import time
+import warnings
 from typing import (
     Any,
     Callable,
@@ -399,6 +401,9 @@ def _worker_fn(name: str) -> Callable:
 
 def _mp_evaluate(args: Tuple[str, List[Tuple[Symbols, Symbols]]]) -> np.ndarray:
     """Process-pool worker: evaluate one chunk of pairs by registry name."""
+    from . import faults
+
+    faults.worker_task()
     name, chunk = args
     if _is_batched(name):
         return _evaluate_batched(name, chunk)
@@ -410,8 +415,10 @@ def _mp_evaluate_ids(args) -> np.ndarray:
     """Process-pool worker: evaluate one chunk of *id pairs* against a
     shared-memory store publication -- only the name, the token and two
     id arrays crossed the process boundary."""
+    from . import faults
     from . import runtime as _runtime
 
+    faults.worker_task()
     name, token, x_ids, y_ids = args
     store, ephemeral = _runtime.attach_store(token)
     try:
@@ -420,24 +427,147 @@ def _mp_evaluate_ids(args) -> np.ndarray:
         _runtime.release_attachment(ephemeral)
 
 
-def _map_chunks(worker: Callable, chunks: List, workers: int):
-    """Run *chunks* through the persistent pool (default) or a per-call
-    pool (``REPRO_PERSISTENT_POOL=0``); None when pooling fails."""
-    from . import runtime as _runtime
+#: Sentinel for "this chunk failed on this rung" (``None`` is a valid
+#: worker return only for broken workers, but keep failure explicit).
+_CHUNK_FAILED = object()
 
-    if _runtime.persistent_pool_enabled():
-        return _runtime.get_runtime().map(worker, chunks, workers)
+
+def _percall_map(
+    worker: Callable, chunks: List, sizes: List[Optional[int]]
+):
+    """The per-call-pool rung: one disposable pool sized to *chunks*,
+    every chunk awaited under its :func:`~repro.batch.runtime.chunk_deadline`
+    (all chunks run concurrently, so deadlines are measured from one
+    shared submission instant -- a round of failures costs one deadline,
+    not one per chunk).  Per-chunk failures come back as
+    :data:`_CHUNK_FAILED`; ``None`` when no pool could be created."""
     import multiprocessing
+
+    from . import runtime as _runtime
 
     try:
         try:
             ctx = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - platforms without fork
             ctx = multiprocessing.get_context()
-        with ctx.Pool(processes=len(chunks)) as pool:
-            return pool.map(worker, chunks)
+        pool = ctx.Pool(processes=len(chunks))
     except Exception:  # pragma: no cover - sandboxed/forbidden fork
         return None
+    results: List[Any] = []
+    try:
+        start = time.monotonic()
+        try:
+            handles = [pool.apply_async(worker, (chunk,)) for chunk in chunks]
+        except Exception:  # pool broke at submit time
+            return None
+        for handle, size in zip(handles, sizes):
+            deadline = _runtime.chunk_deadline(size)
+            try:
+                if deadline is None:
+                    results.append(handle.get())
+                else:
+                    remaining = start + deadline - time.monotonic()
+                    results.append(handle.get(max(0.001, remaining)))
+            except Exception:
+                results.append(_CHUNK_FAILED)
+    finally:
+        _runtime.dispose_pool(
+            pool, kill=any(r is _CHUNK_FAILED for r in results)
+        )
+    return results
+
+
+def _map_chunks(
+    worker: Callable,
+    chunks: List,
+    workers: int,
+    sizes: Optional[List[int]] = None,
+    serial: Optional[Callable] = None,
+):
+    """Run *chunks* through the degradation ladder.
+
+    Rungs, healthiest first -- every rung computes the very same values
+    (same task function, same kernels), so degradation changes latency,
+    never results:
+
+    1. the persistent pool under supervision
+       (:meth:`~repro.batch.runtime.EngineRuntime.supervised_map`:
+       per-chunk deadlines, health-checked pool, fresh-pool retries);
+    2. a disposable per-call pool for whatever chunks still failed
+       (also the whole path when ``REPRO_PERSISTENT_POOL=0``);
+    3. in-process serial evaluation of the stragglers via *serial*
+       (defaults to calling *worker* inline) -- cannot fail, so the
+       ladder always terminates with complete results.
+
+    Returns the per-chunk results, or ``None`` when pooling was never
+    available at all (no fork, no subprocesses) -- the quiet pre-existing
+    contract, under which callers evaluate serially themselves.  *sizes*
+    (pairs per chunk) scales the supervision deadlines.
+    """
+    from . import runtime as _runtime
+
+    n = len(chunks)
+    all_sizes: List[Optional[int]] = (
+        list(sizes) if sizes is not None else [None] * n
+    )
+    if not _runtime.persistent_pool_enabled():
+        parts = _percall_map(worker, chunks, all_sizes)
+        if parts is None:
+            return None
+        if any(r is _CHUNK_FAILED for r in parts):
+            # historic contract: a failed per-call pool means the caller
+            # re-evaluates serially -- but say so, it's a degradation
+            warnings.warn(
+                "engine fan-out: per-call pool failed; "
+                "falling back to in-process serial evaluation",
+                _runtime.DegradedExecutionWarning,
+                stacklevel=2,
+            )
+            _runtime.DEGRADATION.record("serial_fallbacks", n)
+            return None
+        return parts
+    supervised = _runtime.get_runtime().supervised_map(
+        worker, chunks, workers, sizes=sizes
+    )
+    if supervised is None:
+        return None  # no pool at all: quiet serial fallback upstream
+    results, failed = supervised
+    if not failed:
+        return results
+    _runtime.DEGRADATION.record("percall_fallbacks", len(failed))
+    warnings.warn(
+        f"engine fan-out: {len(failed)}/{n} chunk(s) still failing after "
+        "pool retries; degrading to a per-call pool",
+        _runtime.DegradedExecutionWarning,
+        stacklevel=2,
+    )
+    retried = _percall_map(
+        worker,
+        [chunks[i] for i in failed],
+        [all_sizes[i] for i in failed],
+    )
+    stragglers: List[int] = []
+    if retried is None:
+        stragglers = failed
+    else:
+        for part, i in zip(retried, failed):
+            if part is _CHUNK_FAILED:
+                stragglers.append(i)
+            else:
+                results[i] = part
+    if not stragglers:
+        return results
+    _runtime.DEGRADATION.record("serial_fallbacks", len(stragglers))
+    warnings.warn(
+        f"engine fan-out: {len(stragglers)}/{n} chunk(s) degraded to "
+        "in-process serial evaluation",
+        _runtime.DegradedExecutionWarning,
+        stacklevel=2,
+    )
+    run = serial if serial is not None else worker
+    for i in stragglers:
+        results[i] = run(chunks[i])
+    return results
 
 
 def _fan_out(
@@ -458,7 +588,8 @@ def _fan_out(
     chunks = [
         (name, pairs[bounds[c] : bounds[c + 1]]) for c in range(chunk_count)
     ]
-    parts = _map_chunks(_mp_evaluate, chunks, chunk_count)
+    sizes = [len(chunk[1]) for chunk in chunks]
+    parts = _map_chunks(_mp_evaluate, chunks, chunk_count, sizes=sizes)
     if parts is None:
         return None
     return np.concatenate(parts)
@@ -496,8 +627,19 @@ def _fan_out_ids(
         (name, token, x_ids[bounds[c] : bounds[c + 1]], y_ids[bounds[c] : bounds[c + 1]])
         for c in range(chunk_count)
     ]
+    sizes = [int(bounds[c + 1] - bounds[c]) for c in range(chunk_count)]
+
+    def _serial(chunk):
+        # the ladder's last rung must not depend on shared memory (the
+        # publication may be the very thing that failed): evaluate the
+        # chunk's ids against the master-side store instead
+        _name, _token, cx, cy = chunk
+        return _evaluate_ids(_name, store, cx, cy)
+
     try:
-        parts = rt.map(_mp_evaluate_ids, chunks, chunk_count)
+        parts = _map_chunks(
+            _mp_evaluate_ids, chunks, chunk_count, sizes=sizes, serial=_serial
+        )
     finally:
         rt.release_block(token.extra)
     if parts is None:

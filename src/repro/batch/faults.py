@@ -1,0 +1,219 @@
+"""Deterministic fault injection for the engine runtime.
+
+The persistent runtime of :mod:`repro.batch.runtime` has real failure
+modes -- a worker SIGKILLed by the OOM killer, a wedged sweep, a lost
+``/dev/shm`` segment, a publication that cannot allocate -- that are
+nearly impossible to hit on demand from a test.  This module makes them
+reproducible: a ``REPRO_FAULTS`` environment spec arms named *fault
+sites* that the runtime and engine consult at their hook points, and the
+chaos suite (``tests/batch/test_chaos.py``) then asserts that every bulk
+entry point degrades down the retry ladder and still returns results
+bit-identical to the serial path.
+
+Spec grammar (comma-separated entries, options ``:``-separated)::
+
+    REPRO_FAULTS="worker_crash:p=0.2,seed=7"
+    REPRO_FAULTS="worker_hang:p=0.1:s=30"
+    REPRO_FAULTS="shm_attach_fail:once"
+    REPRO_FAULTS="publish_fail"
+
+* a bare site name fires on **every** check (``p=1``);
+* ``p=<float>`` fires with that probability per check, drawn from a
+  per-site :class:`random.Random` stream seeded by ``seed`` (global
+  entry, default 0) -- same spec, same draw sequence, deterministic
+  replay;
+* ``once`` fires on the first check and never again **in that
+  process** -- forked pool workers inherit the unfired state, so every
+  fresh worker fails its first check (which is exactly what exercises
+  the whole retry ladder);
+* ``s=<float>`` is the ``worker_hang`` sleep in seconds (default 3600,
+  i.e. "wedged until the supervisor's deadline fires").
+
+Fault sites:
+
+=================  =========================================================
+``worker_crash``   pool worker ``os._exit``\\ s at task entry (a SIGKILLed
+                   worker, as the master observes it); daemon-gated so the
+                   serial fallback rung can never kill the master
+``worker_hang``    pool worker sleeps at task entry (a wedged sweep);
+                   daemon-gated like ``worker_crash``
+``shm_attach_fail``  worker-side shared-memory attach raises
+                   :class:`FaultInjected` (a stale or unlinked segment)
+``publish_fail``   master-side shared-memory publication reports failure
+                   (no ``/dev/shm`` space), callers fall back to raw
+                   dispatch
+=================  =========================================================
+
+Zero overhead when unarmed: every hook starts with one ``os.environ``
+lookup and returns immediately when ``REPRO_FAULTS`` is unset or empty;
+the parsed plan is cached per spec string, and hooks sit at per-chunk /
+per-publication granularity, never inside the DP kernels.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = [
+    "FaultInjected",
+    "FaultSpec",
+    "FaultPlan",
+    "active_plan",
+    "fires",
+    "check",
+    "worker_task",
+]
+
+#: Recognised fault-site names (anything else in the spec is an error --
+#: a typo'd site silently never firing would make a chaos run vacuous).
+SITES = ("worker_crash", "worker_hang", "shm_attach_fail", "publish_fail")
+
+#: Default ``worker_hang`` sleep: long enough that only the supervisor's
+#: deadline (never the sleep ending) unwedges the call.
+_DEFAULT_HANG_SECONDS = 3600.0
+
+
+class FaultInjected(RuntimeError):
+    """Raised (or reported) by an armed fault site -- never seen unless
+    ``REPRO_FAULTS`` armed that site."""
+
+
+@dataclass
+class FaultSpec:
+    """One armed fault site."""
+
+    site: str
+    probability: float = 1.0
+    once: bool = False
+    sleep_seconds: float = _DEFAULT_HANG_SECONDS
+    fired: bool = field(default=False, compare=False)
+
+
+def parse_spec(text: str) -> Dict[str, FaultSpec]:
+    """Parse a ``REPRO_FAULTS`` value into ``{site: FaultSpec}`` plus the
+    reserved ``seed`` entry (returned under the ``"seed"`` key's spec
+    ``probability`` slot would be wrong -- the seed rides separately, see
+    :class:`FaultPlan`).  Raises ``ValueError`` on unknown sites or
+    malformed options so misconfigured chaos runs fail loudly."""
+    specs: Dict[str, FaultSpec] = {}
+    for entry in text.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        head, *options = entry.split(":")
+        head = head.strip()
+        if head.startswith("seed="):
+            # handled by FaultPlan; keep a placeholder for validation
+            specs["seed"] = FaultSpec("seed", probability=float(head[5:]))
+            continue
+        if head not in SITES:
+            raise ValueError(
+                f"unknown fault site {head!r} in REPRO_FAULTS "
+                f"(known: {', '.join(SITES)})"
+            )
+        spec = FaultSpec(head)
+        for opt in options:
+            opt = opt.strip()
+            if opt == "once":
+                spec.once = True
+            elif opt.startswith("p="):
+                spec.probability = float(opt[2:])
+            elif opt.startswith("s="):
+                spec.sleep_seconds = float(opt[2:])
+            else:
+                raise ValueError(
+                    f"unknown fault option {opt!r} for site {head!r}"
+                )
+        specs[head] = spec
+    return specs
+
+
+class FaultPlan:
+    """The armed fault sites of one ``REPRO_FAULTS`` spec.
+
+    Each site draws from its own :class:`random.Random` stream seeded by
+    ``(seed, site)``, so firing sequences are deterministic per process
+    given the spec -- and independent across sites (arming a second site
+    never perturbs the first's draws).
+    """
+
+    def __init__(self, specs: Dict[str, FaultSpec]) -> None:
+        seed_spec = specs.pop("seed", None)
+        self.seed = int(seed_spec.probability) if seed_spec is not None else 0
+        self.specs = specs
+        self._rngs = {
+            site: random.Random(f"{self.seed}:{site}") for site in specs
+        }
+
+    def should_fire(self, site: str) -> bool:
+        """Whether *site* fires at this check (advances its RNG stream)."""
+        spec = self.specs.get(site)
+        if spec is None:
+            return False
+        if spec.once:
+            if spec.fired:
+                return False
+            spec.fired = True
+            return True
+        if spec.probability >= 1.0:
+            return True
+        return self._rngs[site].random() < spec.probability
+
+    def spec(self, site: str) -> Optional[FaultSpec]:
+        return self.specs.get(site)
+
+
+#: Parse cache keyed by the spec string -- one plan per distinct
+#: ``REPRO_FAULTS`` value per process (so ``once`` bookkeeping and the
+#: RNG streams persist across hook calls).
+_PLAN_CACHE: Optional[tuple] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed :class:`FaultPlan`, or ``None`` when ``REPRO_FAULTS`` is
+    unset/empty (the zero-overhead common case: one env lookup)."""
+    env = os.environ.get("REPRO_FAULTS")
+    if not env or not env.strip():
+        return None
+    global _PLAN_CACHE
+    if _PLAN_CACHE is None or _PLAN_CACHE[0] != env:
+        _PLAN_CACHE = (env, FaultPlan(parse_spec(env)))
+    return _PLAN_CACHE[1]
+
+
+def fires(site: str) -> bool:
+    """Whether the armed plan fires *site* now (``False`` when unarmed).
+
+    Hook form for sites that *report* failure (``publish_fail``)."""
+    plan = active_plan()
+    return plan is not None and plan.should_fire(site)
+
+
+def check(site: str) -> None:
+    """Raise :class:`FaultInjected` when the armed plan fires *site* --
+    hook form for sites that *fail by exception* (``shm_attach_fail``)."""
+    if fires(site):
+        raise FaultInjected(site)
+
+
+def worker_task() -> None:
+    """The pool-worker task-entry hook: crash or hang this worker when
+    armed.  Gated on ``current_process().daemon`` so the in-process
+    serial rung of the degradation ladder (which runs the very same task
+    functions inline) can never kill or wedge the master process."""
+    plan = active_plan()
+    if plan is None:
+        return
+    import multiprocessing
+
+    if not multiprocessing.current_process().daemon:
+        return
+    if plan.should_fire("worker_crash"):
+        os._exit(86)  # SIGKILL-equivalent: no cleanup, no exception
+    if plan.should_fire("worker_hang"):
+        spec = plan.spec("worker_hang")
+        time.sleep(spec.sleep_seconds if spec is not None else _DEFAULT_HANG_SECONDS)

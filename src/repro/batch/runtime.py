@@ -1,5 +1,5 @@
 """The persistent engine runtime: a reusable worker pool plus
-shared-memory corpus publication.
+shared-memory corpus publication, supervised against faults.
 
 Before this module, every :func:`~repro.batch.engine.pairwise_values`
 fan-out created a fresh ``multiprocessing.Pool`` (fork + import cost per
@@ -25,10 +25,38 @@ them one-time:
   registry name, so a worker resolves each kernel **once per lifetime**
   instead of once per task shard.
 
-Everything here degrades gracefully: platforms without ``fork`` or
+A stateful runtime also has stateful failure modes, so everything here
+is *supervised*:
+
+* :meth:`EngineRuntime.supervised_map` runs every chunk under a
+  per-chunk deadline (``REPRO_POOL_TIMEOUT`` seconds, scaled by chunk
+  size) so a SIGKILLed or wedged worker surfaces as a failed chunk
+  instead of hanging the call forever, and retries *only the failed
+  chunks* on a fresh pool (``REPRO_POOL_RETRIES`` rounds, exponential
+  backoff).  The engine's degradation ladder then walks any survivors
+  down to the per-call-pool and in-process serial rungs
+  (:mod:`repro.batch.engine`), each rung re-computing the same values;
+* cached pools are health-checked before reuse (a dead worker means the
+  pool is discarded and respawned, with ``terminate`` + time-bounded
+  ``join`` so repeated respawns never accumulate zombie children);
+* shared-memory segments carry a session-scoped name prefix
+  (``repro-<pid>-<token>-...``), and the first :func:`get_runtime` of a
+  process reaps orphaned segments left by dead PIDs (a SIGKILLed master
+  whose resource tracker died with it); ``REPRO_SHM_REAPER=0`` opts out;
+* worker attachments verify a publication *generation*: a cached block
+  whose generation lags the token's was unlinked by a runtime shutdown,
+  so the worker drops the stale mapping and re-attaches instead of
+  silently reading dead pages;
+* every degradation event is counted in :data:`DEGRADATION` and
+  announced via :class:`DegradedExecutionWarning`, so a degraded run is
+  visible, not silent.
+
+Everything still degrades gracefully: platforms without ``fork`` or
 shared memory, sandboxes that forbid subprocesses, and broken pools all
 return ``None`` from the runtime's entry points, and the engine falls
 back to its serial (or per-call-pool) paths -- same values, no sharing.
+:mod:`repro.batch.faults` can inject every failure mode on demand
+(``REPRO_FAULTS``), which is how the chaos suite proves the ladder.
 """
 
 from __future__ import annotations
@@ -36,7 +64,10 @@ from __future__ import annotations
 import atexit
 import itertools
 import os
+import re
+import time
 import uuid
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -44,6 +75,15 @@ import numpy as np
 
 __all__ = [
     "persistent_pool_enabled",
+    "pool_timeout",
+    "pool_retries",
+    "chunk_deadline",
+    "reaper_enabled",
+    "reap_orphaned_segments",
+    "DegradedExecutionWarning",
+    "DegradationStats",
+    "DEGRADATION",
+    "dispose_pool",
     "EngineRuntime",
     "get_runtime",
     "BlockToken",
@@ -52,16 +92,198 @@ __all__ = [
     "release_attachment",
 ]
 
+_OFF_VALUES = {"0", "off", "false", "no"}
+
 
 def persistent_pool_enabled() -> bool:
     """Whether sharded fan-out may reuse the persistent pool;
     ``REPRO_PERSISTENT_POOL=0`` opts out (read per call)."""
-    return os.environ.get("REPRO_PERSISTENT_POOL", "").strip().lower() not in {
-        "0",
-        "off",
-        "false",
-        "no",
-    }
+    return (
+        os.environ.get("REPRO_PERSISTENT_POOL", "").strip().lower()
+        not in _OFF_VALUES
+    )
+
+
+# ---------------------------------------------------------------------------
+# supervision knobs and degradation accounting
+# ---------------------------------------------------------------------------
+
+#: Baseline per-chunk deadline in seconds (``REPRO_POOL_TIMEOUT``);
+#: generous, because it exists to catch dead/wedged workers, not to race
+#: healthy ones.  ``<= 0`` disables deadlines entirely (the pre-PR-6
+#: wait-forever behaviour).
+_POOL_TIMEOUT = 300.0
+
+#: Chunk size (pairs) covered by the baseline deadline; bigger chunks
+#: scale the deadline up proportionally.
+_DEADLINE_PAIRS = 50_000.0
+
+#: Fresh-pool retry rounds after a failed fan-out (``REPRO_POOL_RETRIES``).
+_POOL_RETRIES = 1
+
+#: First retry backoff in seconds (doubles per round, capped at 2s).
+_RETRY_BACKOFF = 0.05
+
+
+def pool_timeout() -> float:
+    """Baseline per-chunk deadline in seconds, honouring
+    ``REPRO_POOL_TIMEOUT`` (read per call; ``<= 0`` disables)."""
+    env = os.environ.get("REPRO_POOL_TIMEOUT")
+    if env is not None and env.strip():
+        return float(env)
+    return _POOL_TIMEOUT
+
+
+def pool_retries() -> int:
+    """Fresh-pool retry rounds, honouring ``REPRO_POOL_RETRIES``."""
+    env = os.environ.get("REPRO_POOL_RETRIES")
+    if env is not None and env.strip():
+        return max(0, int(env))
+    return _POOL_RETRIES
+
+
+def chunk_deadline(size: Optional[int]) -> Optional[float]:
+    """The supervision deadline for one chunk of *size* pairs: the
+    ``REPRO_POOL_TIMEOUT`` baseline, scaled up proportionally once a
+    chunk exceeds ``_DEADLINE_PAIRS`` pairs.  ``None`` disables."""
+    base = pool_timeout()
+    if base <= 0:
+        return None
+    if not size or size <= 0:
+        return base
+    return base * max(1.0, size / _DEADLINE_PAIRS)
+
+
+def reaper_enabled() -> bool:
+    """Whether the startup orphan reaper runs; ``REPRO_SHM_REAPER=0``
+    opts out (e.g. when several unrelated engine processes share a PID
+    namespace with aggressive PID reuse)."""
+    return (
+        os.environ.get("REPRO_SHM_REAPER", "").strip().lower()
+        not in _OFF_VALUES
+    )
+
+
+class DegradedExecutionWarning(UserWarning):
+    """A bulk fan-out degraded down the reliability ladder (retry, fresh
+    pool, per-call pool, or in-process serial) -- results are identical,
+    but the run is slower than the healthy path and the operator should
+    know."""
+
+
+class DegradationStats:
+    """Process-wide counters of every degradation event.
+
+    Bulk drivers snapshot these around each call
+    (:attr:`repro.index.base.NearestNeighborIndex.last_degradation`) so
+    serving layers can export them; tests assert on deltas.
+    """
+
+    _FIELDS = (
+        "pool_timeouts",  # a chunk missed its supervision deadline
+        "pool_errors",  # a chunk raised / died inside the pool
+        "pool_retries",  # fresh-pool retry rounds taken
+        "dead_pools",  # cached pools discarded by the health check
+        "percall_fallbacks",  # chunks degraded to a per-call pool
+        "serial_fallbacks",  # chunks degraded to in-process serial
+        "publish_failures",  # shared-memory publications that failed
+        "stale_attachments",  # worker re-attaches forced by generation
+        "reaped_segments",  # orphaned /dev/shm segments unlinked
+    )
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {f: 0 for f in self._FIELDS}
+
+    def record(self, event: str, n: int = 1) -> None:
+        self._counts[event] = self._counts.get(event, 0) + n
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counts)
+
+    def reset(self) -> None:
+        for key in list(self._counts):
+            self._counts[key] = 0
+
+
+#: The process-wide degradation counters.
+DEGRADATION = DegradationStats()
+
+
+# ---------------------------------------------------------------------------
+# session-scoped segment naming and the orphan reaper
+# ---------------------------------------------------------------------------
+
+#: Where POSIX shared memory lives on Linux; the reaper is a no-op on
+#: platforms without it.
+_SHM_DIR = "/dev/shm"
+
+#: Session-prefixed segment names: ``repro-<pid>-<token>-<counter>``.
+#: The pid makes orphans attributable (the reaper checks it for life);
+#: the token keeps two same-pid sessions (PID reuse) from colliding.
+_ORPHAN_RE = re.compile(r"^repro-(\d+)-")
+
+_SESSION_TOKEN: Optional[str] = None
+
+
+def _session_prefix() -> str:
+    """This process' segment-name prefix (recomputed after a fork, so a
+    forked publisher never masquerades under its parent's pid)."""
+    global _SESSION_TOKEN
+    pid = os.getpid()
+    if _SESSION_TOKEN is None or not _SESSION_TOKEN.startswith(f"repro-{pid}-"):
+        _SESSION_TOKEN = f"repro-{pid}-{uuid.uuid4().hex[:6]}"
+    return _SESSION_TOKEN
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether *pid* is a live process (permission errors mean alive)."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        return True
+    return True
+
+
+def reap_orphaned_segments(directory: str = _SHM_DIR) -> List[str]:
+    """Unlink ``repro-<pid>-*`` segments whose owner pid is dead.
+
+    A SIGKILLed master (and its resource tracker, when the whole process
+    group died) leaks its published segments until reboot; because every
+    segment name carries its publisher's pid, any later engine process
+    can attribute and remove them.  Returns the reaped names.  Segments
+    of live pids -- including reused pids -- are never touched, and the
+    reaper never races itself destructively: a concurrent unlink just
+    surfaces as a skipped ``OSError``.
+    """
+    removed: List[str] = []
+    try:
+        names = os.listdir(directory)
+    except OSError:  # no /dev/shm on this platform
+        return removed
+    own_pid = os.getpid()
+    for name in names:
+        match = _ORPHAN_RE.match(name)
+        if not match:
+            continue
+        pid = int(match.group(1))
+        if pid == own_pid or _pid_alive(pid):
+            continue
+        try:
+            os.unlink(os.path.join(directory, name))
+        except OSError:
+            continue
+        removed.append(name)
+    if removed:
+        DEGRADATION.record("reaped_segments", len(removed))
+        warnings.warn(
+            f"reaped {len(removed)} orphaned shared-memory segment(s) "
+            "left by dead processes",
+            DegradedExecutionWarning,
+            stacklevel=2,
+        )
+    return removed
 
 
 @dataclass(frozen=True)
@@ -79,7 +301,11 @@ class BlockToken:
 
     ``persistent`` blocks (interned corpora) may be cached by workers for
     their lifetime; ephemeral blocks (per-call query batches) are
-    attached per task and closed immediately after.
+    attached per task and closed immediately after.  ``generation``
+    stamps the publication: persistent blocks keep a *stable* key per
+    corpus, so a worker holding a cached attachment can tell a
+    republication (generation advanced -- the old segments were
+    unlinked) from the publication it already mapped.
     """
 
     key: str
@@ -87,6 +313,7 @@ class BlockToken:
     rows_x: _ArraySpec
     rows_y: _ArraySpec
     lengths: _ArraySpec
+    generation: int = 0
 
 
 @dataclass(frozen=True)
@@ -140,13 +367,16 @@ class _ShmStore:
 # ---------------------------------------------------------------------------
 
 #: Worker-lifetime cache of attached *persistent* blocks:
-#: key -> ((rows_x, rows_y, lengths), [SharedMemory handles]).
-_ATTACHED_BLOCKS: Dict[str, Tuple[Tuple[np.ndarray, ...], List[Any]]] = {}
+#: key -> (generation, (rows_x, rows_y, lengths), [SharedMemory handles]).
+_ATTACHED_BLOCKS: Dict[str, Tuple[int, Tuple[np.ndarray, ...], List[Any]]] = {}
 
 
 def _attach_array(spec: _ArraySpec) -> Tuple[np.ndarray, Any]:
     from multiprocessing import shared_memory
 
+    from . import faults
+
+    faults.check("shm_attach_fail")
     # Workers are *forked*, so they share the master's resource tracker:
     # the attach-side registration is an idempotent set-add there, and
     # the master's unlink balances it -- no attach-side unregister (which
@@ -158,9 +388,18 @@ def _attach_array(spec: _ArraySpec) -> Tuple[np.ndarray, Any]:
 
 
 def _attach_block(token: BlockToken) -> Tuple[Tuple[np.ndarray, ...], List[Any]]:
-    cached = _ATTACHED_BLOCKS.get(token.key) if token.persistent else None
-    if cached is not None:
-        return cached
+    if token.persistent:
+        cached = _ATTACHED_BLOCKS.get(token.key)
+        if cached is not None:
+            generation, arrays, handles = cached
+            if generation == token.generation:
+                return arrays, handles
+            # A runtime shutdown unlinked the segments this cache maps
+            # (publication generation advanced): reading them would
+            # silently return dead pages, so drop and re-attach.
+            _ATTACHED_BLOCKS.pop(token.key, None)
+            release_attachment(handles)
+            DEGRADATION.record("stale_attachments")
     arrays: List[np.ndarray] = []
     handles: List[Any] = []
     for spec in (token.rows_x, token.rows_y, token.lengths):
@@ -169,7 +408,7 @@ def _attach_block(token: BlockToken) -> Tuple[Tuple[np.ndarray, ...], List[Any]]
         handles.append(shm)
     attachment = (tuple(arrays), handles)
     if token.persistent:
-        _ATTACHED_BLOCKS[token.key] = attachment
+        _ATTACHED_BLOCKS[token.key] = (token.generation, *attachment)
     return attachment
 
 
@@ -203,8 +442,89 @@ def release_attachment(handles: Sequence[Any]) -> None:
 #: Bumped by every EngineRuntime.shutdown(): corpora cache their
 #: publication per generation, so a token whose segments a shutdown
 #: already unlinked is never handed out again (it would make every
-#: worker attach fail and tear the pool down on each call).
+#: worker attach fail and tear the pool down on each call), and workers
+#: holding a pre-shutdown attachment re-attach instead of reading dead
+#: pages (see :func:`_attach_block`).
 _PUBLISH_GENERATION = 0
+
+
+def _unlink_segment(shm: Any) -> None:
+    """Close and unlink one owned segment, tolerating exactly the
+    double-unlink race: a segment already removed (an atexit shutdown
+    after an explicit one, a reaper in another process, a manual
+    ``rm /dev/shm/...``) raises ``FileNotFoundError``, which means the
+    desired state already holds.  Anything else propagates -- broad
+    suppression here used to hide genuine teardown bugs."""
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - exported views still alive
+        pass
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        # unlink raises before it unregisters, so balance the resource
+        # tracker by hand or it reports a phantom leak at exit
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker already gone
+            pass
+
+
+def dispose_pool(pool: Any, kill: bool = False, join_timeout: float = 5.0) -> None:
+    """Tear a ``multiprocessing.Pool`` down *completely* without ever
+    blocking forever, even when its workers are dead or wedged.
+
+    ``Pool.terminate`` can deadlock: it drains the task queue under the
+    queue locks, and a worker that died *holding* one (SIGKILLed while
+    blocked on the queue) leaves that lock locked forever.  So terminate
+    runs on a daemon thread under a time budget; only once it has
+    finished (or overrun) are workers SIGKILLed -- killing first is what
+    *creates* the deadlock -- and every worker is then joined with a
+    deadline (reaping zombies, so repeated respawns never accumulate
+    them), with a SIGKILL + final join for stragglers that ignored
+    SIGTERM.  *kill* shortens the terminate budget for pools already
+    known to hold dead or wedged workers.
+    """
+    import threading
+
+    procs = list(getattr(pool, "_pool", None) or [])
+    done = threading.Event()
+
+    def _terminate() -> None:
+        try:
+            pool.terminate()
+        except Exception:  # pragma: no cover - best-effort cleanup
+            pass
+        done.set()
+
+    threading.Thread(
+        target=_terminate, daemon=True, name="repro-pool-terminate"
+    ).start()
+    done.wait(min(join_timeout, 1.0) if kill else join_timeout)
+    # catch workers the pool's handler thread respawned before terminate
+    # flipped its state
+    for proc in getattr(pool, "_pool", None) or []:
+        if proc not in procs:
+            procs.append(proc)
+    if not done.is_set() or kill:
+        # terminate is stuck (dead worker holding a queue lock, abandoned
+        # with its daemon thread) or the pool is known-bad: SIGKILL
+        for proc in procs:
+            try:
+                proc.kill()
+            except Exception:  # pragma: no cover - already gone
+                pass
+    deadline = time.monotonic() + join_timeout
+    for proc in procs:
+        try:
+            proc.join(max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.kill()
+                proc.join(1.0)
+        except Exception:  # pragma: no cover - already reaped
+            pass
 
 
 class EngineRuntime:
@@ -223,11 +543,29 @@ class EngineRuntime:
 
     # -- pool ---------------------------------------------------------------
 
+    def _pool_healthy(self) -> bool:
+        """Whether every worker of the cached pool is alive.  A dead
+        worker means tasks can be lost (``Pool`` replaces the process but
+        not its in-flight task), so the caller discards and respawns."""
+        procs = getattr(self._pool, "_pool", None)
+        if not procs:
+            return False
+        try:
+            return all(p.is_alive() for p in procs)
+        except Exception:  # pragma: no cover - pool mid-teardown
+            return False
+
     def pool(self, workers: int):
         """The shared pool with at least *workers* processes, spawning or
-        growing it lazily; ``None`` when subprocesses are unavailable."""
+        growing it lazily; ``None`` when subprocesses are unavailable.
+        A cached pool is health-checked first: one with dead workers
+        (SIGKILLed children, OOM kills) is discarded and respawned
+        instead of being handed lost-task hangs."""
         if self._pool is not None and self._pool_size >= workers:
-            return self._pool
+            if self._pool_healthy():
+                return self._pool
+            DEGRADATION.record("dead_pools")
+            self._discard_pool(kill=True)
         import multiprocessing
 
         try:
@@ -246,7 +584,9 @@ class EngineRuntime:
 
     def map(self, fn: Callable, chunks: Sequence[Any], workers: int):
         """``pool.map`` on the persistent pool; ``None`` when the pool is
-        unavailable or died mid-call (the caller falls back)."""
+        unavailable or died mid-call (the caller falls back).  Unlike
+        :meth:`supervised_map` this is all-or-nothing and deadline-free
+        -- the engine's fan-out uses the supervised form."""
         pool = self.pool(workers)
         if pool is None:
             return None
@@ -255,29 +595,138 @@ class EngineRuntime:
         except Exception:
             # a dead pool poisons every later call: discard so the next
             # sharded call can spawn a fresh one
-            self._discard_pool()
+            self._discard_pool(kill=True)
             return None
 
-    def _discard_pool(self) -> None:
-        if self._pool is not None:
+    def supervised_map(
+        self,
+        fn: Callable,
+        chunks: Sequence[Any],
+        workers: int,
+        sizes: Optional[Sequence[int]] = None,
+    ):
+        """Fault-tolerant fan-out: run every chunk under a per-chunk
+        deadline and retry failures on a fresh pool.
+
+        Each chunk is submitted individually (``apply_async``) and
+        awaited under :func:`chunk_deadline` of its *sizes* entry, so a
+        worker that died mid-task (its task is silently lost -- ``Pool``
+        only replaces the process) or wedged surfaces as that chunk
+        failing instead of the call hanging forever.  After a failed
+        round the pool is discarded (deadline misses escalate to
+        SIGKILL, since a wedged worker may ignore SIGTERM) and **only
+        the failed chunks** are retried on a fresh pool, up to
+        :func:`pool_retries` rounds with exponential backoff.
+
+        Returns ``(results, failed_indices)`` -- entries of *results* at
+        failed indices are ``None`` and the engine's ladder re-runs them
+        on lower rungs -- or ``None`` when no pool could be spawned at
+        all (quiet serial fallback, not a degradation)."""
+        import multiprocessing
+
+        pool = self.pool(workers)
+        if pool is None:
+            return None
+        n = len(chunks)
+        results: List[Any] = [None] * n
+        pending = list(range(n))
+        retries = pool_retries()
+        attempt = 0
+        while True:
+            start = time.monotonic()
+            handles: List[Tuple[int, Any]] = []
             try:
-                self._pool.terminate()
-            except Exception:  # pragma: no cover - best-effort cleanup
+                for i in pending:
+                    handles.append((i, pool.apply_async(fn, (chunks[i],))))
+            except Exception:  # pool broke at submit time
                 pass
-            self._pool = None
-            self._pool_size = 0
+            submitted = {i for i, _ in handles}
+            failed: List[int] = [i for i in pending if i not in submitted]
+            hit_deadline = False
+            # Deadlines are measured from the round's shared submission
+            # instant, so a round of dead chunks costs one deadline, not
+            # one per chunk.  Engine callers always submit at most
+            # pool-size chunks (everything runs at once); *waves* covers
+            # oversubscribed callers, whose later chunks queue.
+            waves = max(
+                1, -(-len(pending) // max(1, self._pool_size or len(pending)))
+            )
+            for i, handle in handles:
+                deadline = chunk_deadline(
+                    sizes[i] if sizes is not None else None
+                )
+                try:
+                    if deadline is None:
+                        results[i] = handle.get()
+                    else:
+                        remaining = start + deadline * waves - time.monotonic()
+                        results[i] = handle.get(max(0.001, remaining))
+                except multiprocessing.TimeoutError:
+                    hit_deadline = True
+                    DEGRADATION.record("pool_timeouts")
+                    failed.append(i)
+                except Exception:
+                    DEGRADATION.record("pool_errors")
+                    failed.append(i)
+            if not failed:
+                return results, []
+            failed.sort()
+            # A failed round leaves the pool suspect: lost tasks, dead
+            # or wedged workers.  Discard before any retry; a deadline
+            # miss escalates to SIGKILL.
+            self._discard_pool(kill=hit_deadline)
+            if attempt >= retries:
+                return results, failed
+            attempt += 1
+            DEGRADATION.record("pool_retries")
+            warnings.warn(
+                f"engine fan-out: {len(failed)}/{n} chunk(s) failed "
+                f"(retry {attempt}/{retries}); respawning the worker pool",
+                DegradedExecutionWarning,
+                stacklevel=2,
+            )
+            time.sleep(min(_RETRY_BACKOFF * (2 ** (attempt - 1)), 2.0))
+            pending = failed
+            pool = self.pool(workers)
+            if pool is None:
+                return results, pending
+
+    def _discard_pool(
+        self, kill: bool = False, join_timeout: float = 5.0
+    ) -> None:
+        """Drop and dispose the cached pool (see :func:`dispose_pool`)."""
+        pool, self._pool, self._pool_size = self._pool, None, 0
+        if pool is not None:
+            dispose_pool(pool, kill=kill, join_timeout=join_timeout)
 
     # -- shared-memory publication -------------------------------------------
 
     def _publish_array(self, arr: np.ndarray) -> Optional[_ArraySpec]:
         from multiprocessing import shared_memory
 
+        from . import faults
+
+        if faults.fires("publish_fail"):
+            DEGRADATION.record("publish_failures")
+            return None
         arr = np.ascontiguousarray(arr)
+        name = f"{_session_prefix()}-{next(self._counter)}"
         try:
             shm = shared_memory.SharedMemory(
-                create=True, size=max(1, arr.nbytes)
+                create=True, name=name, size=max(1, arr.nbytes)
             )
+        except FileExistsError:  # pragma: no cover - stale same-name file
+            try:
+                shm = shared_memory.SharedMemory(
+                    create=True,
+                    name=f"{name}-{uuid.uuid4().hex[:8]}",
+                    size=max(1, arr.nbytes),
+                )
+            except Exception:
+                DEGRADATION.record("publish_failures")
+                return None
         except Exception:  # pragma: no cover - no /dev/shm or similar
+            DEGRADATION.record("publish_failures")
             return None
         if arr.nbytes:
             view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
@@ -291,17 +740,31 @@ class EngineRuntime:
         rows_y: np.ndarray,
         lengths: np.ndarray,
         persistent: bool,
+        key: Optional[str] = None,
     ) -> Optional[BlockToken]:
         """Copy one encoded block into shared memory; ``None`` on failure
-        (callers fall back to raw-pair dispatch)."""
-        specs = []
+        (callers fall back to raw-pair dispatch).  A partial failure
+        unlinks the segments already created, so a failed publication
+        never leaks.  *key* fixes the worker-cache key (persistent
+        corpus blocks use a stable per-corpus key so generation
+        verification can catch republications)."""
+        specs: List[_ArraySpec] = []
         for arr in (rows_x, rows_y, lengths):
             spec = self._publish_array(arr)
             if spec is None:
+                self._release_names({s.shm_name for s in specs})
                 return None
             specs.append(spec)
-        key = f"repro-{os.getpid()}-{next(self._counter)}-{uuid.uuid4().hex[:8]}"
-        return BlockToken(key, persistent, *specs)
+        if key is None:
+            key = f"{_session_prefix()}-block-{next(self._counter)}"
+        return BlockToken(
+            key,
+            persistent,
+            specs[0],
+            specs[1],
+            specs[2],
+            generation=_PUBLISH_GENERATION,
+        )
 
     def publish_store(self, store) -> Optional[StoreToken]:
         """Publish a :class:`~repro.batch.corpus.PairStore`: the corpus
@@ -321,6 +784,7 @@ class EngineRuntime:
                 corpus.block.rows_y,
                 corpus.block.lengths,
                 persistent=True,
+                key=f"corpus-{corpus.key}",
             )
             if token is None:
                 return None
@@ -341,52 +805,68 @@ class EngineRuntime:
                 return None
         return StoreToken(token, extra_token)
 
-    def release_block(self, token: Optional[BlockToken]) -> None:
-        """Unlink an ephemeral block's segments once a call is done (the
-        master copy; workers closed their attachments per task)."""
-        if token is None:
+    def _release_names(self, names: set) -> None:
+        """Unlink the owned segments in *names* (tolerating segments
+        already removed by a racing unlink, see :func:`_unlink_segment`)
+        and drop them from the ownership list."""
+        if not names:
             return
-        names = {
-            token.rows_x.shm_name,
-            token.rows_y.shm_name,
-            token.lengths.shm_name,
-        }
         kept = []
         for shm in self._published:
             if shm.name in names:
-                try:
-                    shm.close()
-                    shm.unlink()
-                except Exception:  # pragma: no cover - already gone
-                    pass
+                _unlink_segment(shm)
             else:
                 kept.append(shm)
         self._published = kept
+
+    def release_block(self, token: Optional[BlockToken]) -> None:
+        """Unlink a block's segments once a call is done (the master
+        copy; workers closed their attachments per task).  Idempotent:
+        releasing an already-released or externally-unlinked block is a
+        no-op, so the corpus finalizer and an explicit shutdown can
+        race freely."""
+        if token is None:
+            return
+        self._release_names(
+            {
+                token.rows_x.shm_name,
+                token.rows_y.shm_name,
+                token.lengths.shm_name,
+            }
+        )
 
     def shutdown(self) -> None:
         """Terminate the pool and unlink every published segment (atexit;
         also used by tests to reset process-wide state).  Bumps the
         publication generation so corpora holding a now-unlinked cached
         token republish on their next sharded call instead of handing
-        workers dead segment names."""
+        workers dead segment names.  Idempotent, and tolerant of
+        segments some other actor already unlinked."""
         global _PUBLISH_GENERATION
         _PUBLISH_GENERATION += 1
         self._discard_pool()
-        for shm in self._published:
-            try:
-                shm.close()
-                shm.unlink()
-            except Exception:  # pragma: no cover - already gone
-                pass
-        self._published = []
+        published, self._published = self._published, []
+        for shm in published:
+            _unlink_segment(shm)
 
 
 _RUNTIME: Optional[EngineRuntime] = None
+_REAPER_RAN = False
 
 
 def get_runtime() -> EngineRuntime:
-    """The process-wide :class:`EngineRuntime`, created on first use."""
-    global _RUNTIME
+    """The process-wide :class:`EngineRuntime`, created on first use.
+    The first call per process also reaps orphaned ``repro-*`` segments
+    left in ``/dev/shm`` by dead processes (``REPRO_SHM_REAPER=0`` opts
+    out)."""
+    global _RUNTIME, _REAPER_RAN
     if _RUNTIME is None:
         _RUNTIME = EngineRuntime()
+    if not _REAPER_RAN:
+        _REAPER_RAN = True
+        if reaper_enabled():
+            try:
+                reap_orphaned_segments()
+            except Exception:  # pragma: no cover - never block startup
+                pass
     return _RUNTIME

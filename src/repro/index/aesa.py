@@ -124,20 +124,21 @@ class AesaIndex(NearestNeighborIndex):
         queries = list(queries)
         if not queries:
             return []
-        generators = [self._range_requests(radius) for _ in queries]
-        store = self._interned_store(queries)
-        if not self._sweep_worthwhile():
-            return self._lockstep_drive(queries, generators, store=store)
-        started = time.perf_counter()
-        cache = self._grid_sweep(queries, store)
-        sweep_seconds = time.perf_counter() - started
-        return self._lockstep_drive(
-            queries,
-            generators,
-            pivot_cache=cache,
-            extra_elapsed=sweep_seconds,
-            store=store,
-        )
+        with self._track_degradation():  # grid sweep + lockstep drive
+            generators = [self._range_requests(radius) for _ in queries]
+            store = self._interned_store(queries)
+            if not self._sweep_worthwhile():
+                return self._lockstep_drive(queries, generators, store=store)
+            started = time.perf_counter()
+            cache = self._grid_sweep(queries, store)
+            sweep_seconds = time.perf_counter() - started
+            return self._lockstep_drive(
+                queries,
+                generators,
+                pivot_cache=cache,
+                extra_elapsed=sweep_seconds,
+                store=store,
+            )
 
     def _sweep_worthwhile(self) -> bool:
         """Whether front-loading the full ``queries x items`` sweep can
@@ -246,12 +247,15 @@ class AesaIndex(NearestNeighborIndex):
         queries = list(queries)
         if not queries:
             return []
-        store = self._interned_store(queries)
-        if not self._sweep_worthwhile():
-            return self._bulk_knn_lockstep(queries, k, pivot_cache=None, store=store)
-        started = time.perf_counter()
-        cache = self._grid_sweep(queries, store)
-        sweep_seconds = time.perf_counter() - started
-        return self._bulk_knn_lockstep(
-            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds, store=store
-        )
+        with self._track_degradation():  # grid sweep + lockstep drive
+            store = self._interned_store(queries)
+            if not self._sweep_worthwhile():
+                return self._bulk_knn_lockstep(
+                    queries, k, pivot_cache=None, store=store
+                )
+            started = time.perf_counter()
+            cache = self._grid_sweep(queries, store)
+            sweep_seconds = time.perf_counter() - started
+            return self._bulk_knn_lockstep(
+                queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds, store=store
+            )

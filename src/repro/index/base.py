@@ -21,10 +21,12 @@ from __future__ import annotations
 
 import time
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (
     Any,
     Callable,
+    Dict,
     Generator,
     Generic,
     List,
@@ -261,6 +263,32 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         from ..batch import intern_corpus, interning_enabled
 
         self._corpus = intern_corpus(self.items) if interning_enabled() else None
+        #: Degradation events of the *last* bulk call on this index
+        #: (``{event: count}``, empty when the call ran on the healthy
+        #: path) -- the per-call view of the process-wide
+        #: :data:`repro.batch.DEGRADATION` counters, so serving layers
+        #: can report that a batch of answers, while bit-identical to
+        #: the healthy path's, rode the engine's degradation ladder.
+        self.last_degradation: Dict[str, int] = {}
+
+    @contextmanager
+    def _track_degradation(self):
+        """Record the engine degradation events that occur inside the
+        ``with`` body into :attr:`last_degradation` (delta of the
+        process-wide counters, non-zero entries only).  Nests safely:
+        the outermost capture wins, and its delta includes the inner's."""
+        from ..batch import DEGRADATION
+
+        before = DEGRADATION.snapshot()
+        try:
+            yield
+        finally:
+            after = DEGRADATION.snapshot()
+            self.last_degradation = {
+                event: after[event] - before.get(event, 0)
+                for event in after
+                if after[event] - before.get(event, 0)
+            }
 
     def _interned_store(self, queries: Sequence[Item]):
         """A :class:`~repro.batch.corpus.PairStore` over the interned
@@ -356,7 +384,8 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         results and per-query ``distance_computations`` identical to this
         loop.
         """
-        return [self.knn(query, k) for query in queries]
+        with self._track_degradation():
+            return [self.knn(query, k) for query in queries]
 
     def _search_requests(self, k: int):
         """The request-generator protocol behind the lockstep drivers.
@@ -480,7 +509,8 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         try:
             generators = [self._range_requests(radius) for _ in queries]
         except NotImplementedError:
-            return [self.range_search(query, radius) for query in queries]
+            with self._track_degradation():
+                return [self.range_search(query, radius) for query in queries]
         return self._lockstep_drive(queries, generators)
 
     def _lockstep_drive(
@@ -510,8 +540,22 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         and per-query ``distance_computations`` to the scalar drivers
         (one count per request; asserted by the tests).  Wall-clock (plus
         *extra_elapsed*, e.g. a pivot sweep) is split evenly across the
-        per-query stats.
+        per-query stats.  Engine degradation during the drive lands in
+        :attr:`last_degradation`.
         """
+        with self._track_degradation():
+            return self._lockstep_rounds(
+                queries, generators, pivot_cache, extra_elapsed, store
+            )
+
+    def _lockstep_rounds(
+        self,
+        queries: Sequence[Item],
+        generators: List[Generator],
+        pivot_cache: Optional[np.ndarray],
+        extra_elapsed: float,
+        store,
+    ) -> List[Tuple[Any, SearchStats]]:
         started = time.perf_counter()
         if store is None:
             store = self._interned_store(queries)

@@ -82,7 +82,8 @@ class ExhaustiveIndex(NearestNeighborIndex):
         n = len(self.items)
         self._counter.take()
         started = time.perf_counter()
-        matrix = self._grid_many(queries)
+        with self._track_degradation():
+            matrix = self._grid_many(queries)
         results = [self._row_results(row, k) for row in matrix]
         # selection is timed too, like every per-query _search elsewhere
         elapsed = time.perf_counter() - started
@@ -121,7 +122,8 @@ class ExhaustiveIndex(NearestNeighborIndex):
         n = len(self.items)
         self._counter.take()
         started = time.perf_counter()
-        matrix = self._grid_many(queries)
+        with self._track_degradation():
+            matrix = self._grid_many(queries)
         results = [self._row_hits(row, radius) for row in matrix]
         elapsed = time.perf_counter() - started
         self._counter.take()

@@ -177,20 +177,21 @@ class LaesaIndex(NearestNeighborIndex):
         queries = list(queries)
         if not queries:
             return []
-        store = self._interned_store(queries)
-        cache = None
-        sweep_seconds = 0.0
-        if self.pivot_indices:
-            started = time.perf_counter()
-            cache = self._pivot_sweep(queries, store)
-            sweep_seconds = time.perf_counter() - started
-        return self._lockstep_drive(
-            queries,
-            [self._range_requests(radius) for _ in queries],
-            pivot_cache=cache,
-            extra_elapsed=sweep_seconds,
-            store=store,
-        )
+        with self._track_degradation():  # pivot sweep + lockstep drive
+            store = self._interned_store(queries)
+            cache = None
+            sweep_seconds = 0.0
+            if self.pivot_indices:
+                started = time.perf_counter()
+                cache = self._pivot_sweep(queries, store)
+                sweep_seconds = time.perf_counter() - started
+            return self._lockstep_drive(
+                queries,
+                [self._range_requests(radius) for _ in queries],
+                pivot_cache=cache,
+                extra_elapsed=sweep_seconds,
+                store=store,
+            )
 
     def _pivot_sweep(self, queries, store) -> np.ndarray:
         """The ``queries x pivots`` distance matrix in one engine sweep
@@ -333,13 +334,14 @@ class LaesaIndex(NearestNeighborIndex):
         queries = list(queries)
         if not queries:
             return []
-        store = self._interned_store(queries)
-        cache = None
-        sweep_seconds = 0.0
-        if self.pivot_indices:
-            started = time.perf_counter()
-            cache = self._pivot_sweep(queries, store)
-            sweep_seconds = time.perf_counter() - started
-        return self._bulk_knn_lockstep(
-            queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds, store=store
-        )
+        with self._track_degradation():  # pivot sweep + lockstep drive
+            store = self._interned_store(queries)
+            cache = None
+            sweep_seconds = 0.0
+            if self.pivot_indices:
+                started = time.perf_counter()
+                cache = self._pivot_sweep(queries, store)
+                sweep_seconds = time.perf_counter() - started
+            return self._bulk_knn_lockstep(
+                queries, k, pivot_cache=cache, extra_elapsed=sweep_seconds, store=store
+            )

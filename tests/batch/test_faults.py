@@ -1,0 +1,104 @@
+"""The fault-injection plumbing itself: spec parsing, deterministic
+firing, the zero-overhead unarmed path, and the master-process gate."""
+
+import multiprocessing
+import os
+
+import pytest
+
+import repro.batch.faults as faults
+
+
+@pytest.fixture(autouse=True)
+def clear_plan_cache():
+    faults._PLAN_CACHE = None
+    yield
+    faults._PLAN_CACHE = None
+
+
+def test_parse_bare_site_fires_always():
+    specs = faults.parse_spec("publish_fail")
+    assert specs["publish_fail"].probability == 1.0
+    assert not specs["publish_fail"].once
+
+
+def test_parse_options():
+    specs = faults.parse_spec("worker_hang:p=0.1:s=30, shm_attach_fail:once")
+    assert specs["worker_hang"].probability == 0.1
+    assert specs["worker_hang"].sleep_seconds == 30.0
+    assert specs["shm_attach_fail"].once
+
+
+def test_parse_seed_entry():
+    plan = faults.FaultPlan(faults.parse_spec("worker_crash:p=0.2,seed=7"))
+    assert plan.seed == 7
+    assert "seed" not in plan.specs
+
+
+def test_unknown_site_fails_loudly():
+    with pytest.raises(ValueError, match="unknown fault site"):
+        faults.parse_spec("worker_krash")
+
+
+def test_unknown_option_fails_loudly():
+    with pytest.raises(ValueError, match="unknown fault option"):
+        faults.parse_spec("worker_crash:q=0.2")
+
+
+def test_unarmed_is_inert(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    assert faults.active_plan() is None
+    assert not faults.fires("publish_fail")
+    faults.check("shm_attach_fail")  # must not raise
+    faults.worker_task()  # must not crash or hang this process
+
+
+def test_deterministic_firing_sequence():
+    """Same spec, same seed -> identical draw sequence; and the per-site
+    streams are independent (arming a second site never perturbs the
+    first's draws)."""
+    spec = "worker_crash:p=0.3,seed=5"
+    seq1 = [
+        faults.FaultPlan(faults.parse_spec(spec)).should_fire("worker_crash")
+        for _ in range(1)
+    ]
+    plan_a = faults.FaultPlan(faults.parse_spec(spec))
+    plan_b = faults.FaultPlan(
+        faults.parse_spec("worker_crash:p=0.3,worker_hang:p=0.5,seed=5")
+    )
+    draws_a = [plan_a.should_fire("worker_crash") for _ in range(50)]
+    draws_b = [plan_b.should_fire("worker_crash") for _ in range(50)]
+    assert draws_a == draws_b
+    assert seq1[0] == draws_a[0]
+    assert any(draws_a) and not all(draws_a)
+
+
+def test_once_fires_exactly_once():
+    plan = faults.FaultPlan(faults.parse_spec("shm_attach_fail:once"))
+    assert plan.should_fire("shm_attach_fail")
+    assert not any(plan.should_fire("shm_attach_fail") for _ in range(10))
+
+
+def test_check_raises_when_armed(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "shm_attach_fail")
+    with pytest.raises(faults.FaultInjected):
+        faults.check("shm_attach_fail")
+    # other sites stay quiet
+    assert not faults.fires("publish_fail")
+
+
+def test_worker_task_gated_off_in_master(monkeypatch):
+    """An armed crash/hang spec must never fire in a non-daemon process:
+    the serial rung of the degradation ladder runs the same task
+    functions inline in the master."""
+    monkeypatch.setenv("REPRO_FAULTS", "worker_crash,worker_hang:s=0.01")
+    assert not multiprocessing.current_process().daemon
+    faults.worker_task()  # reaching the next line IS the assertion
+
+
+def test_plan_cached_per_spec_string(monkeypatch):
+    monkeypatch.setenv("REPRO_FAULTS", "publish_fail:p=0.5,seed=1")
+    plan = faults.active_plan()
+    assert faults.active_plan() is plan  # cached: RNG streams persist
+    monkeypatch.setenv("REPRO_FAULTS", "publish_fail:p=0.5,seed=2")
+    assert faults.active_plan() is not plan  # new spec, new plan

@@ -1,7 +1,9 @@
 """The persistent engine runtime: pool reuse, shared-memory publication,
-and the opt-out that restores the per-call behaviour."""
+supervision, teardown hygiene, and the opt-out that restores the
+per-call behaviour."""
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -9,6 +11,19 @@ import pytest
 import repro.batch.engine as engine
 import repro.batch.runtime as runtime
 from repro.batch import intern_corpus, pairwise_values_ids, persistent_pool_enabled
+
+
+def _double(x):
+    return x * 2
+
+
+def _sleep_forever(x):  # pragma: no cover - killed by the supervisor
+    time.sleep(60)
+    return x
+
+
+def _boom(x):
+    raise ValueError("boom")
 
 
 @pytest.fixture
@@ -130,6 +145,112 @@ def test_shutdown_invalidates_cached_corpus_tokens(fresh_runtime, corpus):
     attached, ephemeral = runtime.attach_store(second)
     assert attached.n_corpus == len(corpus)
     runtime.release_attachment(ephemeral)
+
+
+def test_supervised_map_happy_path(fresh_runtime):
+    out = fresh_runtime.supervised_map(_double, [1, 2, 3], 2, sizes=[1, 1, 1])
+    if out is None:  # pragma: no cover - fork unavailable on this host
+        pytest.skip("process pool unavailable")
+    results, failed = out
+    assert results == [2, 4, 6]
+    assert failed == []
+
+
+def test_supervised_map_reports_failed_chunks(fresh_runtime, monkeypatch):
+    monkeypatch.setenv("REPRO_POOL_RETRIES", "1")
+    before = runtime.DEGRADATION.snapshot()["pool_errors"]
+    out = fresh_runtime.supervised_map(_boom, [1, 2], 2)
+    if out is None:  # pragma: no cover - fork unavailable on this host
+        pytest.skip("process pool unavailable")
+    results, failed = out
+    assert failed == [0, 1]
+    assert results == [None, None]
+    assert runtime.DEGRADATION.snapshot()["pool_errors"] > before
+    assert fresh_runtime._pool is None  # failed round discards the pool
+
+
+def test_supervised_map_deadline_catches_wedged_workers(
+    fresh_runtime, monkeypatch
+):
+    """A worker that never returns must surface as a timed-out chunk,
+    not a hung call."""
+    monkeypatch.setenv("REPRO_POOL_TIMEOUT", "0.5")
+    monkeypatch.setenv("REPRO_POOL_RETRIES", "0")
+    before = runtime.DEGRADATION.snapshot()["pool_timeouts"]
+    started = time.monotonic()
+    out = fresh_runtime.supervised_map(_sleep_forever, [1], 1)
+    if out is None:  # pragma: no cover - fork unavailable on this host
+        pytest.skip("process pool unavailable")
+    _, failed = out
+    assert failed == [0]
+    assert time.monotonic() - started < 30
+    assert runtime.DEGRADATION.snapshot()["pool_timeouts"] > before
+
+
+def test_discard_pool_joins_workers(fresh_runtime):
+    """Satellite regression: discarding a pool must reap its workers --
+    terminate-without-join used to leave zombies behind every respawn."""
+    pool = fresh_runtime.pool(2)
+    if pool is None:  # pragma: no cover - fork unavailable on this host
+        pytest.skip("process pool unavailable")
+    procs = list(pool._pool)
+    fresh_runtime._discard_pool()
+    for proc in procs:
+        assert not proc.is_alive()
+        assert proc.exitcode is not None, "worker was never joined"
+    # and the kill-hardened variant must cope with wedged-looking pools
+    pool = fresh_runtime.pool(2)
+    procs = list(pool._pool)
+    fresh_runtime._discard_pool(kill=True)
+    for proc in procs:
+        assert not proc.is_alive()
+        assert proc.exitcode is not None
+
+
+def test_release_tolerates_externally_unlinked_segments(fresh_runtime, corpus):
+    """Satellite regression: a segment some other actor already removed
+    (reaper in another process, manual rm, atexit-after-explicit races)
+    must not break release_block or shutdown."""
+    token = fresh_runtime.publish_store(corpus.store())
+    if token is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    path = os.path.join("/dev/shm", token.corpus.rows_x.shm_name)
+    if os.path.exists(path):
+        os.unlink(path)  # simulate the racing unlink
+    fresh_runtime.release_block(token.corpus)  # must not raise
+    fresh_runtime.release_block(token.corpus)  # idempotent re-release
+    fresh_runtime.shutdown()  # and shutdown stays clean too
+    fresh_runtime.shutdown()  # including a second (atexit-style) pass
+
+
+def test_segment_names_carry_the_session_prefix(fresh_runtime, corpus):
+    token = fresh_runtime.publish_store(corpus.store())
+    if token is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    prefix = f"repro-{os.getpid()}-"
+    for spec in (token.corpus.rows_x, token.corpus.rows_y, token.corpus.lengths):
+        assert spec.shm_name.startswith(prefix)
+
+
+def test_stale_worker_attachment_is_refreshed(fresh_runtime, corpus):
+    """A cached attachment whose publication generation lags the token's
+    must be re-attached, not silently read."""
+    store = corpus.store()
+    first = fresh_runtime.publish_store(store)
+    if first is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    attached, _ = runtime.attach_store(first)
+    key = first.corpus.key
+    assert key in runtime._ATTACHED_BLOCKS
+    generation = runtime._ATTACHED_BLOCKS[key][0]
+    fresh_runtime.shutdown()  # unlinks segments, bumps the generation
+    second = fresh_runtime.publish_store(store)
+    assert second.corpus.key == key, "republication must reuse the key"
+    assert second.corpus.generation != generation
+    again, _ = runtime.attach_store(second)  # must re-attach, not reuse
+    assert runtime._ATTACHED_BLOCKS[key][0] == second.corpus.generation
+    assert again.n_corpus == len(corpus)
+    runtime._ATTACHED_BLOCKS.pop(key, None)
 
 
 def test_corpus_segments_released_on_garbage_collection(fresh_runtime):
