@@ -12,6 +12,7 @@ setup(
     name="repro",
     packages=find_packages(where="src"),
     package_dir={"": "src"},
+    package_data={"repro": ["py.typed"]},
     install_requires=["numpy"],
     extras_require={"jit": ["numba"]},
 )

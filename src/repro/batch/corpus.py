@@ -36,14 +36,26 @@ hatch and the baseline of the interned-vs-raw identity tests).
 
 from __future__ import annotations
 
-import os
 import uuid
-from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
 from ..core.types import Symbols, as_symbols
+from ..tools import knobs
 from .kernels import _PAD_X, _PAD_Y
+
+if TYPE_CHECKING:
+    from .runtime import BlockToken
 
 __all__ = [
     "InternedCorpus",
@@ -57,12 +69,7 @@ __all__ = [
 def interning_enabled() -> bool:
     """Whether indexes intern their items at construction;
     ``REPRO_INTERN=0`` opts out (read per construction)."""
-    return os.environ.get("REPRO_INTERN", "").strip().lower() not in {
-        "0",
-        "off",
-        "false",
-        "no",
-    }
+    return knobs.get_flag("REPRO_INTERN")
 
 
 class _Block:
@@ -98,7 +105,7 @@ def _encode_block(
     P = len(symbols)
     encoded: List[List[int]] = []
     for seq in symbols:
-        row = []
+        row: List[int] = []
         for symbol in seq:
             code = codes.get(symbol)
             if code is None:
@@ -140,7 +147,7 @@ class InternedCorpus:
         #: to shared memory: a ``(publication generation, token)`` pair,
         #: revalidated per publish so tokens never outlive a runtime
         #: shutdown (one live publication per corpus per process).
-        self.shm_token = None
+        self.shm_token: Optional[Tuple[int, "BlockToken"]] = None
 
     def __len__(self) -> int:
         return len(self.items)
@@ -253,6 +260,14 @@ def _take_rows(
         out[corp, :w] = corpus_rows[ids[corp], :w]
     rest = ~corp
     if rest.any():
+        if extra_rows is None:
+            # Previously an AttributeError on NoneType deep in the
+            # gather; surface the actual contract violation instead.
+            bad = ids[rest][0]
+            raise IndexError(
+                f"id {int(bad)} addresses the extra block but none was "
+                f"gathered (corpus ids end at {n_corpus - 1})"
+            )
         w = min(width, extra_rows.shape[1])
         out[rest, :w] = extra_rows[ids[rest] - n_corpus, :w]
     return out

@@ -60,6 +60,7 @@ import os
 import time
 import warnings
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -75,6 +76,7 @@ import numpy as np
 
 from ..core import registry
 from ..core._kernels import jit_backend
+from ..tools import knobs
 from ..core.bounded import (
     _MV_EPS,
     _edit_budget,
@@ -101,6 +103,9 @@ from .kernels import (
     mv_banded_probe_batch,
     mv_banded_probe_batch_encoded,
 )
+
+if TYPE_CHECKING:
+    from .corpus import PairStore
 
 __all__ = [
     "pairwise_values",
@@ -139,10 +144,14 @@ _MIN_PAIRS_PER_WORKER = 512
 
 
 def _min_pairs_per_worker() -> int:
-    """The sharding threshold, honouring ``REPRO_MIN_PAIRS_PER_WORKER``."""
-    env = os.environ.get("REPRO_MIN_PAIRS_PER_WORKER")
-    if env is not None and env.strip():
-        return int(env)
+    """The sharding threshold, honouring ``REPRO_MIN_PAIRS_PER_WORKER``.
+
+    The module constant stays the authoritative (and monkeypatchable)
+    default; the registry accessor only overrides it when the variable
+    is set."""
+    value = knobs.get_int("REPRO_MIN_PAIRS_PER_WORKER")
+    if value is not None:
+        return value
     return _MIN_PAIRS_PER_WORKER
 
 
@@ -150,12 +159,7 @@ def _banded_batch_enabled() -> bool:
     """Whether :func:`pairwise_values_bounded` may use the banded batch
     kernels; ``REPRO_BANDED_BATCH=0`` forces the full-table fallback
     (identical values, more padded work -- a debugging escape hatch)."""
-    return os.environ.get("REPRO_BANDED_BATCH", "").strip().lower() not in {
-        "0",
-        "off",
-        "false",
-        "no",
-    }
+    return knobs.get_flag("REPRO_BANDED_BATCH")
 
 
 def _is_batched(name: Optional[str]) -> bool:
@@ -231,7 +235,7 @@ def _resolve(distance: DistanceLike) -> Tuple[Optional[str], Callable]:
     return None, distance
 
 
-def _lev_value(name: str, m: int, n: int, d: int):
+def _lev_value(name: str, m: int, n: int, d: int) -> float:
     """One normalised value from an exact ``d_E``, replaying the scalar
     expressions of :mod:`repro.core.ratios` / :mod:`repro.core.yujian_bo`
     exactly so the floats are bit-identical to the scalar functions.
@@ -352,7 +356,9 @@ def _evaluate_batched(
     return out
 
 
-def _evaluate_ids(name: str, store, x_ids: np.ndarray, y_ids: np.ndarray) -> np.ndarray:
+def _evaluate_ids(
+    name: str, store: "PairStore", x_ids: np.ndarray, y_ids: np.ndarray
+) -> np.ndarray:
     """Batched evaluation of kernel-backed distances over store ids:
     bucket by combined length, *gather* (never re-encode) each bucket's
     kernel inputs out of the store's interned matrices, sweep."""
@@ -411,7 +417,9 @@ def _mp_evaluate(args: Tuple[str, List[Tuple[Symbols, Symbols]]]) -> np.ndarray:
     return np.asarray([fn(x, y) for x, y in chunk], dtype=float)
 
 
-def _mp_evaluate_ids(args) -> np.ndarray:
+def _mp_evaluate_ids(
+    args: Tuple[str, Any, np.ndarray, np.ndarray],
+) -> np.ndarray:
     """Process-pool worker: evaluate one chunk of *id pairs* against a
     shared-memory store publication -- only the name, the token and two
     id arrays crossed the process boundary."""
@@ -433,8 +441,10 @@ _CHUNK_FAILED = object()
 
 
 def _percall_map(
-    worker: Callable, chunks: List, sizes: List[Optional[int]]
-):
+    worker: Callable[[Any], Any],
+    chunks: List[Any],
+    sizes: List[Optional[int]],
+) -> Optional[List[Any]]:
     """The per-call-pool rung: one disposable pool sized to *chunks*,
     every chunk awaited under its :func:`~repro.batch.runtime.chunk_deadline`
     (all chunks run concurrently, so deadlines are measured from one
@@ -478,12 +488,12 @@ def _percall_map(
 
 
 def _map_chunks(
-    worker: Callable,
-    chunks: List,
+    worker: Callable[[Any], Any],
+    chunks: List[Any],
     workers: int,
     sizes: Optional[List[int]] = None,
-    serial: Optional[Callable] = None,
-):
+    serial: Optional[Callable[[Any], Any]] = None,
+) -> List[Any]:
     """Run *chunks* through the degradation ladder.
 
     Rungs, healthiest first -- every rung computes the very same values
@@ -597,7 +607,7 @@ def _fan_out(
 
 def _fan_out_ids(
     name: str,
-    store,
+    store: "PairStore",
     x_ids: np.ndarray,
     y_ids: np.ndarray,
     workers: int,
@@ -629,7 +639,7 @@ def _fan_out_ids(
     ]
     sizes = [int(bounds[c + 1] - bounds[c]) for c in range(chunk_count)]
 
-    def _serial(chunk):
+    def _serial(chunk: Tuple[str, Any, np.ndarray, np.ndarray]) -> np.ndarray:
         # the ladder's last rung must not depend on shared memory (the
         # publication may be the very thing that failed): evaluate the
         # chunk's ids against the master-side store instead
@@ -725,7 +735,7 @@ def pairwise_values(
 
 def pairwise_values_ids(
     distance: DistanceLike,
-    store,
+    store: "PairStore",
     x_ids: Sequence[int],
     y_ids: Sequence[int],
     *,
@@ -812,7 +822,7 @@ def _lev_bounded_int(
 
 def _replay_bounded_lev(
     name: str, m: int, n: int, limit: float, d: int, exact: bool
-):
+) -> float:
     """Replay the Levenshtein-family bounded twin at *limit* from a banded
     batch-kernel result.
 
@@ -1222,8 +1232,8 @@ def _bounded_mv_raw(
 
 
 def _bounded_mv_ids(
-    bounded_fn: Callable,
-    store,
+    bounded_fn: Callable[..., Tuple[float, bool]],
+    store: "PairStore",
     x_ids: np.ndarray,
     y_ids: np.ndarray,
     limits: Sequence[float],
@@ -1250,7 +1260,9 @@ def _bounded_mv_ids(
     syms = [(store.sym(i), store.sym(j)) for i, j in zip(u_x, u_y)]
     sames = [store.same(i, j) for i, j in zip(u_x, u_y)]
 
-    def gather(sel: List[int]):
+    def gather(
+        sel: List[int],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         return store.gather(
             np.asarray([u_x[i] for i in sel], dtype=np.int64),
             np.asarray([u_y[i] for i in sel], dtype=np.int64),
@@ -1262,7 +1274,7 @@ def _bounded_mv_ids(
 
 def pairwise_values_bounded_ids(
     distance: DistanceLike,
-    store,
+    store: "PairStore",
     x_ids: Sequence[int],
     y_ids: Sequence[int],
     limits: Sequence[float],

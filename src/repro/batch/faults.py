@@ -58,6 +58,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..tools import knobs
+
 __all__ = [
     "FaultInjected",
     "FaultSpec",
@@ -176,8 +178,8 @@ _PLAN_CACHE: Optional[tuple] = None
 def active_plan() -> Optional[FaultPlan]:
     """The armed :class:`FaultPlan`, or ``None`` when ``REPRO_FAULTS`` is
     unset/empty (the zero-overhead common case: one env lookup)."""
-    env = os.environ.get("REPRO_FAULTS")
-    if not env or not env.strip():
+    env = knobs.get_str("REPRO_FAULTS")
+    if env is None:
         return None
     global _PLAN_CACHE
     if _PLAN_CACHE is None or _PLAN_CACHE[0] != env:

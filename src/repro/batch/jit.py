@@ -26,12 +26,19 @@ scalar arithmetic.
 
 from __future__ import annotations
 
-import os
-from typing import Dict, Hashable, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core.types import Symbols
+from ..tools import knobs
+
+#: Encoded kernel-input aliases, matching :mod:`repro.batch.kernels`
+#: (the two backends share the ``(X, Y, mx, my)`` contract).
+IntMatrix = npt.NDArray[np.integer]
+IntVector = npt.NDArray[np.integer]
+FloatVector = npt.NDArray[np.floating]
 
 __all__ = [
     "available",
@@ -65,12 +72,7 @@ _NEG = -(1 << 30)
 
 def _jit_disabled() -> bool:
     """True when the operator opted out via the environment."""
-    return os.environ.get("REPRO_JIT", "").strip().lower() in {
-        "0",
-        "off",
-        "false",
-        "no",
-    }
+    return not knobs.get_flag("REPRO_JIT")
 
 
 try:  # pragma: no cover - exercised only where numba is installed
@@ -82,11 +84,11 @@ try:  # pragma: no cover - exercised only where numba is installed
 except Exception:  # numba absent (or disabled): keep the module importable
     _HAVE_NUMBA = False
 
-    def _njit(*args, **kwargs):  # no-op decorator stand-in
+    def _njit(*args: Any, **kwargs: Any) -> Any:  # no-op decorator stand-in
         if args and callable(args[0]):
             return args[0]
 
-        def wrap(fn):
+        def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
             return fn
 
         return wrap
@@ -120,7 +122,7 @@ def backend_name() -> str:
 
 
 @_njit(cache=True)
-def _lev_pair(cx, cy):  # pragma: no cover - compiled path
+def _lev_pair(cx: IntVector, cy: IntVector) -> int:  # pragma: no cover - compiled path
     """Two-row Wagner--Fischer over encoded arrays; returns ``d_E``."""
     m, n = cx.shape[0], cy.shape[0]
     if m == 0:
@@ -148,7 +150,7 @@ def _lev_pair(cx, cy):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _ctx_pair(cx, cy):  # pragma: no cover - compiled path
+def _ctx_pair(cx: IntVector, cy: IntVector) -> Tuple[int, int]:  # pragma: no cover - compiled path
     """Twin-table heuristic DP; returns ``(d_E, Ni)``.
 
     ``Ni`` is the maximum insertion count over minimum-cost internal edit
@@ -192,13 +194,13 @@ def _ctx_pair(cx, cy):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _lev_batch(X, Y, mx, my, out):  # pragma: no cover - compiled path
+def _lev_batch(X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector, out: IntVector) -> None:  # pragma: no cover - compiled path
     for p in range(X.shape[0]):
         out[p] = _lev_pair(X[p, : mx[p]], Y[p, : my[p]])
 
 
 @_njit(cache=True)
-def _ctx_batch(X, Y, mx, my, out_d, out_ni):  # pragma: no cover
+def _ctx_batch(X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector, out_d: IntVector, out_ni: IntVector) -> None:  # pragma: no cover
     for p in range(X.shape[0]):
         d, ni = _ctx_pair(X[p, : mx[p]], Y[p, : my[p]])
         out_d[p] = d
@@ -206,7 +208,7 @@ def _ctx_batch(X, Y, mx, my, out_d, out_ni):  # pragma: no cover
 
 
 @_njit(cache=True)
-def _lev_pair_bounded(cx, cy, bound):  # pragma: no cover - compiled path
+def _lev_pair_bounded(cx: IntVector, cy: IntVector, bound: int) -> Tuple[int, bool]:  # pragma: no cover - compiled path
     """Ukkonen-banded two-row ``d_E`` with row abort.
 
     Returns ``(value, exact)``: the exact distance and True when it is
@@ -263,7 +265,7 @@ def _lev_pair_bounded(cx, cy, bound):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _ctx_pair_bounded(cx, cy, bound):  # pragma: no cover - compiled path
+def _ctx_pair_bounded(cx: IntVector, cy: IntVector, bound: int) -> Tuple[int, int, bool]:  # pragma: no cover - compiled path
     """Banded twin tables: ``(d_E, Ni, exact)`` when ``d_E <= bound``.
 
     The compiled twin of ``repro.core.bounded._banded_heuristic_tables``
@@ -331,7 +333,7 @@ def _ctx_pair_bounded(cx, cy, bound):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _lev_batch_bounded(X, Y, mx, my, b, out, exact):  # pragma: no cover
+def _lev_batch_bounded(X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector, b: IntVector, out: IntVector, exact: npt.NDArray[np.bool_]) -> None:  # pragma: no cover
     for p in range(X.shape[0]):
         d, ok = _lev_pair_bounded(X[p, : mx[p]], Y[p, : my[p]], b[p])
         out[p] = d
@@ -339,7 +341,7 @@ def _lev_batch_bounded(X, Y, mx, my, b, out, exact):  # pragma: no cover
 
 
 @_njit(cache=True)
-def _ctx_batch_bounded(X, Y, mx, my, b, out_d, out_ni, exact):  # pragma: no cover
+def _ctx_batch_bounded(X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector, b: IntVector, out_d: IntVector, out_ni: IntVector, exact: npt.NDArray[np.bool_]) -> None:  # pragma: no cover
     for p in range(X.shape[0]):
         d, ni, ok = _ctx_pair_bounded(X[p, : mx[p]], Y[p, : my[p]], b[p])
         out_d[p] = d
@@ -348,7 +350,7 @@ def _ctx_batch_bounded(X, Y, mx, my, b, out_d, out_ni, exact):  # pragma: no cov
 
 
 @_njit(cache=True)
-def _parametric_pair(cx, cy, lam):  # pragma: no cover - compiled path
+def _parametric_pair(cx: IntVector, cy: IntVector, lam: float) -> Tuple[float, int]:  # pragma: no cover - compiled path
     """Unit-cost parametric alignment: ``min_pi W(pi) - lam * L(pi)``.
 
     The compiled twin of
@@ -409,7 +411,7 @@ def _parametric_pair(cx, cy, lam):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _banded_parametric_pair(cx, cy, lam, band):  # pragma: no cover
+def _banded_parametric_pair(cx: IntVector, cy: IntVector, lam: float, band: int) -> float:  # pragma: no cover
     """Banded parametric probe: minimal ``W - lam * L`` inside the band.
 
     The compiled twin of ``repro.core.bounded._banded_parametric`` --
@@ -450,7 +452,7 @@ def _banded_parametric_pair(cx, cy, lam, band):  # pragma: no cover
 
 
 @_njit(cache=True)
-def _mv_probe_batch(X, Y, mx, my, lams, bands, out):  # pragma: no cover
+def _mv_probe_batch(X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector, lams: FloatVector, bands: IntVector, out: FloatVector) -> None:  # pragma: no cover
     """Compiled batch of banded parametric probes -- one
     ``_banded_parametric_pair`` per pair, all inside a single call.
 
@@ -470,7 +472,7 @@ def _mv_probe_batch(X, Y, mx, my, lams, bands, out):  # pragma: no cover
 
 
 @_njit(cache=True)
-def _mv_pair(cx, cy, max_iterations, tolerance):  # pragma: no cover
+def _mv_pair(cx: IntVector, cy: IntVector, max_iterations: int, tolerance: float) -> float:  # pragma: no cover
     """Dinkelbach iteration over the compiled parametric kernel.
 
     The compiled twin of the unit-cost
@@ -492,7 +494,7 @@ def _mv_pair(cx, cy, max_iterations, tolerance):  # pragma: no cover
 
 
 @_njit(cache=True)
-def _mv_batch(X, Y, mx, my, max_iterations, tolerance, out):  # pragma: no cover
+def _mv_batch(X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector, max_iterations: int, tolerance: float, out: FloatVector) -> None:  # pragma: no cover
     for p in range(X.shape[0]):
         out[p] = _mv_pair(
             X[p, : mx[p]], Y[p, : my[p]], max_iterations, tolerance
@@ -500,7 +502,7 @@ def _mv_batch(X, Y, mx, my, max_iterations, tolerance, out):  # pragma: no cover
 
 
 @_njit(cache=True)
-def _insertion_final(cx, cy, k_max):  # pragma: no cover - compiled path
+def _insertion_final(cx: IntVector, cy: IntVector, k_max: int) -> IntVector:  # pragma: no cover - compiled path
     """Algorithm 1's k-axis DP: the final column ``ni[|x|][|y|][:]``.
 
     The compiled twin of
@@ -542,7 +544,7 @@ def _insertion_final(cx, cy, k_max):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _canonical_cost_h(m, n, k, ni, H):  # pragma: no cover - compiled path
+def _canonical_cost_h(m: int, n: int, k: int, ni: int, H: FloatVector) -> float:  # pragma: no cover - compiled path
     """``canonical_cost`` over a harmonic prefix table; -1.0 = infeasible.
 
     Replays ``repro.core.contextual.canonical_cost`` add by add (the
@@ -564,7 +566,7 @@ def _canonical_cost_h(m, n, k, ni, H):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _cdc_pair(cx, cy, H):  # pragma: no cover - compiled path
+def _cdc_pair(cx: IntVector, cy: IntVector, H: FloatVector) -> float:  # pragma: no cover - compiled path
     """Exact ``d_C`` of one pair: heuristic bound, capped k-axis DP,
     cost minimisation -- the compiled mirror of
     ``repro.core.contextual.contextual_distance`` (same float ops in the
@@ -594,7 +596,7 @@ def _cdc_pair(cx, cy, H):  # pragma: no cover - compiled path
 
 
 @_njit(cache=True)
-def _cdc_batch(X, Y, mx, my, H, out):  # pragma: no cover
+def _cdc_batch(X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector, H: FloatVector, out: FloatVector) -> None:  # pragma: no cover
     for p in range(X.shape[0]):
         out[p] = _cdc_pair(X[p, : mx[p]], Y[p, : my[p]], H)
 
@@ -638,7 +640,7 @@ def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
 
 
 def levenshtein_batch_encoded(
-    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+    X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector
 ) -> np.ndarray:
     """:func:`levenshtein_batch` over pre-encoded matrices (the
     interned-corpus dispatch path)."""
@@ -661,7 +663,7 @@ def contextual_heuristic_batch(
 
 
 def contextual_heuristic_batch_encoded(
-    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+    X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector
 ) -> Tuple[np.ndarray, np.ndarray]:
     """:func:`contextual_heuristic_batch` over pre-encoded matrices."""
     out_d = np.zeros(len(mx), dtype=np.int64)
@@ -695,10 +697,10 @@ def levenshtein_batch_bounded(
 
 
 def levenshtein_batch_bounded_encoded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     bounds: Sequence[int],
 ) -> Tuple[np.ndarray, np.ndarray]:
     """:func:`levenshtein_batch_bounded` over pre-encoded matrices."""
@@ -726,10 +728,10 @@ def contextual_heuristic_batch_bounded(
 
 
 def contextual_heuristic_batch_bounded_encoded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     bounds: Sequence[int],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """:func:`contextual_heuristic_batch_bounded` over pre-encoded
@@ -745,10 +747,10 @@ def contextual_heuristic_batch_bounded_encoded(
 
 
 def mv_banded_probe_batch_encoded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     lams: Sequence[float],
     bands: Sequence[int],
 ) -> np.ndarray:
@@ -815,10 +817,10 @@ def mv_distance_batch(
 
 
 def mv_distance_batch_encoded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     max_iterations: int = 64,
     tolerance: float = 1e-12,
 ) -> np.ndarray:
@@ -867,7 +869,7 @@ def contextual_distance_batch(
 
 
 def contextual_distance_batch_encoded(
-    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+    X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector
 ) -> np.ndarray:
     """:func:`contextual_distance_batch` over pre-encoded matrices."""
     out = np.zeros(len(mx), dtype=np.float64)

@@ -37,13 +37,23 @@ test-suite on randomised inputs, including empty strings and duplicates.
 
 from __future__ import annotations
 
-import os
 from typing import Dict, Hashable, List, Sequence, Tuple
 
 import numpy as np
+import numpy.typing as npt
 
 from ..core._kernels import jit_backend as _jit_backend
 from ..core.types import Symbols
+from ..tools import knobs
+
+#: Encoded kernel-input aliases (the ``(X, Y, mx, my)`` contract of
+#: :func:`encode_batch` / :meth:`~repro.batch.corpus.PairStore.gather`):
+#: ``IntMatrix`` holds padded per-pair symbol codes, ``IntVector`` the
+#: true lengths (or integer budgets), ``FloatVector`` per-pair reals.
+IntMatrix = npt.NDArray[np.integer]
+IntVector = npt.NDArray[np.integer]
+FloatVector = npt.NDArray[np.floating]
+BoolVector = npt.NDArray[np.bool_]
 
 __all__ = [
     "encode_batch",
@@ -84,9 +94,9 @@ _RETIRE_CADENCE = 4
 def _retire_cadence() -> int:
     """The retirement sampling cadence, honouring ``REPRO_RETIRE_CADENCE``
     (read per call; values < 1 clamp to 1 == check every diagonal)."""
-    env = os.environ.get("REPRO_RETIRE_CADENCE")
-    if env is not None and env.strip():
-        return max(1, int(env))
+    value = knobs.get_int("REPRO_RETIRE_CADENCE", minimum=1)
+    if value is not None:
+        return value
     return _RETIRE_CADENCE
 
 
@@ -165,7 +175,7 @@ def levenshtein_batch(pairs: Sequence[Tuple[Symbols, Symbols]]) -> np.ndarray:
 
 
 def levenshtein_batch_encoded(
-    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+    X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector
 ) -> np.ndarray:
     """:func:`levenshtein_batch` over pre-encoded matrices."""
     jit = _jit_backend()
@@ -189,7 +199,7 @@ def contextual_heuristic_batch(
 
 
 def contextual_heuristic_batch_encoded(
-    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+    X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector
 ) -> Tuple[np.ndarray, np.ndarray]:
     """:func:`contextual_heuristic_batch` over pre-encoded matrices."""
     jit = _jit_backend()
@@ -218,10 +228,10 @@ def levenshtein_batch_bounded(
 
 
 def levenshtein_batch_bounded_encoded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     bounds: Sequence[int],
 ) -> Tuple[np.ndarray, np.ndarray]:
     """:func:`levenshtein_batch_bounded` over pre-encoded matrices."""
@@ -248,10 +258,10 @@ def contextual_heuristic_batch_bounded(
 
 
 def contextual_heuristic_batch_bounded_encoded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     bounds: Sequence[int],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     """:func:`contextual_heuristic_batch_bounded` over pre-encoded
@@ -285,10 +295,10 @@ def mv_banded_probe_batch(
 
 
 def mv_banded_probe_batch_encoded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     lams: Sequence[float],
     bands: Sequence[int],
 ) -> np.ndarray:
@@ -319,7 +329,7 @@ def levenshtein_batch_numpy(
 
 
 def _levenshtein_swept(
-    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+    X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector
 ) -> np.ndarray:
     P = len(mx)
     out = np.zeros(P, dtype=np.int64)
@@ -405,7 +415,7 @@ def contextual_heuristic_batch_numpy(
 
 
 def _contextual_swept(
-    X: np.ndarray, Y: np.ndarray, mx: np.ndarray, my: np.ndarray
+    X: IntMatrix, Y: IntMatrix, mx: IntVector, my: IntVector
 ) -> Tuple[np.ndarray, np.ndarray]:
     P = len(mx)
     out_d = np.zeros(P, dtype=np.int64)
@@ -524,10 +534,10 @@ def levenshtein_batch_bounded_numpy(
 
 
 def _levenshtein_swept_bounded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     bounds: Sequence[int],
 ) -> Tuple[np.ndarray, np.ndarray]:
     P = len(mx)
@@ -642,10 +652,10 @@ def contextual_heuristic_batch_bounded_numpy(
 
 
 def _contextual_swept_bounded(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     bounds: Sequence[int],
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
     P = len(mx)
@@ -775,10 +785,10 @@ def _contextual_swept_bounded(
 
 
 def mv_banded_probe_batch_encoded_numpy(
-    X: np.ndarray,
-    Y: np.ndarray,
-    mx: np.ndarray,
-    my: np.ndarray,
+    X: IntMatrix,
+    Y: IntMatrix,
+    mx: IntVector,
+    my: IntVector,
     lams: Sequence[float],
     bands: Sequence[int],
 ) -> np.ndarray:

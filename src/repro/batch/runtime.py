@@ -69,12 +69,31 @@ import time
 import uuid
 import warnings
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypedDict,
+    cast,
+)
 
 import numpy as np
 
+from ..tools import knobs
+
+if TYPE_CHECKING:
+    from multiprocessing.pool import Pool
+
+    from .corpus import PairStore
+
 __all__ = [
     "persistent_pool_enabled",
+    "DegradationSnapshot",
     "pool_timeout",
     "pool_retries",
     "chunk_deadline",
@@ -92,16 +111,12 @@ __all__ = [
     "release_attachment",
 ]
 
-_OFF_VALUES = {"0", "off", "false", "no"}
 
 
 def persistent_pool_enabled() -> bool:
     """Whether sharded fan-out may reuse the persistent pool;
     ``REPRO_PERSISTENT_POOL=0`` opts out (read per call)."""
-    return (
-        os.environ.get("REPRO_PERSISTENT_POOL", "").strip().lower()
-        not in _OFF_VALUES
-    )
+    return knobs.get_flag("REPRO_PERSISTENT_POOL")
 
 
 # ---------------------------------------------------------------------------
@@ -128,17 +143,17 @@ _RETRY_BACKOFF = 0.05
 def pool_timeout() -> float:
     """Baseline per-chunk deadline in seconds, honouring
     ``REPRO_POOL_TIMEOUT`` (read per call; ``<= 0`` disables)."""
-    env = os.environ.get("REPRO_POOL_TIMEOUT")
-    if env is not None and env.strip():
-        return float(env)
+    value = knobs.get_float("REPRO_POOL_TIMEOUT")
+    if value is not None:
+        return value
     return _POOL_TIMEOUT
 
 
 def pool_retries() -> int:
     """Fresh-pool retry rounds, honouring ``REPRO_POOL_RETRIES``."""
-    env = os.environ.get("REPRO_POOL_RETRIES")
-    if env is not None and env.strip():
-        return max(0, int(env))
+    value = knobs.get_int("REPRO_POOL_RETRIES", minimum=0)
+    if value is not None:
+        return value
     return _POOL_RETRIES
 
 
@@ -158,10 +173,7 @@ def reaper_enabled() -> bool:
     """Whether the startup orphan reaper runs; ``REPRO_SHM_REAPER=0``
     opts out (e.g. when several unrelated engine processes share a PID
     namespace with aggressive PID reuse)."""
-    return (
-        os.environ.get("REPRO_SHM_REAPER", "").strip().lower()
-        not in _OFF_VALUES
-    )
+    return knobs.get_flag("REPRO_SHM_REAPER")
 
 
 class DegradedExecutionWarning(UserWarning):
@@ -197,12 +209,29 @@ class DegradationStats:
     def record(self, event: str, n: int = 1) -> None:
         self._counts[event] = self._counts.get(event, 0) + n
 
-    def snapshot(self) -> Dict[str, int]:
-        return dict(self._counts)
+    def snapshot(self) -> "DegradationSnapshot":
+        return cast("DegradationSnapshot", dict(self._counts))
 
     def reset(self) -> None:
         for key in list(self._counts):
             self._counts[key] = 0
+
+
+class DegradationSnapshot(TypedDict):
+    """A point-in-time copy of the process-wide degradation counters --
+    one field per :data:`DegradationStats._FIELDS` entry, so consumers
+    (tests, the chaos harness, operators diffing before/after a bulk
+    call) get typed access instead of a stringly dict."""
+
+    pool_timeouts: int
+    pool_errors: int
+    pool_retries: int
+    dead_pools: int
+    percall_fallbacks: int
+    serial_fallbacks: int
+    publish_failures: int
+    stale_attachments: int
+    reaped_segments: int
 
 
 #: The process-wide degradation counters.
@@ -555,7 +584,7 @@ class EngineRuntime:
         except Exception:  # pragma: no cover - pool mid-teardown
             return False
 
-    def pool(self, workers: int):
+    def pool(self, workers: int) -> Optional["Pool"]:
         """The shared pool with at least *workers* processes, spawning or
         growing it lazily; ``None`` when subprocesses are unavailable.
         A cached pool is health-checked first: one with dead workers
@@ -582,7 +611,9 @@ class EngineRuntime:
         self._pool_size = size
         return pool
 
-    def map(self, fn: Callable, chunks: Sequence[Any], workers: int):
+    def map(
+        self, fn: Callable[[Any], Any], chunks: Sequence[Any], workers: int
+    ) -> Optional[List[Any]]:
         """``pool.map`` on the persistent pool; ``None`` when the pool is
         unavailable or died mid-call (the caller falls back).  Unlike
         :meth:`supervised_map` this is all-or-nothing and deadline-free
@@ -600,11 +631,11 @@ class EngineRuntime:
 
     def supervised_map(
         self,
-        fn: Callable,
+        fn: Callable[[Any], Any],
         chunks: Sequence[Any],
         workers: int,
         sizes: Optional[Sequence[int]] = None,
-    ):
+    ) -> Optional[Tuple[List[Any], List[int]]]:
         """Fault-tolerant fan-out: run every chunk under a per-chunk
         deadline and retry failures on a fresh pool.
 
@@ -766,7 +797,7 @@ class EngineRuntime:
             generation=_PUBLISH_GENERATION,
         )
 
-    def publish_store(self, store) -> Optional[StoreToken]:
+    def publish_store(self, store: "PairStore") -> Optional[StoreToken]:
         """Publish a :class:`~repro.batch.corpus.PairStore`: the corpus
         block once per corpus (cached on the corpus object, invalidated
         by any :meth:`shutdown`, unlinked when the corpus is garbage

@@ -240,7 +240,7 @@ def parametric_alignment_numpy(
                     prev2_w[a - 1 : b] + diag_step_w,
                 ),
             )
-            l = np.where(
+            ln = np.where(
                 left_s == best,
                 prev_l[a : b + 1] + 1,
                 np.where(
@@ -248,7 +248,7 @@ def parametric_alignment_numpy(
                 ),
             )
             cur_w[a : b + 1] = w
-            cur_l[a : b + 1] = l
+            cur_l[a : b + 1] = ln
         prev2_s, prev_s = prev_s, cur_s
         prev2_w, prev_w = prev_w, cur_w
         prev2_l, prev_l = prev_l, cur_l

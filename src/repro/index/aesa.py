@@ -12,13 +12,22 @@ reproduces).
 from __future__ import annotations
 
 import heapq
-import os
 import time
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .base import NearestNeighborIndex, SearchResult, SearchStats, canonical_key
+from ..tools import knobs
+from .base import (
+    NearestNeighborIndex,
+    RequestGenerator,
+    SearchResult,
+    SearchStats,
+    canonical_key,
+)
+
+if TYPE_CHECKING:
+    from ..batch.corpus import PairStore
 
 __all__ = ["AesaIndex"]
 
@@ -45,9 +54,7 @@ class AesaIndex(NearestNeighborIndex):
     ) -> None:
         super().__init__(items, distance)
         if bulk_sweep_max_items is None:
-            env = os.environ.get("REPRO_AESA_BULK_MAX_ITEMS")
-            if env is not None and env.strip():
-                bulk_sweep_max_items = int(env)
+            bulk_sweep_max_items = knobs.get_int("REPRO_AESA_BULK_MAX_ITEMS")
         if bulk_sweep_max_items is not None:
             # instance attribute shadows the class default; when neither
             # keyword nor env var is given, the class attribute stays the
@@ -79,7 +86,7 @@ class AesaIndex(NearestNeighborIndex):
         self.matrix = matrix
         self.preprocessing_computations = self._counter.take()
 
-    def _range_requests(self, radius: float):
+    def _range_requests(self, radius: float) -> RequestGenerator:
         """Range search with the full-matrix bounds as a request
         generator: repeatedly compare the undecided item with the
         smallest lower bound, tighten everyone's bounds with the new
@@ -156,7 +163,9 @@ class AesaIndex(NearestNeighborIndex):
             return False
         return has_batched_kernel(self._counter._distance)
 
-    def _grid_sweep(self, queries, store) -> np.ndarray:
+    def _grid_sweep(
+        self, queries: Sequence[Any], store: Optional["PairStore"]
+    ) -> np.ndarray:
         """The full ``queries x items`` matrix in one engine sweep -- an
         id grid against the interned corpus when available, raw items
         otherwise (identical values; entries are charged only as the
@@ -176,13 +185,13 @@ class AesaIndex(NearestNeighborIndex):
 
     def _search(
         self,
-        query,
+        query: Any,
         k: int,
         pivot_cache: Optional[np.ndarray] = None,
     ) -> List[SearchResult]:
         return self._drive_search(query, k, pivot_cache)
 
-    def _search_requests(self, k: int):
+    def _search_requests(self, k: int) -> RequestGenerator:
         """AESA's elimination loop as a request generator.
 
         Every comparison in AESA doubles as a pivot (its matrix row

@@ -24,6 +24,7 @@ from abc import ABC, abstractmethod
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import (
+    TYPE_CHECKING,
     Any,
     Callable,
     Dict,
@@ -40,16 +41,30 @@ import numpy as np
 
 from ..core.bounded import bounded_for
 
+if TYPE_CHECKING:
+    from ..batch.corpus import PairStore
+
 __all__ = [
     "SearchResult",
     "SearchStats",
     "CountingDistance",
     "NearestNeighborIndex",
+    "Request",
+    "RequestGenerator",
     "canonical_key",
 ]
 
 Item = TypeVar("Item")
 Distance = Callable[[Any, Any], float]
+
+#: One comparison request yielded by a request generator:
+#: ``(item_index, limit, cache_pos)`` -- see ``_search_requests``.
+Request = Tuple[int, Optional[float], Optional[int]]
+
+#: The request-generator protocol: yields :data:`Request`, receives the
+#: distance via ``send`` (``None`` primes the generator), returns the
+#: sorted result list via ``StopIteration.value``.
+RequestGenerator = Generator[Request, Optional[float], Any]
 
 #: Lockstep rounds with at most this many still-active queries answer
 #: their requests with scalar early-exit calls instead of a batch-engine
@@ -172,7 +187,7 @@ class CountingDistance:
 
     def precompute_bounded_ids(
         self,
-        store,
+        store: "PairStore",
         x_ids: Sequence[int],
         y_ids: Sequence[int],
         limits: Sequence[float],
@@ -188,7 +203,7 @@ class CountingDistance:
         )
 
     def precompute_ids(
-        self, store, x_ids: Sequence[int], y_ids: Sequence[int]
+        self, store: "PairStore", x_ids: Sequence[int], y_ids: Sequence[int]
     ) -> np.ndarray:
         """Full distances over interned store ids, **without** touching
         the counter -- the interned twin of :meth:`precompute` (bulk
@@ -198,7 +213,7 @@ class CountingDistance:
         return pairwise_values_ids(self._distance, store, x_ids, y_ids)
 
     def many_ids(
-        self, store, x_ids: Sequence[int], y_ids: Sequence[int]
+        self, store: "PairStore", x_ids: Sequence[int], y_ids: Sequence[int]
     ) -> np.ndarray:
         """Distances over interned store ids via the batch engine, one
         count per pair -- the interned twin of :meth:`many`."""
@@ -272,7 +287,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         self.last_degradation: Dict[str, int] = {}
 
     @contextmanager
-    def _track_degradation(self):
+    def _track_degradation(self) -> Generator[None, None, None]:
         """Record the engine degradation events that occur inside the
         ``with`` body into :attr:`last_degradation` (delta of the
         process-wide counters, non-zero entries only).  Nests safely:
@@ -290,7 +305,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
                 if after[event] - before.get(event, 0)
             }
 
-    def _interned_store(self, queries: Sequence[Item]):
+    def _interned_store(self, queries: Sequence[Item]) -> Optional["PairStore"]:
         """A :class:`~repro.batch.corpus.PairStore` over the interned
         corpus plus *queries* (encoded once per bulk call against the
         corpus' shared alphabet), or ``None`` when the corpus or the
@@ -387,7 +402,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         with self._track_degradation():
             return [self.knn(query, k) for query in queries]
 
-    def _search_requests(self, k: int):
+    def _search_requests(self, k: int) -> RequestGenerator:
         """The request-generator protocol behind the lockstep drivers.
 
         Subclasses with a batchable query phase (LAESA, AESA) implement
@@ -411,7 +426,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             f"{type(self).__name__} has no request-generator search"
         )
 
-    def _range_requests(self, radius: float):
+    def _range_requests(self, radius: float) -> RequestGenerator:
         """Range-search twin of :meth:`_search_requests`.
 
         Same request protocol (yield ``(item_index, limit, cache_pos)``,
@@ -428,9 +443,9 @@ class NearestNeighborIndex(ABC, Generic[Item]):
     def _drive_requests(
         self,
         query: Item,
-        gen: Generator,
+        gen: RequestGenerator,
         pivot_cache: Optional[np.ndarray] = None,
-    ):
+    ) -> Any:
         """Run one request generator scalar-style (k-NN or range).
 
         Exact requests are answered with a plain counted call (or a
@@ -472,7 +487,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         k: int,
         pivot_cache: Optional[np.ndarray] = None,
         extra_elapsed: float = 0.0,
-        store=None,
+        store: Optional["PairStore"] = None,
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
         """Lockstep driver over :meth:`_search_requests` (see
         :meth:`_lockstep_drive`)."""
@@ -516,10 +531,10 @@ class NearestNeighborIndex(ABC, Generic[Item]):
     def _lockstep_drive(
         self,
         queries: Sequence[Item],
-        generators: List[Generator],
+        generators: List[RequestGenerator],
         pivot_cache: Optional[np.ndarray] = None,
         extra_elapsed: float = 0.0,
-        store=None,
+        store: Optional["PairStore"] = None,
     ) -> List[Tuple[Any, SearchStats]]:
         """Run every query's request generator in lockstep rounds,
         batching each round's candidate evaluations into one engine call.
@@ -551,10 +566,10 @@ class NearestNeighborIndex(ABC, Generic[Item]):
     def _lockstep_rounds(
         self,
         queries: Sequence[Item],
-        generators: List[Generator],
+        generators: List[RequestGenerator],
         pivot_cache: Optional[np.ndarray],
         extra_elapsed: float,
-        store,
+        store: Optional["PairStore"],
     ) -> List[Tuple[Any, SearchStats]]:
         started = time.perf_counter()
         if store is None:
@@ -563,8 +578,7 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         n_queries = len(queries)
         counts = [0] * n_queries
         results: List[Optional[Any]] = [None] * n_queries
-        requests: List[Optional[Tuple[int, Optional[float], Optional[int]]]]
-        requests = [None] * n_queries
+        requests: List[Optional[Request]] = [None] * n_queries
         active: List[int] = []
         for qi, gen in enumerate(generators):
             try:

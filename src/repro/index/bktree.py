@@ -16,9 +16,14 @@ them loudly rather than silently degrading.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
-from .base import NearestNeighborIndex, SearchResult, canonical_key
+from .base import (
+    NearestNeighborIndex,
+    RequestGenerator,
+    SearchResult,
+    canonical_key,
+)
 
 __all__ = ["BKTreeIndex"]
 
@@ -81,7 +86,7 @@ class BKTreeIndex(NearestNeighborIndex):
             return max(radius, max(node.children) + radius)
         return radius
 
-    def _range_requests(self, radius: float):
+    def _range_requests(self, radius: float) -> RequestGenerator:
         """Classic BK-tree range query as a request generator: visit
         children whose key lies in ``[d - radius, d + radius]``.  Every
         request carries the node's early-exit limit, so both the scalar
@@ -110,8 +115,8 @@ class BKTreeIndex(NearestNeighborIndex):
         hits.sort(key=canonical_key)
         return hits
 
-    def _search(self, query, k: int) -> List[SearchResult]:
-        best: List = []
+    def _search(self, query: Any, k: int) -> List[SearchResult]:
+        best: List[Tuple[float, int]] = []
 
         def kth_best() -> float:
             return -best[0][0] if len(best) == k else float("inf")

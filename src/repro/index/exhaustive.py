@@ -14,7 +14,7 @@ reported computation count, a fraction of the wall-clock.
 from __future__ import annotations
 
 import time
-from typing import List, Sequence, Tuple
+from typing import Any, List, Sequence, Tuple
 
 import numpy as np
 
@@ -26,11 +26,11 @@ __all__ = ["ExhaustiveIndex"]
 class ExhaustiveIndex(NearestNeighborIndex):
     """Linear scan over all items; ``n`` distance computations per query."""
 
-    def _search(self, query, k: int) -> List[SearchResult]:
+    def _search(self, query: Any, k: int) -> List[SearchResult]:
         distances = self._counter.many([(query, item) for item in self.items])
         return self._row_results(distances, k)
 
-    def _grid_many(self, queries) -> np.ndarray:
+    def _grid_many(self, queries: Sequence[Any]) -> np.ndarray:
         """The counted ``q x n`` scan grid -- an id grid against the
         interned corpus when available (no pair list, no re-encoding),
         the raw pair list otherwise.  Identical values and counts."""
@@ -69,7 +69,7 @@ class ExhaustiveIndex(NearestNeighborIndex):
         ]
 
     def bulk_knn(
-        self, queries: Sequence, k: int
+        self, queries: Sequence[Any], k: int
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
         """All queries in one engine sweep: the ``q x n`` pair list is
         length-bucketed and batched as a whole, which amortises far better
@@ -94,7 +94,7 @@ class ExhaustiveIndex(NearestNeighborIndex):
         )
         return [(row_results, per_query) for row_results in results]
 
-    def _range_search(self, query, radius: float) -> List[SearchResult]:
+    def _range_search(self, query: Any, radius: float) -> List[SearchResult]:
         distances = self._counter.many([(query, item) for item in self.items])
         return self._row_hits(distances, radius)
 
@@ -108,7 +108,7 @@ class ExhaustiveIndex(NearestNeighborIndex):
         return hits
 
     def bulk_range_search(
-        self, queries: Sequence, radius: float
+        self, queries: Sequence[Any], radius: float
     ) -> List[Tuple[List[SearchResult], SearchStats]]:
         """All queries' scans in one engine sweep, exactly like
         :meth:`bulk_knn`: same hits and per-query counts as looping

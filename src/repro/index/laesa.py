@@ -38,12 +38,21 @@ from __future__ import annotations
 import heapq
 import random
 import time
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .base import NearestNeighborIndex, SearchResult, SearchStats, canonical_key
+from .base import (
+    NearestNeighborIndex,
+    RequestGenerator,
+    SearchResult,
+    SearchStats,
+    canonical_key,
+)
 from .pivots import select_pivots
+
+if TYPE_CHECKING:
+    from ..batch.corpus import PairStore
 
 __all__ = ["LaesaIndex"]
 
@@ -76,8 +85,11 @@ class LaesaIndex(NearestNeighborIndex):
     ) -> None:
         super().__init__(items, distance)
         before = self._counter.calls
+        # With an interned corpus the pivot rows dispatch as id grids
+        # (ROADMAP 5(b)): same rows, same counts, no per-row re-encoding.
+        store = self._corpus.store() if self._corpus is not None else None
         self.pivot_indices, self.pivot_rows = select_pivots(
-            self.items, self._counter, n_pivots, pivot_strategy, rng
+            self.items, self._counter, n_pivots, pivot_strategy, rng, store
         )
         self.preprocessing_computations = self._counter.calls - before
         self._pivot_position = {
@@ -130,7 +142,7 @@ class LaesaIndex(NearestNeighborIndex):
         }
         return index
 
-    def _range_requests(self, radius: float):
+    def _range_requests(self, radius: float) -> RequestGenerator:
         """Pivot-filtered range search as a request generator.
 
         Computes the query-to-pivot distances once (``limit=None``,
@@ -193,7 +205,9 @@ class LaesaIndex(NearestNeighborIndex):
                 store=store,
             )
 
-    def _pivot_sweep(self, queries, store) -> np.ndarray:
+    def _pivot_sweep(
+        self, queries: Sequence[Any], store: Optional["PairStore"]
+    ) -> np.ndarray:
         """The ``queries x pivots`` distance matrix in one engine sweep
         -- dispatched as an id grid against the interned corpus when
         available (the pivots *are* corpus ids), raw items otherwise.
@@ -214,13 +228,13 @@ class LaesaIndex(NearestNeighborIndex):
 
     def _search(
         self,
-        query,
+        query: Any,
         k: int,
         pivot_cache: Optional[np.ndarray] = None,
     ) -> List[SearchResult]:
         return self._drive_search(query, k, pivot_cache)
 
-    def _search_requests(self, k: int):
+    def _search_requests(self, k: int) -> RequestGenerator:
         """LAESA's elimination loop as a request generator.
 
         Pivot comparisons are yielded with ``limit=None`` (their exact

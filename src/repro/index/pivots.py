@@ -28,8 +28,26 @@ Distance = Callable[[Any, Any], float]
 
 
 def _distance_row(
-    items: Sequence[Any], distance: Distance, pivot_index: int
+    items: Sequence[Any],
+    distance: Distance,
+    pivot_index: int,
+    store: Optional[Any] = None,
 ) -> np.ndarray:
+    if store is not None and hasattr(distance, "many_ids"):
+        # Interned corpus: the pivot row is an id grid against the
+        # already-encoded matrices -- no pair list, no re-encoding, and
+        # sharded fan-out ships only id arrays against the shared-memory
+        # publication.  Values and reported computation counts are
+        # bit-identical to the raw-pair sweep (asserted by the tests).
+        n = len(items)
+        return np.asarray(
+            distance.many_ids(
+                store,
+                np.full(n, pivot_index, dtype=np.int64),
+                np.arange(n, dtype=np.int64),
+            ),
+            dtype=float,
+        )
     pivot = items[pivot_index]
     if hasattr(distance, "many"):
         # CountingDistance: one pair-batched sweep instead of n scalar
@@ -118,16 +136,21 @@ def select_pivots(
     count: int,
     strategy: str = "maxmin",
     rng: Optional[random.Random] = None,
+    store: Optional[Any] = None,
 ) -> Tuple[List[int], np.ndarray]:
     """Choose *count* pivots from *items* and return their distance rows.
 
     ``strategy`` is one of ``"maxmin"`` (LAESA's default: each new pivot
     maximises its minimum distance to the chosen set), ``"maxsum"`` (ditto
-    with the sum), or ``"random"``.
+    with the sum), or ``"random"``.  *store* is an optional
+    :class:`~repro.batch.corpus.PairStore` covering *items* (ids ``[0,
+    len(items))``); when given, each pivot row dispatches as an id grid
+    against the interned corpus instead of a raw pair list -- identical
+    rows, identical counts, none of the per-row re-encoding.
     """
     return _select(
         len(items),
-        lambda idx: _distance_row(items, distance, idx),
+        lambda idx: _distance_row(items, distance, idx, store),
         count,
         strategy,
         rng,

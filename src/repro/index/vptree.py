@@ -14,9 +14,15 @@ from __future__ import annotations
 import heapq
 import random
 import statistics
-from typing import Any, Callable, List, Optional, Sequence
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
-from .base import NearestNeighborIndex, SearchResult, canonical_key
+from .base import (
+    NearestNeighborIndex,
+    Request,
+    RequestGenerator,
+    SearchResult,
+    canonical_key,
+)
 
 __all__ = ["VPTreeIndex"]
 
@@ -24,7 +30,13 @@ __all__ = ["VPTreeIndex"]
 class _Node:
     __slots__ = ("index", "radius", "inside", "outside")
 
-    def __init__(self, index: int, radius: float, inside, outside) -> None:
+    def __init__(
+        self,
+        index: int,
+        radius: float,
+        inside: Optional["_Node"],
+        outside: Optional["_Node"],
+    ) -> None:
         self.index = index
         self.radius = radius
         self.inside = inside
@@ -45,7 +57,7 @@ class VPTreeIndex(NearestNeighborIndex):
         self._root = self._build(list(range(len(self.items))))
         self.preprocessing_computations = self._counter.take()
 
-    def _build(self, indices: List[int]):
+    def _build(self, indices: List[int]) -> Optional["_Node"]:
         if not indices:
             return None
         vantage = indices[self._rng.randrange(len(indices))]
@@ -59,7 +71,7 @@ class VPTreeIndex(NearestNeighborIndex):
         return _Node(vantage, mu, self._build(inside), self._build(outside))
 
     @staticmethod
-    def _node_limit(node, search_radius: float) -> float:
+    def _node_limit(node: "_Node", search_radius: float) -> float:
         """Largest vantage distance that still matters at *search_radius*.
 
         Beyond ``node.radius + search_radius`` the vantage point is no hit,
@@ -71,7 +83,7 @@ class VPTreeIndex(NearestNeighborIndex):
             return search_radius
         return node.radius + search_radius
 
-    def _range_requests(self, radius: float):
+    def _range_requests(self, radius: float) -> RequestGenerator:
         """Subtree-pruned range query as a request generator.
 
         The recursion yields its comparisons through ``yield from``, so
@@ -82,7 +94,9 @@ class VPTreeIndex(NearestNeighborIndex):
         """
         hits: List[SearchResult] = []
 
-        def visit(node):
+        def visit(
+            node: Optional["_Node"],
+        ) -> Generator[Request, Optional[float], None]:
             if node is None:
                 return
             limit = self._node_limit(node, radius)
@@ -105,13 +119,13 @@ class VPTreeIndex(NearestNeighborIndex):
         hits.sort(key=canonical_key)
         return hits
 
-    def _search(self, query, k: int) -> List[SearchResult]:
-        best: List = []
+    def _search(self, query: Any, k: int) -> List[SearchResult]:
+        best: List[Tuple[float, int]] = []
 
         def kth_best() -> float:
             return -best[0][0] if len(best) == k else float("inf")
 
-        def visit(node) -> None:
+        def visit(node: Optional["_Node"]) -> None:
             if node is None:
                 return
             limit = self._node_limit(node, kth_best())

@@ -1,0 +1,28 @@
+"""Static-analysis layer: the env-knob registry and the invariant linter.
+
+Six PRs of optimisation accumulated contracts that previously existed
+only by convention -- numpy/numba kernel twins, shm publish/release
+pairing, degradation-tracked bulk paths, a dozen ``REPRO_*`` env knobs.
+This package makes them mechanical:
+
+* :mod:`repro.tools.knobs` -- the declarative registry of every
+  ``REPRO_*`` environment knob plus the typed accessors every consuming
+  module reads through (``python -m repro.tools.knobs --markdown``
+  regenerates the README table);
+* :mod:`repro.tools.check` -- the AST-based invariant linter
+  (``python -m repro.tools.check src/``) enforcing rules R1-R5.
+"""
+
+from typing import Any
+
+__all__ = ["REGISTRY", "KnobSpec"]
+
+
+def __getattr__(name: str) -> Any:
+    # Lazy re-export: ``python -m repro.tools.knobs`` would otherwise
+    # import the module twice (package init + runpy) and warn.
+    if name in __all__:
+        from . import knobs
+
+        return getattr(knobs, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -129,3 +129,33 @@ def test_index_with_uninternable_items_falls_back():
     assert index._corpus is None
     results = index.bulk_knn([items[0]], 1)
     assert results[0][0][0].distance == 0.0
+
+
+def test_gather_of_out_of_range_ids_raises_index_error():
+    corpus = intern_corpus(WORDS)
+    store = corpus.store()  # no extras: valid ids end at len(WORDS) - 1
+    bad = np.asarray([len(WORDS)], dtype=np.int64)
+    ok = np.asarray([0], dtype=np.int64)
+    with pytest.raises(IndexError):
+        store.gather(bad, ok)
+
+
+def test_gather_rows_without_extra_block_raises_index_error():
+    # Regression: an id addressing an extra block that was never gathered
+    # (lengths cover it, the matrices do not) used to surface as an
+    # AttributeError on NoneType deep inside the row stacking; it must be
+    # the contract violation it is, pointing at the offending id.
+    from repro.batch.corpus import gather_rows
+
+    corpus = intern_corpus(WORDS)
+    n = len(WORDS)
+    lengths = np.concatenate([corpus.block.lengths, np.asarray([3])])
+    with pytest.raises(IndexError, match=f"id {n} .*extra block"):
+        gather_rows(
+            (corpus.block.rows_x, corpus.block.rows_y),
+            None,  # the extra block was never shipped
+            lengths,
+            n,
+            np.asarray([n], dtype=np.int64),
+            np.asarray([0], dtype=np.int64),
+        )

@@ -129,3 +129,60 @@ class TestSelectPivotsFromMatrix:
             select_pivots_from_matrix(np.zeros((3, 3)), -1)
         idx, rows = select_pivots_from_matrix(np.zeros((3, 3)), 0)
         assert idx == [] and rows.shape == (0, 3)
+
+
+class TestInternedSelection:
+    """ROADMAP 5(b): pivot rows dispatched as id grids against the
+    interned corpus must be bit-identical to the raw-pair sweeps --
+    selection decisions, rows, and reported computation counts."""
+
+    @pytest.mark.parametrize("strategy", PIVOT_STRATEGIES)
+    @pytest.mark.parametrize("distance_name", ["levenshtein", "contextual_heuristic"])
+    def test_store_dispatch_is_bit_identical(self, items, strategy, distance_name):
+        from repro.batch import intern_corpus
+        from repro.index.base import CountingDistance
+
+        raw_counter = CountingDistance(get_distance(distance_name))
+        raw_idx, raw_rows = select_pivots(
+            items, raw_counter, 5, strategy, random.Random(11)
+        )
+
+        store = intern_corpus(items).store()
+        interned_counter = CountingDistance(get_distance(distance_name))
+        got_idx, got_rows = select_pivots(
+            items, interned_counter, 5, strategy, random.Random(11), store
+        )
+
+        assert got_idx == raw_idx
+        np.testing.assert_array_equal(got_rows, raw_rows)
+        assert interned_counter.calls == raw_counter.calls
+
+    def test_laesa_construction_uses_the_interned_grid(self, monkeypatch):
+        """The constructor routes selection through the corpus store, and
+        the result (pivots, rows, preprocessing count) is identical to a
+        REPRO_INTERN=0 build with the same seed."""
+        from repro.index import LaesaIndex
+
+        gen = random.Random(41)
+        items = sorted(
+            {
+                "".join(gen.choice("abcd") for _ in range(gen.randint(2, 7)))
+                for _ in range(40)
+            }
+        )
+        interned = LaesaIndex(
+            items, get_distance("levenshtein"), n_pivots=4,
+            rng=random.Random(3),
+        )
+        monkeypatch.setenv("REPRO_INTERN", "0")
+        plain = LaesaIndex(
+            items, get_distance("levenshtein"), n_pivots=4,
+            rng=random.Random(3),
+        )
+        assert interned._corpus is not None and plain._corpus is None
+        assert interned.pivot_indices == plain.pivot_indices
+        np.testing.assert_array_equal(interned.pivot_rows, plain.pivot_rows)
+        assert (
+            interned.preprocessing_computations
+            == plain.preprocessing_computations
+        )

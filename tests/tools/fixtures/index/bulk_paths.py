@@ -1,0 +1,19 @@
+"""R4 fixture: index bulk methods with and without degradation cover."""
+
+
+class FixtureIndex:
+    def bulk_untracked(self, queries):
+        return [self._search(q) for q in queries]
+
+    def bulk_tracked(self, queries):
+        with self._track_degradation():
+            return [self._search(q) for q in queries]
+
+    def bulk_lockstep(self, queries):
+        return self._lockstep_drive(queries, [])
+
+    def bulk_suppressed(self, queries):  # repro: noqa[R4]
+        return [self._search(q) for q in queries]
+
+    def knn(self, query):
+        return self._search(query)

@@ -1,0 +1,12 @@
+"""R1 fixture: every flavour of raw REPRO_* environment read."""
+
+import os
+from os import environ, getenv
+
+SUBSCRIPT = os.environ["REPRO_FIXTURE_A"]
+GET = os.environ.get("REPRO_FIXTURE_B", "1")
+GETENV = os.getenv("REPRO_FIXTURE_C")
+BARE_ENVIRON = environ.get("REPRO_FIXTURE_D")
+BARE_GETENV = getenv("REPRO_FIXTURE_E")
+SUPPRESSED = os.environ.get("REPRO_FIXTURE_F")  # repro: noqa[R1]
+NOT_A_KNOB = os.environ.get("OTHER_VARIABLE")

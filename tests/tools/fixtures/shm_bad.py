@@ -1,0 +1,9 @@
+"""R3 fixture: shared memory created, never released, no unlink guard."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class Leaky:
+    def publish(self, n):
+        self.segment = SharedMemory(create=True, size=n)
+        return self.segment.name

@@ -1,0 +1,16 @@
+"""R3 fixture: the compliant shape -- paired release and a race guard."""
+
+from multiprocessing.shared_memory import SharedMemory
+
+
+class Tidy:
+    def publish(self, n):
+        self.segment = SharedMemory(create=True, size=n)
+        return self.segment.name
+
+    def release(self):
+        try:
+            self.segment.close()
+            self.segment.unlink()
+        except FileNotFoundError:
+            pass  # someone else unlinked first; fine

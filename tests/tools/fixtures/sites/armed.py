@@ -1,0 +1,13 @@
+"""R5 fixture: fault hooks with one registered and one unknown site."""
+
+faults = None  # stands in for the faults module
+
+
+def run():
+    if faults.check("alpha_site"):
+        return 1
+    if faults.check("gamma_site"):
+        return 2
+    if faults.should_fire("beta_site"):
+        return 3
+    return 0

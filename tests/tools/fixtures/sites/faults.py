@@ -1,0 +1,3 @@
+"""R5 fixture: the declared fault sites."""
+
+SITES = ("alpha_site", "beta_site")

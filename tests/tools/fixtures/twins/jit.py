@@ -1,0 +1,9 @@
+"""R2 fixture: the numba twins (one missing, one with drifted params)."""
+
+
+def good_kernel(X, Y, mx, my):
+    return None
+
+
+def drifted_kernel(X, Y, my, mx):  # swapped parameter order
+    return None

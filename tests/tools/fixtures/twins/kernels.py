@@ -1,0 +1,25 @@
+"""R2 fixture: numpy-side kernels, two of them out of parity."""
+
+jit = None  # stands in for the backend module
+
+
+def good_kernel(X, Y, mx, my):
+    if jit is not None:
+        return jit.good_kernel(X, Y, mx, my)
+    return None
+
+
+def missing_twin_kernel(X, Y):
+    if jit is not None:
+        return jit.missing_twin_kernel(X, Y)
+    return None
+
+
+def drifted_kernel(X, Y, mx, my):
+    if jit is not None:
+        return jit.drifted_kernel(X, Y, mx, my)
+    return None
+
+
+def plain_helper(X):
+    return X

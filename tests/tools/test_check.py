@@ -1,0 +1,170 @@
+"""The invariant linter: each rule fires on its fixture and nowhere else.
+
+The fixtures under ``tests/tools/fixtures/`` are deliberately violating
+modules -- they are parsed by the linter, never imported -- and each test
+pins the exact rule codes (and lines, where stable) a scan must report.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.tools.check import (
+    RULES,
+    Violation,
+    check_paths,
+    check_tree,
+    main,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def codes(violations) -> list:
+    return [v.code for v in violations]
+
+
+def lint(*relative: str):
+    return check_paths([FIXTURES / rel for rel in relative])
+
+
+class TestRuleR1:
+    def test_every_raw_read_flavour_fires(self):
+        violations = lint("r1_raw_env.py")
+        assert codes(violations) == ["R1"] * 5
+        reported = " ".join(v.message for v in violations)
+        for name in ("REPRO_FIXTURE_A", "REPRO_FIXTURE_B", "REPRO_FIXTURE_C",
+                     "REPRO_FIXTURE_D", "REPRO_FIXTURE_E"):
+            assert name in reported
+
+    def test_noqa_suppresses_the_marked_line_only(self):
+        violations = lint("r1_raw_env.py")
+        assert all("REPRO_FIXTURE_F" not in v.message for v in violations)
+
+    def test_non_repro_variables_are_ignored(self):
+        violations = lint("r1_raw_env.py")
+        assert all("OTHER_VARIABLE" not in v.message for v in violations)
+
+
+class TestRuleR2:
+    def test_missing_and_drifted_twins_fire(self):
+        violations = lint("twins")
+        assert codes(violations) == ["R2", "R2"]
+        missing, drifted = violations
+        assert "missing_twin_kernel" in missing.message
+        assert "drifted_kernel" in drifted.message
+        assert "['X', 'Y', 'mx', 'my']" in drifted.message
+        assert "['X', 'Y', 'my', 'mx']" in drifted.message
+
+    def test_non_dispatching_helpers_are_exempt(self):
+        violations = lint("twins")
+        assert all("plain_helper" not in v.message for v in violations)
+
+    def test_kernels_without_a_sibling_jit_module_pass(self, tmp_path):
+        lone = tmp_path / "kernels.py"
+        lone.write_text(
+            "def k(X):\n    return jit.k(X)\n", encoding="utf-8"
+        )
+        assert check_paths([lone]) == []
+
+
+class TestRuleR3:
+    def test_leaky_class_fires_twice(self):
+        violations = lint("shm_bad.py")
+        assert codes(violations) == ["R3", "R3"]
+        messages = " ".join(v.message for v in violations)
+        assert "never" in messages  # no release call
+        assert "FileNotFoundError" in messages  # no unlink guard
+
+    def test_paired_release_and_guard_pass(self):
+        assert lint("shm_good.py") == []
+
+
+class TestRuleR4:
+    def test_untracked_bulk_method_fires(self):
+        violations = lint("index")
+        assert codes(violations) == ["R4"]
+        assert "bulk_untracked" in violations[0].message
+
+    def test_tracked_lockstep_and_suppressed_methods_pass(self):
+        reported = " ".join(v.message for v in lint("index"))
+        assert "bulk_tracked" not in reported
+        assert "bulk_lockstep" not in reported
+        assert "bulk_suppressed" not in reported
+
+    def test_rule_only_applies_inside_index_directories(self, tmp_path):
+        stray = tmp_path / "bulk_paths.py"
+        stray.write_text(
+            (FIXTURES / "index" / "bulk_paths.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert check_paths([stray]) == []
+
+
+class TestRuleR5:
+    def test_unknown_site_fires(self):
+        violations = lint("sites")
+        assert codes(violations) == ["R5"]
+        assert "gamma_site" in violations[0].message
+        assert "alpha_site" in violations[0].message  # known list in message
+
+    def test_registered_sites_pass(self):
+        reported = " ".join(v.message for v in lint("sites"))
+        assert "'alpha_site' is not" not in reported
+        assert "'beta_site' is not" not in reported
+
+    def test_without_a_faults_module_the_rule_is_silent(self):
+        # armed.py alone (no faults.py in the scanned set): no site table,
+        # so R5 has nothing to check against.
+        assert lint("sites/armed.py") == []
+
+
+class TestWholeTreeScan:
+    def test_fixture_tree_reports_every_rule(self):
+        reported = set(codes(check_tree(str(FIXTURES))))
+        assert reported == {"R1", "R2", "R3", "R4", "R5"}
+
+    def test_real_tree_is_clean(self):
+        repo_src = Path(__file__).parents[2] / "src"
+        assert check_tree(str(repo_src)) == []
+
+    def test_violations_sort_by_path_line_code(self):
+        violations = check_tree(str(FIXTURES))
+        keys = [(v.path, v.line, v.code) for v in violations]
+        assert keys == sorted(keys)
+
+
+class TestSyntaxErrors:
+    def test_unparseable_file_reports_e0(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def broken(:\n", encoding="utf-8")
+        violations = check_paths([broken])
+        assert codes(violations) == ["E0"]
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, capsys):
+        repo_src = Path(__file__).parents[2] / "src"
+        assert main([str(repo_src / "repro" / "tools")]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_violating_tree_exits_one_and_renders(self, capsys):
+        assert main([str(FIXTURES / "shm_bad.py")]) == 1
+        out = capsys.readouterr().out
+        assert "shm_bad.py:" in out
+        assert " R3 " in out
+
+    def test_list_rules_prints_the_table(self, capsys):
+        repo_tools = Path(__file__).parents[2] / "src" / "repro" / "tools"
+        assert main(["--list-rules", str(repo_tools)]) == 0
+        out = capsys.readouterr().out
+        for code, summary in RULES.items():
+            assert code in out
+            assert summary in out
+
+
+def test_render_format():
+    violation = Violation("some/path.py", 12, "R1", "the message")
+    assert violation.render() == "some/path.py:12: R1 the message"
