@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Benchmark warm starts from the artifact store against cold builds.
+
+AESA pays ``O(n^2)`` distance evaluations at construction and LAESA
+``O(n * P)``; the artifact store (:mod:`repro.store`) snapshots a built
+index and loads it back by *mapping* the arrays read-only, so a warm
+start pays file verification instead of distance computations.  This
+benchmark measures that trade per structure on the digit-contour
+workload:
+
+* ``cold_seconds`` -- constructing the index from scratch;
+* ``save_seconds`` -- snapshotting the built index (checksums, fsyncs,
+  the atomic rename dance);
+* ``load_seconds`` -- loading the snapshot back (manifest + SHA-256
+  verification + read-only mapping).
+
+Identity is asserted, not sampled: the loaded index must answer a
+``bulk_knn`` batch bit-identically to the cold build -- neighbours,
+distances and per-query ``distance_computations`` -- and must report
+zero distance evaluations during the load itself.  Results are appended
+as one JSON object per run to ``BENCH_startup.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_startup.py           # full run
+    PYTHONPATH=src python benchmarks/bench_startup.py --smoke   # CI-sized
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.batch import jit
+from repro.core import get_distance
+from repro.datasets import handwritten_digits
+from repro.index import (
+    AesaIndex,
+    BKTreeIndex,
+    ExhaustiveIndex,
+    LaesaIndex,
+    VPTreeIndex,
+)
+from repro.store import ArtifactStore
+
+DEFAULT_JSON = Path(__file__).resolve().parent.parent / "BENCH_startup.json"
+
+STRUCTURES = (
+    ("exhaustive", ExhaustiveIndex),
+    ("aesa", AesaIndex),
+    ("laesa", LaesaIndex),
+    ("vptree", VPTreeIndex),
+    ("bktree", BKTreeIndex),
+)
+
+
+def _workload(per_class: int, n_train: int, n_queries: int, seed: int):
+    data = handwritten_digits(per_class=per_class, seed=1995, grid=24)
+    pool = list(range(len(data)))
+    random.Random(seed).shuffle(pool)
+    if n_train + n_queries > len(pool):
+        raise ValueError(
+            f"workload needs {n_train + n_queries} contours, dataset has "
+            f"{len(pool)}; raise --per-class"
+        )
+    train = [data.items[i] for i in pool[:n_train]]
+    queries = [data.items[i] for i in pool[n_train : n_train + n_queries]]
+    return train, queries
+
+
+def _results_key(per_query):
+    return [
+        (
+            [(r.index, r.distance) for r in results],
+            stats.distance_computations,
+        )
+        for results, stats in per_query
+    ]
+
+
+def _bench_structure(name, cls, train, queries, distance_name, n_pivots, k, root):
+    distance = get_distance(distance_name)
+    params = {"n_pivots": n_pivots} if cls is LaesaIndex else {}
+    store = ArtifactStore(root)
+
+    started = time.perf_counter()
+    built = cls(train, distance, **params)
+    cold_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    built.save(store)
+    save_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    loaded = cls.load(train, distance, store, **params)
+    load_seconds = time.perf_counter() - started
+
+    if loaded._counter.calls != 0:
+        raise AssertionError(
+            f"{name}: load evaluated {loaded._counter.calls} distances"
+        )
+    if loaded.preprocessing_computations != built.preprocessing_computations:
+        raise AssertionError(f"{name}: preprocessing counts drifted")
+    if _results_key(loaded.bulk_knn(queries, k)) != _results_key(
+        built.bulk_knn(queries, k)
+    ):
+        raise AssertionError(f"{name}: loaded index answers differ")
+
+    return {
+        "structure": name,
+        "build_computations": built.preprocessing_computations,
+        "cold_seconds": round(cold_seconds, 4),
+        "save_seconds": round(save_seconds, 4),
+        "load_seconds": round(load_seconds, 4),
+        "warm_speedup": round(cold_seconds / max(load_seconds, 1e-9), 2),
+    }
+
+
+def run_benchmark(
+    distance: str,
+    per_class: int,
+    n_train: int,
+    n_queries: int,
+    n_pivots: int,
+    k: int,
+    seed: int = 0x57A7,
+) -> dict:
+    train, queries = _workload(per_class, n_train, n_queries, seed)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as root:
+        rows = [
+            _bench_structure(
+                name, cls, train, queries, distance, n_pivots, k,
+                os.path.join(root, name),
+            )
+            for name, cls in STRUCTURES
+            if not (cls is BKTreeIndex and distance != "levenshtein")
+        ]
+    return {
+        "bench": "startup",
+        "distance": distance,
+        "n_train": len(train),
+        "n_queries": len(queries),
+        "n_pivots": n_pivots,
+        "k": k,
+        "structures": rows,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "kernel_backend": jit.backend_name(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small, CI-sized run (~seconds) instead of the full workload",
+    )
+    parser.add_argument(
+        "--distance",
+        default="levenshtein",
+        help="registry name to benchmark (default: levenshtein, so the "
+        "BK-tree ablation point participates too)",
+    )
+    parser.add_argument(
+        "--pivots", type=int, default=None, help="override the pivot count"
+    )
+    parser.add_argument("--k", type=int, default=1)
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_JSON,
+        help=f"JSON-lines results file (default: {DEFAULT_JSON.name})",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        per_class, n_train, n_queries = 6, 40, 8
+        n_pivots = 6 if args.pivots is None else args.pivots
+    else:
+        per_class, n_train, n_queries = 40, 240, 40
+        n_pivots = 30 if args.pivots is None else args.pivots
+
+    record = run_benchmark(
+        args.distance, per_class, n_train, n_queries, n_pivots, args.k
+    )
+    record["mode"] = "smoke" if args.smoke else "full"
+    print(json.dumps(record, indent=2))
+
+    with args.json.open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(record) + "\n")
+    print(f"[appended to {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -149,6 +149,70 @@ class InternedCorpus:
         #: shutdown (one live publication per corpus per process).
         self.shm_token: Optional[Tuple[int, "BlockToken"]] = None
 
+    @classmethod
+    def from_arrays(
+        cls,
+        items: Sequence[Any],
+        rows_x: np.ndarray,
+        rows_y: np.ndarray,
+        lengths: np.ndarray,
+    ) -> "InternedCorpus":
+        """Reconstruct a corpus around persisted encoded matrices.
+
+        The artifact store (:mod:`repro.store`) maps a saved corpus'
+        matrices back read-only; this constructor wraps them without
+        re-encoding.  The alphabet table is *replayed* -- codes are
+        assigned in first-occurrence order over the normalised symbol
+        stream, exactly as :func:`_encode_block` assigned them at save
+        time -- so later :meth:`encode` calls (query batches) land on
+        the same numbering the persisted matrices carry.  Shape or
+        dtype drift raises ``ValueError``: a mismatched block must fail
+        loudly here, because the kernels would otherwise compare
+        queries against the wrong code space.
+        """
+        corpus = cls.__new__(cls)
+        corpus.items = list(items)
+        corpus.symbols = [as_symbols(item) for item in corpus.items]
+        codes: Dict[Hashable, int] = {}
+        for seq in corpus.symbols:
+            for symbol in seq:
+                if symbol not in codes:
+                    codes[symbol] = len(codes)
+        corpus.codes = codes
+        rows_x = np.asarray(rows_x)
+        rows_y = np.asarray(rows_y)
+        lengths = np.asarray(lengths)
+        if rows_x.dtype != np.int32 or rows_y.dtype != np.int32:
+            raise ValueError(
+                f"corpus rows must be int32, got {rows_x.dtype}/{rows_y.dtype}"
+            )
+        if lengths.dtype.kind not in "iu" or lengths.ndim != 1:
+            raise ValueError("corpus lengths must be an int vector")
+        if rows_x.ndim != 2 or rows_x.shape != rows_y.shape:
+            raise ValueError(
+                f"corpus row matrices disagree: {rows_x.shape} vs {rows_y.shape}"
+            )
+        if rows_x.shape[0] != len(corpus.items) or len(lengths) != len(corpus.items):
+            raise ValueError(
+                f"corpus block holds {rows_x.shape[0]} rows / {len(lengths)} "
+                f"lengths for {len(corpus.items)} items"
+            )
+        for i, seq in enumerate(corpus.symbols):
+            if int(lengths[i]) != len(seq):
+                raise ValueError(
+                    f"item {i} normalises to {len(seq)} symbols but the "
+                    f"persisted length vector says {int(lengths[i])}"
+                )
+        if len(lengths) and rows_x.shape[1] < int(lengths.max()):
+            raise ValueError(
+                f"corpus rows are {rows_x.shape[1]} wide but the longest "
+                f"item needs {int(lengths.max())}"
+            )
+        corpus.block = _Block(rows_x, rows_y, lengths)
+        corpus.key = uuid.uuid4().hex[:12]
+        corpus.shm_token = None
+        return corpus
+
     def __len__(self) -> int:
         return len(self.items)
 

@@ -70,6 +70,7 @@ from typing import (
     Sequence,
     Tuple,
     Union,
+    cast,
 )
 
 import numpy as np
@@ -1499,6 +1500,7 @@ def pairwise_matrix_memmap(
     path: Union[str, "os.PathLike[str]"],
     block_rows: int = _BLOCK_ROWS,
     workers: Workers = "auto",
+    close: bool = False,
 ) -> np.memmap:
     """:func:`pairwise_matrix` streamed into an on-disk ``.npy`` memmap.
 
@@ -1510,7 +1512,13 @@ def pairwise_matrix_memmap(
     mirrors them through the memmap, keeping :func:`pairwise_matrix`'s
     ``C(n, 2) + n`` evaluation saving without holding the matrix in RAM.
 
-    Returns the still-open writable memmap (flushed).
+    Returns the still-open *writable* memmap (flushed) by default.  With
+    ``close=True`` the writable handle is flushed and **closed** before
+    returning a fresh read-only mapping of the same file -- long-lived
+    consumers (sweep pools, the artifact store) should prefer this: a
+    dangling writable mapping holds the file descriptor hostage and one
+    stray ``out[...] =`` from a later bug silently corrupts the matrix
+    on disk.
     """
     if block_rows < 1:
         raise ValueError(f"block_rows must be >= 1, got {block_rows}")
@@ -1532,6 +1540,13 @@ def pairwise_matrix_memmap(
         ):
             out[start:stop] = block
     out.flush()
+    if close:
+        mm = out._mmap
+        del out  # drop the writable view before closing its buffer
+        if mm is not None:
+            mm.close()
+        readonly = np.load(os.fspath(path), mmap_mode="r", allow_pickle=False)
+        return cast(np.memmap, readonly)
     return out
 
 

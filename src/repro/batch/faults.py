@@ -42,6 +42,15 @@ Fault sites:
 ``publish_fail``   master-side shared-memory publication reports failure
                    (no ``/dev/shm`` space), callers fall back to raw
                    dispatch
+``store_torn_write``  artifact-store writer dies between fsync and the
+                   atomic rename (a SIGKILLed saver, as loaders observe
+                   it): the tmp file exists, the destination never
+                   appears
+``store_corrupt_manifest``  artifact-store saver truncates the manifest
+                   to half its bytes before publishing (a torn metadata
+                   write that the strict parser must reject)
+``store_lock_stale``  a dead process' pid stamp is planted in the store
+                   lock before acquisition, exercising the takeover path
 =================  =========================================================
 
 Zero overhead when unarmed: every hook starts with one ``os.environ``
@@ -72,7 +81,15 @@ __all__ = [
 
 #: Recognised fault-site names (anything else in the spec is an error --
 #: a typo'd site silently never firing would make a chaos run vacuous).
-SITES = ("worker_crash", "worker_hang", "shm_attach_fail", "publish_fail")
+SITES = (
+    "worker_crash",
+    "worker_hang",
+    "shm_attach_fail",
+    "publish_fail",
+    "store_torn_write",
+    "store_corrupt_manifest",
+    "store_lock_stale",
+)
 
 #: Default ``worker_hang`` sleep: long enough that only the supervisor's
 #: deadline (never the sleep ending) unwedges the call.

@@ -201,6 +201,8 @@ class DegradationStats:
         "publish_failures",  # shared-memory publications that failed
         "stale_attachments",  # worker re-attaches forced by generation
         "reaped_segments",  # orphaned /dev/shm segments unlinked
+        "store_load_failures",  # artifact snapshots that failed verification
+        "store_lock_takeovers",  # store locks taken over from dead holders
     )
 
     def __init__(self) -> None:
@@ -232,6 +234,8 @@ class DegradationSnapshot(TypedDict):
     publish_failures: int
     stale_attachments: int
     reaped_segments: int
+    store_load_failures: int
+    store_lock_takeovers: int
 
 
 #: The process-wide degradation counters.

@@ -164,7 +164,9 @@ def run_sweep(
         matrix = pool_matrices.get(name)
         if matrix is None:
             path = os.path.join(pool_dir.name, f"{name}.npy")
-            matrix = pairwise_matrix_memmap(name, pool, path=path)
+            # close=True: the matrix is read for the rest of the sweep,
+            # so drop the writable handle rather than keep it dangling
+            matrix = pairwise_matrix_memmap(name, pool, path=path, close=True)
             pool_matrices[name] = matrix
         return matrix
 

@@ -13,7 +13,17 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -53,13 +63,7 @@ class AesaIndex(NearestNeighborIndex):
         bulk_sweep_max_items: Optional[int] = None,
     ) -> None:
         super().__init__(items, distance)
-        if bulk_sweep_max_items is None:
-            bulk_sweep_max_items = knobs.get_int("REPRO_AESA_BULK_MAX_ITEMS")
-        if bulk_sweep_max_items is not None:
-            # instance attribute shadows the class default; when neither
-            # keyword nor env var is given, the class attribute stays the
-            # single source of truth (and remains monkeypatchable)
-            self._BULK_SWEEP_MAX_ITEMS = int(bulk_sweep_max_items)
+        self._apply_bulk_gate(bulk_sweep_max_items)
         n = len(self.items)
         # Upper triangle through the pair-batched engine, then mirrored --
         # the same C(n, 2) computations the scalar loop performed.  With
@@ -85,6 +89,47 @@ class AesaIndex(NearestNeighborIndex):
             pos += n - i - 1
         self.matrix = matrix
         self.preprocessing_computations = self._counter.take()
+
+    def _apply_bulk_gate(self, bulk_sweep_max_items: Optional[int]) -> None:
+        if bulk_sweep_max_items is None:
+            bulk_sweep_max_items = knobs.get_int("REPRO_AESA_BULK_MAX_ITEMS")
+        if bulk_sweep_max_items is not None:
+            # instance attribute shadows the class default; when neither
+            # keyword nor env var is given, the class attribute stays the
+            # single source of truth (and remains monkeypatchable)
+            self._BULK_SWEEP_MAX_ITEMS = int(bulk_sweep_max_items)
+
+    @classmethod
+    def _artifact_key_params(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        params = dict(params)
+        # the bulk-sweep gate is a runtime batching heuristic: it changes
+        # neither the matrix nor any result, so it stays out of the key
+        # and is re-applied to the loaded instance instead
+        params.pop("bulk_sweep_max_items", None)
+        if params:
+            raise TypeError(
+                f"AesaIndex.load got unexpected parameters {sorted(params)}"
+            )
+        return {}
+
+    def _artifact_arrays(self) -> Dict[str, np.ndarray]:
+        return {"matrix": np.asarray(self.matrix, dtype=float)}
+
+    def _restore_artifact(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        params: Mapping[str, Any],
+    ) -> None:
+        matrix = arrays["matrix"]
+        n = len(self.items)
+        if matrix.shape != (n, n):
+            raise ValueError(
+                f"AESA matrix shape {matrix.shape} does not fit {n} items"
+            )
+        self.matrix = matrix
+        gate = params.get("bulk_sweep_max_items")
+        self._apply_bulk_gate(None if gate is None else int(gate))
 
     def _range_requests(self, radius: float) -> RequestGenerator:
         """Range search with the full-matrix bounds as a request

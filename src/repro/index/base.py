@@ -31,9 +31,11 @@ from typing import (
     Generator,
     Generic,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
+    Type,
     TypeVar,
 )
 
@@ -42,7 +44,10 @@ import numpy as np
 from ..core.bounded import bounded_for
 
 if TYPE_CHECKING:
-    from ..batch.corpus import PairStore
+    from pathlib import Path
+
+    from ..batch.corpus import InternedCorpus, PairStore
+    from ..store.artifacts import StoreLike
 
 __all__ = [
     "SearchResult",
@@ -56,6 +61,10 @@ __all__ = [
 
 Item = TypeVar("Item")
 Distance = Callable[[Any, Any], float]
+
+#: ``classmethod`` self-type for the persistence entry points, so
+#: ``LaesaIndex.load(...)`` types as a ``LaesaIndex``.
+IndexSelf = TypeVar("IndexSelf", bound="NearestNeighborIndex[Any]")
 
 #: One comparison request yielded by a request generator:
 #: ``(item_index, limit, cache_pos)`` -- see ``_search_requests``.
@@ -270,6 +279,21 @@ class NearestNeighborIndex(ABC, Generic[Item]):
     """
 
     def __init__(self, items: Sequence[Item], distance: Distance) -> None:
+        self._init_index(items, distance, None)
+
+    def _init_index(
+        self,
+        items: Sequence[Item],
+        distance: Distance,
+        corpus: Optional["InternedCorpus"],
+    ) -> None:
+        """The shared constructor body.
+
+        ``__init__`` calls it with ``corpus=None`` (interning from
+        scratch); the artifact loader's :meth:`_artifact_skeleton` calls
+        it with a corpus reconstructed around persisted matrices, so a
+        warm start never re-encodes the database.
+        """
         if not items:
             raise ValueError("cannot index an empty collection")
         self.items: List[Item] = list(items)
@@ -277,7 +301,9 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         self.preprocessing_computations = 0
         from ..batch import intern_corpus, interning_enabled
 
-        self._corpus = intern_corpus(self.items) if interning_enabled() else None
+        self._corpus = corpus if corpus is not None else (
+            intern_corpus(self.items) if interning_enabled() else None
+        )
         #: Degradation events of the *last* bulk call on this index
         #: (``{event: count}``, empty when the call ran on the healthy
         #: path) -- the per-call view of the process-wide
@@ -316,6 +342,95 @@ class NearestNeighborIndex(ABC, Generic[Item]):
             return self._corpus.store(queries)
         except TypeError:
             return None
+
+    # -- persistence (repro.store) -----------------------------------------
+
+    def save(self, store: "StoreLike") -> "Path":
+        """Snapshot this built index into the artifact *store* (an
+        :class:`~repro.store.ArtifactStore` or a root path): corpus
+        matrices, structure arrays and a checksummed manifest, written
+        crash-safely as a new immutable version.  Returns the snapshot
+        directory."""
+        from ..store import ArtifactStore
+
+        return ArtifactStore.coerce(store).save(self)
+
+    @classmethod
+    def load(
+        cls: Type[IndexSelf],
+        items: Sequence[Any],
+        distance: Distance,
+        store: "StoreLike",
+        **params: Any,
+    ) -> IndexSelf:
+        """Load this structure over *items* from *store*, or rebuild.
+
+        *params* are the structure keywords the constructor would take
+        (``n_pivots=...`` for LAESA and so on) -- they select the
+        artifact key together with the corpus fingerprint and the
+        distance identity.  A miss rebuilds silently; a corrupt or
+        mismatched artifact rebuilds too, surfaced through
+        :class:`~repro.batch.runtime.DegradedExecutionWarning`, the
+        ``store_load_failures`` degradation counter and the returned
+        index's :attr:`last_degradation`.  Either way the result
+        answers every query exactly like a cold build.
+        """
+        from ..store import load_or_build
+
+        return load_or_build(cls, items, distance, store, params)
+
+    @classmethod
+    def _artifact_skeleton(
+        cls: Type[IndexSelf],
+        items: Sequence[Any],
+        distance: Distance,
+        corpus: Optional["InternedCorpus"],
+    ) -> IndexSelf:
+        """A bare instance around *items* that skips the subclass
+        constructor (zero distance evaluations); the artifact loader
+        attaches the persisted structure via :meth:`_restore_artifact`."""
+        index = cls.__new__(cls)
+        index._init_index(items, distance, corpus)
+        return index
+
+    def _artifact_params(self) -> Dict[str, Any]:
+        """Key-relevant structure parameters of this *built* instance
+        (the save-side mirror of :meth:`_artifact_key_params`)."""
+        return {}
+
+    @classmethod
+    def _artifact_key_params(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Normalise ``load(**params)`` keywords into the key-relevant
+        parameter dict: defaults applied, runtime-only knobs dropped.
+        Unknown names raise ``TypeError`` -- a typo'd keyword must not
+        silently key-miss forever."""
+        if params:
+            raise TypeError(
+                f"{cls.__name__}.load got unexpected parameters "
+                f"{sorted(params)}"
+            )
+        return {}
+
+    def _artifact_arrays(self) -> Dict[str, np.ndarray]:
+        """Structure payload arrays to persist (saved as one ``.npy``
+        each, reloaded as read-only maps)."""
+        return {}
+
+    def _artifact_meta(self) -> Dict[str, Any]:
+        """JSON-serialisable structure scalars for the manifest."""
+        return {}
+
+    def _restore_artifact(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        params: Mapping[str, Any],
+    ) -> None:
+        """Reattach persisted structure onto a skeleton instance -- the
+        inverse of :meth:`_artifact_arrays` / :meth:`_artifact_meta`.
+        *params* are the raw ``load`` keywords, for runtime-only options
+        that apply to loaded instances as well.  Structures without
+        build-time state (exhaustive scan) need nothing."""
 
     @abstractmethod
     def _search(self, query: Item, k: int) -> List[SearchResult]:

@@ -16,7 +16,10 @@ them loudly rather than silently degrading.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from collections import deque
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .base import (
     NearestNeighborIndex,
@@ -62,6 +65,60 @@ class BKTreeIndex(NearestNeighborIndex):
                 node.children[key] = _Node(idx)
                 return
             node = child
+
+    def _artifact_arrays(self) -> Dict[str, np.ndarray]:
+        """Serialize the tree as ``(item_index, parent_row, key)`` rows.
+
+        Breadth-first order, with each node's children emitted in dict
+        insertion order: search pushes children onto a stack in that
+        order, so replaying it keeps traversal -- and therefore the
+        early-exit limits and per-query distance counts -- bit-identical.
+        """
+        rows: List[Tuple[int, int, int]] = []
+        queue = deque([(self._root, -1, 0)])
+        while queue:
+            node, parent_row, key = queue.popleft()
+            row = len(rows)
+            rows.append((node.index, parent_row, key))
+            for child_key, child in node.children.items():
+                queue.append((child, row, child_key))
+        return {"tree_nodes": np.asarray(rows, dtype=np.int64)}
+
+    def _restore_artifact(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        params: Mapping[str, Any],
+    ) -> None:
+        rows = np.asarray(arrays["tree_nodes"], dtype=np.int64)
+        n = len(self.items)
+        if rows.ndim != 2 or rows.shape[1] != 3 or rows.shape[0] != n:
+            raise ValueError(
+                f"BK-tree payload shape {rows.shape} does not fit {n} items"
+            )
+        built: List[_Node] = []
+        root: Optional[_Node] = None
+        for row in range(n):
+            item_index, parent_row, key = (int(v) for v in rows[row])
+            if not 0 <= item_index < n:
+                raise ValueError(f"BK-tree row {row} points at item {item_index}")
+            node = _Node(item_index)
+            if parent_row == -1:
+                if root is not None:
+                    raise ValueError("BK-tree payload has multiple roots")
+                root = node
+            elif 0 <= parent_row < row:
+                # BFS emission guarantees parents precede children, so
+                # appending in row order replays dict insertion order
+                built[parent_row].children[key] = node
+            else:
+                raise ValueError(
+                    f"BK-tree row {row} has invalid parent {parent_row}"
+                )
+            built.append(node)
+        if root is None:
+            raise ValueError("BK-tree payload has no root")
+        self._root = root
 
     @staticmethod
     def _integer(d: float) -> int:

@@ -38,7 +38,17 @@ from __future__ import annotations
 import heapq
 import random
 import time
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -91,6 +101,7 @@ class LaesaIndex(NearestNeighborIndex):
         self.pivot_indices, self.pivot_rows = select_pivots(
             self.items, self._counter, n_pivots, pivot_strategy, rng, store
         )
+        self.pivot_strategy = pivot_strategy
         self.preprocessing_computations = self._counter.calls - before
         self._pivot_position = {
             item_idx: row for row, item_idx in enumerate(self.pivot_indices)
@@ -99,6 +110,56 @@ class LaesaIndex(NearestNeighborIndex):
     @property
     def n_pivots(self) -> int:
         return len(self.pivot_indices)
+
+    def _artifact_params(self) -> Dict[str, Any]:
+        return {"n_pivots": self.n_pivots, "pivot_strategy": self.pivot_strategy}
+
+    @classmethod
+    def _artifact_key_params(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        params = dict(params)
+        # the rng seeds *which* pivots a rebuild would select; any built
+        # pivot set answers queries exactly, so it is not part of the key
+        params.pop("rng", None)
+        if "n_pivots" not in params:
+            raise TypeError("LaesaIndex.load requires n_pivots")
+        n_pivots = int(params.pop("n_pivots"))
+        strategy = str(params.pop("pivot_strategy", "maxmin"))
+        if params:
+            raise TypeError(
+                f"LaesaIndex.load got unexpected parameters {sorted(params)}"
+            )
+        return {"n_pivots": n_pivots, "pivot_strategy": strategy}
+
+    def _artifact_arrays(self) -> Dict[str, np.ndarray]:
+        return {
+            "pivot_indices": np.asarray(self.pivot_indices, dtype=np.int64),
+            "pivot_rows": np.asarray(self.pivot_rows, dtype=float),
+        }
+
+    def _artifact_meta(self) -> Dict[str, Any]:
+        return {"pivot_strategy": self.pivot_strategy}
+
+    def _restore_artifact(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        params: Mapping[str, Any],
+    ) -> None:
+        indices = np.asarray(arrays["pivot_indices"], dtype=np.int64)
+        rows = arrays["pivot_rows"]
+        if rows.ndim != 2 or rows.shape[0] != len(indices) or (
+            len(indices) and rows.shape[1] != len(self.items)
+        ):
+            raise ValueError(
+                f"pivot matrix shape {rows.shape} does not fit "
+                f"{len(indices)} pivots over {len(self.items)} items"
+            )
+        self.pivot_indices = [int(i) for i in indices]
+        self.pivot_rows = rows
+        self.pivot_strategy = str(meta.get("pivot_strategy", "maxmin"))
+        self._pivot_position = {
+            item_idx: row for row, item_idx in enumerate(self.pivot_indices)
+        }
 
     @classmethod
     def from_pivots(
@@ -136,6 +197,7 @@ class LaesaIndex(NearestNeighborIndex):
         NearestNeighborIndex.__init__(index, items, distance)
         index.pivot_indices = list(pivot_indices)
         index.pivot_rows = rows
+        index.pivot_strategy = "precomputed"
         index.preprocessing_computations = 0
         index._pivot_position = {
             item_idx: row for row, item_idx in enumerate(index.pivot_indices)

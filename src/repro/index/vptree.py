@@ -14,7 +14,19 @@ from __future__ import annotations
 import heapq
 import random
 import statistics
-from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
 
 from .base import (
     NearestNeighborIndex,
@@ -69,6 +81,87 @@ class VPTreeIndex(NearestNeighborIndex):
         inside = [i for i, d in zip(rest, distances) if d <= mu]
         outside = [i for i, d in zip(rest, distances) if d > mu]
         return _Node(vantage, mu, self._build(inside), self._build(outside))
+
+    @classmethod
+    def _artifact_key_params(cls, params: Dict[str, Any]) -> Dict[str, Any]:
+        params = dict(params)
+        # the rng only seeds which vantage points a rebuild would pick;
+        # any built tree answers queries exactly, so it stays out of the key
+        params.pop("rng", None)
+        if params:
+            raise TypeError(
+                f"VPTreeIndex.load got unexpected parameters {sorted(params)}"
+            )
+        return {}
+
+    def _artifact_arrays(self) -> Dict[str, np.ndarray]:
+        """Serialize the tree in preorder as ``(item_index, inside_row,
+        outside_row)`` rows plus a parallel radius vector.  Preorder
+        guarantees every child row number exceeds its parent's, which the
+        loader exploits to rebuild bottom-up in one reverse pass.
+        """
+        rows: List[Tuple[int, int, int]] = []
+        radii: List[float] = []
+
+        def emit(node: Optional["_Node"]) -> int:
+            if node is None:
+                return -1
+            row = len(rows)
+            rows.append((node.index, -1, -1))
+            radii.append(node.radius)
+            inside = emit(node.inside)
+            outside = emit(node.outside)
+            rows[row] = (node.index, inside, outside)
+            return row
+
+        emit(self._root)
+        return {
+            "tree_nodes": np.asarray(rows, dtype=np.int64).reshape(len(rows), 3),
+            "tree_radii": np.asarray(radii, dtype=float),
+        }
+
+    def _restore_artifact(
+        self,
+        arrays: Mapping[str, np.ndarray],
+        meta: Mapping[str, Any],
+        params: Mapping[str, Any],
+    ) -> None:
+        rows = np.asarray(arrays["tree_nodes"], dtype=np.int64)
+        radii = np.asarray(arrays["tree_radii"], dtype=float)
+        n = len(self.items)
+        if rows.ndim != 2 or rows.shape[1] != 3 or rows.shape[0] != n:
+            raise ValueError(
+                f"VP-tree payload shape {rows.shape} does not fit {n} items"
+            )
+        if radii.shape != (n,):
+            raise ValueError(
+                f"VP-tree radius vector shape {radii.shape} does not fit {n} items"
+            )
+        built: List[Optional[_Node]] = [None] * n
+
+        def child(row: int, slot: int) -> Optional["_Node"]:
+            if slot == -1:
+                return None
+            if not row < slot < n or built[slot] is None:
+                raise ValueError(
+                    f"VP-tree row {row} points at invalid child row {slot}"
+                )
+            return built[slot]
+
+        for row in range(n - 1, -1, -1):
+            item_index, inside_row, outside_row = (int(v) for v in rows[row])
+            if not 0 <= item_index < n:
+                raise ValueError(f"VP-tree row {row} points at item {item_index}")
+            built[row] = _Node(
+                item_index,
+                float(radii[row]),
+                child(row, inside_row),
+                child(row, outside_row),
+            )
+        self._root = built[0] if n else None
+        # loaded trees never re-enter _build, so self._rng is left unset
+        # on purpose: touching it would imply a rebuild path that the
+        # restored structure does not have
 
     @staticmethod
     def _node_limit(node: "_Node", search_radius: float) -> float:

@@ -1,0 +1,73 @@
+"""Crash-safe persistence of built nearest-neighbour indexes.
+
+AESA pays ``O(n^2)`` distance evaluations at construction and LAESA
+``O(n * P)``; without persistence every process pays that again on
+startup.  This package snapshots a *built* index -- the interned
+corpus' twin code matrices, LAESA's pivot rows, AESA's full triangle,
+the VP/BK tree shapes -- into a versioned on-disk store and loads it
+back by **mapping** the arrays read-only, so a warm start costs file
+verification instead of distance computations.
+
+The store is built for hostile conditions, matching the engine
+runtime's reliability ladder:
+
+* every write is atomic (tmp + fsync + rename; the manifest lands
+  last), so a SIGKILLed saver leaves the previous version intact and
+  nothing half-written visible -- :mod:`repro.store.atomic`;
+* loads verify format version, corpus fingerprint and per-file SHA-256
+  checksums before trusting a byte -- :mod:`repro.store.manifest`;
+* concurrent savers serialize on a pid-stamped lock file with dead-pid
+  takeover -- :mod:`repro.store.lock`;
+* any miss rebuilds silently, any corruption rebuilds *loudly*
+  (``DegradedExecutionWarning`` + the ``store_load_failures`` counter)
+  -- :func:`load_or_build` never crashes and never serves results a
+  cold rebuild would not.
+
+Index classes expose this as ``index.save(store)`` and
+``IndexClass.load(items, distance, store, **params)``
+(:mod:`repro.index.base`); ``REPRO_STORE_*`` knobs tune root, retention,
+lock timeout and verification (:mod:`repro.tools.knobs`).
+"""
+
+from __future__ import annotations
+
+from .artifacts import (
+    ArtifactStore,
+    corpus_fingerprint,
+    distance_token,
+    load_or_build,
+)
+from .atomic import fsync_dir, replace_file, write_array, write_bytes, write_text
+from .errors import StoreError, StoreLoadError, StoreLockTimeout, StoreMiss
+from .lock import ArtifactLock
+from .manifest import (
+    FORMAT_VERSION,
+    MANIFEST_NAME,
+    FileDigest,
+    Manifest,
+    ManifestError,
+    sha256_file,
+)
+
+__all__ = [
+    "ArtifactLock",
+    "ArtifactStore",
+    "FORMAT_VERSION",
+    "FileDigest",
+    "MANIFEST_NAME",
+    "Manifest",
+    "ManifestError",
+    "StoreError",
+    "StoreLoadError",
+    "StoreLockTimeout",
+    "StoreMiss",
+    "corpus_fingerprint",
+    "distance_token",
+    "fsync_dir",
+    "load_or_build",
+    "replace_file",
+    "sha256_file",
+    "write_array",
+    "write_bytes",
+    "write_text",
+]

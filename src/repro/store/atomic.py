@@ -1,0 +1,106 @@
+"""Atomic file writes: tmp + fsync + rename, nothing else.
+
+Every byte the artifact store puts on disk goes through this module --
+linter rule R6 (:mod:`repro.tools.check`) mechanically rejects any other
+write-mode ``open`` under a ``store`` package, and this file is the one
+sanctioned exception.  The discipline is the classic crash-safe
+sequence:
+
+1. write the full payload into a same-directory temp file opened with
+   ``O_CREAT | O_EXCL`` (no clobbering a concurrent writer's temp);
+2. flush and ``fsync`` the file so the data is durable before the name;
+3. ``os.replace`` onto the final name (atomic on POSIX: readers see the
+   old bytes or the new bytes, never a mixture);
+4. ``fsync`` the parent directory so the rename itself is durable.
+
+A crash (or an armed ``store_torn_write`` fault) at any point before
+step 3 leaves only a temp file -- invisible to loaders, reclaimed by the
+next locked saver -- and the final path either absent or fully written.
+"""
+
+from __future__ import annotations
+
+import os
+import uuid
+from pathlib import Path
+from typing import IO, Callable, Union
+
+import numpy as np
+
+from ..batch import faults
+
+__all__ = ["fsync_dir", "replace_file", "write_bytes", "write_text", "write_array"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def fsync_dir(path: PathLike) -> None:
+    """Flush directory *path*'s entry table to disk (best effort: some
+    filesystems refuse directory fsync; the rename is still atomic)."""
+    try:
+        fd = os.open(os.fspath(path), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def replace_file(path: PathLike, write: Callable[[IO[bytes]], None]) -> None:
+    """Atomically materialise *path* with the bytes *write* produces.
+
+    *write* receives a binary file object for a same-directory temp
+    file; after it returns, the temp file is fsynced and renamed over
+    *path*.  On any failure -- including an armed ``store_torn_write``
+    fault, which fires after the payload is durable but before the
+    rename, the exact window a torn write occupies -- the temp file is
+    removed and *path* is left untouched.
+    """
+    target = Path(path)
+    tmp = target.parent / f".{target.name}.tmp-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+    fd = os.open(os.fspath(tmp), os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            write(handle)
+            handle.flush()
+            os.fsync(handle.fileno())
+        faults.check("store_torn_write")
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except FileNotFoundError:
+            pass
+        raise
+    fsync_dir(target.parent)
+
+
+def write_bytes(path: PathLike, data: bytes) -> None:
+    """Atomically write *data* to *path*."""
+    replace_file(path, lambda handle: _write_all(handle, data))
+
+
+def _write_all(handle: IO[bytes], data: bytes) -> None:
+    handle.write(data)
+
+
+def write_text(path: PathLike, text: str) -> None:
+    """Atomically write UTF-8 *text* to *path*."""
+    write_bytes(path, text.encode("utf-8"))
+
+
+def write_array(path: PathLike, array: np.ndarray) -> None:
+    """Atomically write *array* to *path* in ``.npy`` format.
+
+    The format is the same one :func:`numpy.lib.format.open_memmap`
+    produces (and :func:`repro.batch.pairwise_matrix_memmap` streams
+    into), so every artifact file reopens with ``np.load(path,
+    mmap_mode="r")`` -- a read-only mapping, never a copy.
+    """
+    contiguous = np.ascontiguousarray(array)
+    replace_file(
+        path, lambda handle: np.save(handle, contiguous, allow_pickle=False)
+    )

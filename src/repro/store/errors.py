@@ -1,0 +1,46 @@
+"""The artifact store's failure taxonomy.
+
+Loading distinguishes two shapes of "no artifact came back", because the
+caller's obligations differ:
+
+* :class:`StoreMiss` -- nothing under this key (first run, changed
+  corpus, changed parameters).  A plain cache miss: callers rebuild
+  silently, no degradation is recorded.
+* :class:`StoreLoadError` -- artifacts exist under the key but none
+  survived verification (torn manifest, checksum mismatch, foreign
+  format version, shape drift).  Something that *should* have worked
+  did not: callers rebuild, but the event is surfaced through
+  :class:`~repro.batch.runtime.DegradedExecutionWarning` and the
+  ``store_load_failures`` degradation counter.
+
+Neither is ever allowed to escape :func:`repro.store.load_or_build` --
+the public contract is "never a crash, never wrong results".
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "StoreError",
+    "StoreMiss",
+    "StoreLoadError",
+    "StoreLockTimeout",
+]
+
+
+class StoreError(RuntimeError):
+    """Base class of every artifact-store failure."""
+
+
+class StoreMiss(StoreError):
+    """No artifact exists under the requested key (a plain cache miss)."""
+
+
+class StoreLoadError(StoreError):
+    """Artifacts exist under the key but every version failed
+    verification -- corruption, truncation, or metadata drift."""
+
+
+class StoreLockTimeout(StoreError):
+    """A live process held the key's lock file past the configured
+    timeout (``REPRO_STORE_LOCK_TIMEOUT``); dead holders never time a
+    waiter out -- their locks are taken over immediately."""

@@ -1,0 +1,199 @@
+"""Per-key writer serialization: a pid-stamped lock file.
+
+Concurrent savers of the same index key must not interleave version
+numbering or pruning, so :class:`ArtifactLock` serializes them on a lock
+file inside the key directory.  The mechanics combine two layers:
+
+* an ``fcntl.flock`` exclusive lock on the file provides the actual
+  mutual exclusion -- kernel-owned, so a SIGKILLed holder releases it
+  instantly and can never wedge the store;
+* a pid stamp written into the file provides *observability*, mirroring
+  the shared-memory reaper (:func:`repro.batch.runtime.
+  reap_orphaned_segments`): acquiring a lock whose stamp names a dead
+  process is a **dead-pid takeover** -- the previous holder crashed
+  mid-save -- and is surfaced through the ``store_lock_takeovers``
+  degradation counter and a :class:`~repro.batch.runtime.
+  DegradedExecutionWarning` (a clean release truncates the stamp, so
+  healthy handovers stay silent).
+
+A *live* holder keeps waiters polling until ``REPRO_STORE_LOCK_TIMEOUT``
+seconds elapse, then :class:`~repro.store.errors.StoreLockTimeout` is
+raised -- loaders never take this lock, so a stuck saver can only ever
+delay other savers, never a replica start-up.
+
+The armed ``store_lock_stale`` fault site plants a dead-pid stamp just
+before acquisition, forcing the takeover path on demand (the chaos
+suite's handle on it).
+"""
+
+from __future__ import annotations
+
+import errno
+import fcntl
+import os
+import time
+import warnings
+from pathlib import Path
+from types import TracebackType
+from typing import Optional, Type, Union
+
+from ..batch import faults
+from ..batch.runtime import (
+    DEGRADATION,
+    DegradedExecutionWarning,
+    _pid_alive,
+)
+from ..tools import knobs
+from .errors import StoreLockTimeout
+
+__all__ = ["ArtifactLock", "DEFAULT_LOCK_TIMEOUT"]
+
+#: Default seconds a saver waits on a live holder before giving up
+#: (``REPRO_STORE_LOCK_TIMEOUT`` overrides it fleet-wide).
+DEFAULT_LOCK_TIMEOUT = 30.0
+
+#: Poll cadence while a live holder keeps the flock.
+_POLL_SECONDS = 0.05
+
+
+def _stale_pid() -> int:
+    """A pid guaranteed dead, for the ``store_lock_stale`` injection
+    (probed downward from the kernel's default ``pid_max``)."""
+    for pid in range(4194303, 4194303 - 256, -1):
+        if not _pid_alive(pid):
+            return pid
+    raise RuntimeError("no dead pid found below pid_max")  # pragma: no cover
+
+
+class ArtifactLock:
+    """Exclusive per-key writer lock (context manager).
+
+    ``with ArtifactLock(key_dir / "LOCK"):`` acquires the flock (taking
+    over dead holders immediately), stamps the file with this process'
+    pid, and on exit truncates the stamp and releases.  Re-entrant use
+    of one instance is a programming error and raises ``RuntimeError``.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "os.PathLike[str]"],
+        timeout: Optional[float] = None,
+        poll_seconds: float = _POLL_SECONDS,
+    ) -> None:
+        self.path = Path(path)
+        if timeout is None:
+            env = knobs.get_float(
+                "REPRO_STORE_LOCK_TIMEOUT", default=DEFAULT_LOCK_TIMEOUT
+            )
+            timeout = env if env is not None else DEFAULT_LOCK_TIMEOUT
+        self.timeout = float(timeout)
+        self.poll_seconds = float(poll_seconds)
+        self._fd: Optional[int] = None
+
+    @property
+    def held(self) -> bool:
+        return self._fd is not None
+
+    def acquire(self) -> "ArtifactLock":
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is already held")
+        if faults.fires("store_lock_stale"):
+            self._plant_stale_stamp()
+        fd = os.open(os.fspath(self.path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            self._flock_with_timeout(fd)
+            self._record_takeover(fd)
+            self._stamp(fd)
+        except BaseException:
+            os.close(fd)
+            raise
+        self._fd = fd
+        return self
+
+    def release(self) -> None:
+        fd = self._fd
+        if fd is None:
+            return
+        self._fd = None
+        try:
+            # Truncate the stamp *before* dropping the flock: the next
+            # holder must never read this (live) pid and misreport a
+            # takeover.
+            os.ftruncate(fd, 0)
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except OSError:
+                pass
+            os.close(fd)
+
+    def __enter__(self) -> "ArtifactLock":
+        return self.acquire()
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        self.release()
+
+    # -- internals --------------------------------------------------------
+
+    def _flock_with_timeout(self, fd: int) -> None:
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                return
+            except OSError as exc:
+                if exc.errno not in (errno.EAGAIN, errno.EACCES):
+                    raise
+            if time.monotonic() >= deadline:
+                raise StoreLockTimeout(
+                    f"lock {self.path} held by a live process for more "
+                    f"than {self.timeout:g}s"
+                )
+            time.sleep(self.poll_seconds)
+
+    def _record_takeover(self, fd: int) -> None:
+        """Surface a dead previous holder (stamp present, pid dead)."""
+        os.lseek(fd, 0, os.SEEK_SET)
+        try:
+            stamp = os.read(fd, 64).decode("ascii", "replace").strip()
+        except OSError:
+            return
+        if not stamp:
+            return  # clean release (or fresh file): nothing to report
+        try:
+            pid = int(stamp.split()[0])
+        except (ValueError, IndexError):
+            pid = -1  # torn stamp: the writer died before finishing it
+        if pid >= 0 and _pid_alive(pid):
+            return  # released flock but live process: not a crash
+        DEGRADATION.record("store_lock_takeovers")
+        warnings.warn(
+            f"took over artifact-store lock {self.path} stamped by dead "
+            f"process {pid if pid >= 0 else '<unreadable>'}",
+            DegradedExecutionWarning,
+            stacklevel=4,
+        )
+
+    def _stamp(self, fd: int) -> None:
+        os.ftruncate(fd, 0)
+        os.lseek(fd, 0, os.SEEK_SET)
+        os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+        os.fsync(fd)
+
+    def _plant_stale_stamp(self) -> None:
+        """``store_lock_stale``: forge a dead holder's crash leftovers."""
+        fd = os.open(os.fspath(self.path), os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            os.ftruncate(fd, 0)
+            os.write(fd, f"{_stale_pid()}\n".encode("ascii"))
+            os.fsync(fd)
+        finally:
+            os.close(fd)

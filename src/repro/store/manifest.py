@@ -1,0 +1,170 @@
+"""The artifact manifest: one JSON file that makes a snapshot valid.
+
+A snapshot directory is *defined* by its ``manifest.json`` -- the file
+is written last (atomically), so a directory without a parseable
+manifest is by construction an unfinished or pruned save and never
+loadable.  The manifest binds together everything a loader must verify
+before trusting a single byte of payload:
+
+* ``format_version`` -- the on-disk layout revision; foreign versions
+  are rejected, not guessed at;
+* ``class`` / ``distance`` / ``params`` -- which structure, under which
+  metric, with which build parameters;
+* ``corpus_fingerprint`` / ``n_items`` -- a SHA-256 over the normalised
+  item sequences, so an artifact can never be replayed against a
+  changed database (defence in depth: the fingerprint is also part of
+  the store key);
+* ``files`` -- per-payload-file SHA-256 + size, checked before any
+  array is mapped (``REPRO_STORE_VERIFY=0`` skips the hashing for
+  trusted volumes).
+
+Parsing is strict: :func:`Manifest.from_json` raises
+:class:`ManifestError` on anything malformed, and the loader treats
+that exactly like a checksum mismatch -- skip the snapshot, surface the
+degradation, rebuild.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Union
+
+__all__ = [
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "FileDigest",
+    "Manifest",
+    "ManifestError",
+    "sha256_file",
+]
+
+#: On-disk layout revision; bump on any incompatible change so old
+#: readers reject new snapshots (and vice versa) instead of misparsing.
+FORMAT_VERSION = 1
+
+#: The snapshot-defining file, written last inside every snapshot.
+MANIFEST_NAME = "manifest.json"
+
+_HASH_CHUNK = 1 << 20
+
+
+class ManifestError(ValueError):
+    """A manifest that cannot be parsed or fails shape validation."""
+
+
+def sha256_file(path: Union[str, "os.PathLike[str]"]) -> str:
+    """Hex SHA-256 of *path*'s contents (streamed, bounded memory)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_HASH_CHUNK)
+            if not chunk:
+                break
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class FileDigest:
+    """Integrity record of one payload file."""
+
+    sha256: str
+    size: int
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """The parsed (or to-be-written) snapshot manifest."""
+
+    format_version: int
+    class_name: str
+    distance: str
+    params: Dict[str, Any]
+    corpus_fingerprint: str
+    n_items: int
+    preprocessing_computations: int
+    meta: Dict[str, Any]
+    files: Dict[str, FileDigest]
+
+    def to_json(self) -> str:
+        payload = {
+            "format_version": self.format_version,
+            "class": self.class_name,
+            "distance": self.distance,
+            "params": self.params,
+            "corpus_fingerprint": self.corpus_fingerprint,
+            "n_items": self.n_items,
+            "preprocessing_computations": self.preprocessing_computations,
+            "meta": self.meta,
+            "files": {
+                name: {"sha256": digest.sha256, "size": digest.size}
+                for name, digest in sorted(self.files.items())
+            },
+        }
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "Manifest":
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ManifestError(f"manifest is not valid JSON: {exc}") from exc
+        if not isinstance(raw, dict):
+            raise ManifestError("manifest root is not an object")
+        try:
+            files = _parse_files(raw["files"])
+            manifest = cls(
+                format_version=_expect_int(raw, "format_version"),
+                class_name=_expect_str(raw, "class"),
+                distance=_expect_str(raw, "distance"),
+                params=_expect_dict(raw, "params"),
+                corpus_fingerprint=_expect_str(raw, "corpus_fingerprint"),
+                n_items=_expect_int(raw, "n_items"),
+                preprocessing_computations=_expect_int(
+                    raw, "preprocessing_computations"
+                ),
+                meta=_expect_dict(raw, "meta"),
+                files=files,
+            )
+        except KeyError as exc:
+            raise ManifestError(f"manifest is missing field {exc.args[0]!r}")
+        return manifest
+
+
+def _expect_int(raw: Mapping[str, Any], key: str) -> int:
+    value = raw[key]
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ManifestError(f"manifest field {key!r} is not an integer")
+    return value
+
+
+def _expect_str(raw: Mapping[str, Any], key: str) -> str:
+    value = raw[key]
+    if not isinstance(value, str):
+        raise ManifestError(f"manifest field {key!r} is not a string")
+    return value
+
+
+def _expect_dict(raw: Mapping[str, Any], key: str) -> Dict[str, Any]:
+    value = raw[key]
+    if not isinstance(value, dict):
+        raise ManifestError(f"manifest field {key!r} is not an object")
+    return dict(value)
+
+
+def _parse_files(raw: Any) -> Dict[str, FileDigest]:
+    if not isinstance(raw, dict):
+        raise ManifestError("manifest field 'files' is not an object")
+    files: Dict[str, FileDigest] = {}
+    for name, entry in raw.items():
+        if not isinstance(name, str) or not isinstance(entry, dict):
+            raise ManifestError("malformed 'files' entry")
+        sha = entry.get("sha256")
+        size = entry.get("size")
+        if not isinstance(sha, str) or not isinstance(size, int):
+            raise ManifestError(f"malformed digest for file {name!r}")
+        files[name] = FileDigest(sha256=sha, size=size)
+    return files

@@ -27,7 +27,12 @@ R4  degradation coverage: every public ``bulk_*`` method on an ``index``
     (``_lockstep_drive`` / ``_bulk_knn_lockstep``);
 R5  fault-site registration: every string literal passed to
     ``faults.check`` / ``faults.fires`` / ``should_fire`` names a site
-    declared in ``faults.py``'s ``SITES`` tuple.
+    declared in ``faults.py``'s ``SITES`` tuple;
+R6  atomic store writes: inside ``repro/store/`` every file write goes
+    through the crash-safe helpers in :mod:`repro.store.atomic` -- a
+    bare ``open(path, "wb")`` / ``open_memmap(..., mode="w+")`` could
+    leave a torn artifact visible; ``atomic.py`` itself is the one
+    sanctioned writer.
 
 The checker is pure stdlib ``ast`` -- no imports of the checked code, no
 third-party dependencies -- so it runs anywhere the test-suite runs.
@@ -52,6 +57,7 @@ RULES: Dict[str, str] = {
     "R3": "shared-memory creation without paired release/unlink guard",
     "R4": "public bulk_* index method not reporting degradation",
     "R5": "fault site not declared in faults.SITES",
+    "R6": "non-atomic file write inside repro/store (use repro.store.atomic)",
 }
 
 _NOQA = re.compile(r"#\s*repro:\s*noqa(?:\[([^\]]*)\])?", re.IGNORECASE)
@@ -433,6 +439,78 @@ def _rule_r5(sources: Sequence[_Source]) -> List[Violation]:
 
 
 # ---------------------------------------------------------------------------
+# R6: atomic writes inside the artifact store
+# ---------------------------------------------------------------------------
+
+#: ``open``-style mode literals: short strings over the mode alphabet.
+#: Anything longer or with foreign characters is a path or some other
+#: argument, not a mode.
+_MODE_LITERAL = re.compile(r"^[rwxab+tU]{1,3}$")
+
+#: Mode characters that make a handle writable (truncate, create,
+#: append, or update) -- the ones a crash can tear.
+_WRITE_CHARS = frozenset("wax+")
+
+_OPENERS = ("open", "open_memmap")
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _write_mode(node: ast.Call) -> Optional[str]:
+    """The write-mode literal *node* opens with, if any."""
+    candidates: List[ast.expr] = [
+        keyword.value for keyword in node.keywords if keyword.arg == "mode"
+    ]
+    # positional mode: open(path, "wb") / open_memmap(path, "w+", ...)
+    candidates.extend(node.args[1:2])
+    for candidate in candidates:
+        if not (
+            isinstance(candidate, ast.Constant)
+            and isinstance(candidate.value, str)
+        ):
+            continue
+        mode = candidate.value
+        if _MODE_LITERAL.match(mode) and _WRITE_CHARS & set(mode):
+            return mode
+    return None
+
+
+def _rule_r6(source: _Source) -> List[Violation]:
+    if "store" not in source.path.parts:
+        return []
+    if source.path.name == "atomic.py":
+        return []  # the sanctioned writer: tmp + fsync + rename lives here
+    found = []
+    for node in ast.walk(source.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _call_name(node)
+        if name not in _OPENERS:
+            continue
+        mode = _write_mode(node)
+        if mode is None:
+            continue
+        found.append(
+            Violation(
+                str(source.path),
+                node.lineno,
+                "R6",
+                f"{name}(..., {mode!r}) writes non-atomically inside the "
+                "artifact store; route it through repro.store.atomic "
+                "(tmp + fsync + rename)",
+            )
+        )
+    return found
+
+
+# ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
 
@@ -464,6 +542,7 @@ def check_paths(paths: Iterable[Path]) -> List[Violation]:
         violations.extend(_rule_r1(source))
         violations.extend(_rule_r3(source))
         violations.extend(_rule_r4(source))
+        violations.extend(_rule_r6(source))
     violations.extend(_rule_r2(sources))
     violations.extend(_rule_r5(sources))
     kept = []
@@ -484,7 +563,7 @@ def check_tree(root: str) -> List[Violation]:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.tools.check",
-        description="Run the project invariant linter (rules R1-R5).",
+        description="Run the project invariant linter (rules R1-R6).",
     )
     parser.add_argument(
         "paths", nargs="+", help="files or directories to lint"

@@ -192,6 +192,47 @@ REGISTRY: Dict[str, KnobSpec] = _spec(
         ),
         module="repro.index.aesa",
     ),
+    KnobSpec(
+        name="REPRO_STORE_DIR",
+        type="str",
+        default=None,
+        description=(
+            "Default root directory for the versioned index artifact "
+            "store; `ArtifactStore()` without an explicit root reads it."
+        ),
+        module="repro.store.artifacts",
+    ),
+    KnobSpec(
+        name="REPRO_STORE_KEEP",
+        type="int",
+        default=2,
+        description=(
+            "Snapshot versions retained per store key after a save "
+            "(clamped to >= 1; older versions are pruned manifest-first)."
+        ),
+        module="repro.store.artifacts",
+    ),
+    KnobSpec(
+        name="REPRO_STORE_LOCK_TIMEOUT",
+        type="float",
+        default=30.0,
+        description=(
+            "Seconds a saver waits for the per-key store lock before "
+            "raising `StoreLockTimeout` (dead holders are taken over "
+            "immediately)."
+        ),
+        module="repro.store.lock",
+    ),
+    KnobSpec(
+        name="REPRO_STORE_VERIFY",
+        type="flag",
+        default=True,
+        description=(
+            "Verify per-file SHA-256 checksums before trusting a stored "
+            "snapshot; `0` skips hashing (size and identity checks remain)."
+        ),
+        module="repro.store.artifacts",
+    ),
 )
 
 

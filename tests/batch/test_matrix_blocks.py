@@ -85,6 +85,21 @@ class TestMemmap:
                 "levenshtein", ["a"], path=tmp_path / "m.npy", block_rows=-1
             )
 
+    def test_close_returns_read_only_mapping(self, tmp_path):
+        items = _random_strings(5, 11, 8)
+        path = tmp_path / "closed.npy"
+        mm = pairwise_matrix_memmap(
+            "levenshtein", items, path=path, block_rows=2, close=True
+        )
+        full = pairwise_matrix("levenshtein", items)
+        assert np.array_equal(np.asarray(mm), full)
+        # the writable handle is gone: the returned mapping rejects writes
+        assert not mm.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            mm[0, 0] = 1.0
+        # and the on-disk file holds the flushed matrix
+        assert np.array_equal(np.asarray(np.load(path, mmap_mode="r")), full)
+
 
 class TestAutoWorkers:
     def test_auto_serial_below_threshold(self, monkeypatch):

@@ -1,0 +1,83 @@
+"""The atomic write helpers: all-or-nothing, torn-write fault included."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.batch.faults import FaultInjected
+from repro.store import write_array, write_bytes, write_text
+
+
+def _tmp_debris(directory):
+    return [p for p in directory.iterdir() if ".tmp-" in p.name]
+
+
+class TestReplaceSemantics:
+    def test_write_bytes_creates_the_file(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        write_bytes(target, b"payload")
+        assert target.read_bytes() == b"payload"
+        assert _tmp_debris(tmp_path) == []
+
+    def test_write_text_round_trips_utf8(self, tmp_path):
+        target = tmp_path / "note.txt"
+        write_text(target, "π ≈ 3.14159\n")
+        assert target.read_text(encoding="utf-8") == "π ≈ 3.14159\n"
+
+    def test_overwrite_replaces_whole_content(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        write_bytes(target, b"old-and-longer-content")
+        write_bytes(target, b"new")
+        assert target.read_bytes() == b"new"
+
+    def test_write_array_reopens_as_readonly_memmap(self, tmp_path):
+        target = tmp_path / "matrix.npy"
+        matrix = np.arange(12, dtype=float).reshape(3, 4)
+        write_array(target, matrix)
+        reloaded = np.load(target, mmap_mode="r", allow_pickle=False)
+        assert np.array_equal(np.asarray(reloaded), matrix)
+        assert not reloaded.flags.writeable
+
+    def test_failing_writer_leaves_target_untouched(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        write_bytes(target, b"intact")
+
+        def exploding(handle):
+            handle.write(b"partial")
+            raise RuntimeError("writer died")
+
+        from repro.store import replace_file
+
+        with pytest.raises(RuntimeError):
+            replace_file(target, exploding)
+        assert target.read_bytes() == b"intact"
+        assert _tmp_debris(tmp_path) == []
+
+
+class TestTornWriteFault:
+    def test_armed_fault_fires_after_payload_before_rename(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "store_torn_write")
+        target = tmp_path / "blob.bin"
+        with pytest.raises(FaultInjected):
+            write_bytes(target, b"never-visible")
+        # the exact torn-write window: destination absent, no tmp debris
+        assert not target.exists()
+        assert _tmp_debris(tmp_path) == []
+
+    def test_existing_target_survives_the_fault(self, tmp_path, monkeypatch):
+        target = tmp_path / "blob.bin"
+        write_bytes(target, b"version-1")
+        monkeypatch.setenv("REPRO_FAULTS", "store_torn_write")
+        with pytest.raises(FaultInjected):
+            write_bytes(target, b"version-2")
+        assert target.read_bytes() == b"version-1"
+
+    def test_unarmed_site_is_inert(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        target = tmp_path / "blob.bin"
+        write_bytes(target, b"fine")
+        assert target.read_bytes() == b"fine"
+        assert os.path.getsize(target) == 4

@@ -1,0 +1,129 @@
+"""The per-key writer lock: exclusion, timeout, dead-pid takeover."""
+
+import os
+import threading
+import time
+import warnings
+
+import pytest
+
+from repro.batch import DEGRADATION, DegradedExecutionWarning
+from repro.store import ArtifactLock, StoreLockTimeout
+from repro.store.lock import _stale_pid
+
+
+@pytest.fixture
+def lock_path(tmp_path):
+    return tmp_path / "LOCK"
+
+
+def _takeovers():
+    return DEGRADATION.snapshot()["store_lock_takeovers"]
+
+
+class TestBasics:
+    def test_acquire_release_cycle(self, lock_path):
+        lock = ArtifactLock(lock_path)
+        assert not lock.held
+        with lock:
+            assert lock.held
+            assert lock_path.read_text().strip() == str(os.getpid())
+        assert not lock.held
+
+    def test_clean_release_truncates_the_stamp(self, lock_path):
+        with ArtifactLock(lock_path):
+            pass
+        assert lock_path.read_bytes() == b""
+
+    def test_reacquiring_a_held_instance_raises(self, lock_path):
+        with ArtifactLock(lock_path) as lock:
+            with pytest.raises(RuntimeError):
+                lock.acquire()
+
+    def test_release_is_idempotent(self, lock_path):
+        lock = ArtifactLock(lock_path).acquire()
+        lock.release()
+        lock.release()  # second release: no-op, no error
+
+    def test_clean_handover_is_silent(self, lock_path):
+        before = _takeovers()
+        with ArtifactLock(lock_path):
+            pass
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with ArtifactLock(lock_path):
+                pass
+        assert _takeovers() == before
+
+
+class TestExclusion:
+    def test_live_holder_makes_waiters_time_out(self, lock_path):
+        holder = ArtifactLock(lock_path).acquire()
+        try:
+            waiter = ArtifactLock(lock_path, timeout=0.2, poll_seconds=0.01)
+            started = time.monotonic()
+            with pytest.raises(StoreLockTimeout):
+                waiter.acquire()
+            assert time.monotonic() - started >= 0.2
+        finally:
+            holder.release()
+
+    def test_waiter_proceeds_once_released(self, lock_path):
+        holder = ArtifactLock(lock_path).acquire()
+        acquired = threading.Event()
+
+        def wait_then_hold():
+            with ArtifactLock(lock_path, timeout=5.0, poll_seconds=0.01):
+                acquired.set()
+
+        thread = threading.Thread(target=wait_then_hold)
+        thread.start()
+        try:
+            assert not acquired.wait(0.15)  # still excluded
+            holder.release()
+            assert acquired.wait(5.0)
+        finally:
+            thread.join(5.0)
+
+    def test_timeout_knob_is_honoured(self, lock_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_LOCK_TIMEOUT", "0.05")
+        lock = ArtifactLock(lock_path)
+        assert lock.timeout == pytest.approx(0.05)
+
+    def test_explicit_timeout_beats_the_knob(self, lock_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_LOCK_TIMEOUT", "99")
+        assert ArtifactLock(lock_path, timeout=0.5).timeout == 0.5
+
+
+class TestTakeover:
+    def test_dead_pid_stamp_is_taken_over_loudly(self, lock_path):
+        lock_path.write_text(f"{_stale_pid()}\n")
+        before = _takeovers()
+        with pytest.warns(DegradedExecutionWarning, match="dead"):
+            with ArtifactLock(lock_path):
+                pass
+        assert _takeovers() == before + 1
+
+    def test_torn_stamp_counts_as_takeover(self, lock_path):
+        lock_path.write_text("not-a-pid")
+        before = _takeovers()
+        with pytest.warns(DegradedExecutionWarning):
+            with ArtifactLock(lock_path):
+                pass
+        assert _takeovers() == before + 1
+
+    def test_stale_fault_site_forces_the_takeover_path(
+        self, lock_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FAULTS", "store_lock_stale")
+        before = _takeovers()
+        with pytest.warns(DegradedExecutionWarning, match="dead"):
+            with ArtifactLock(lock_path):
+                pass
+        assert _takeovers() == before + 1
+
+    def test_takeover_still_stamps_the_new_holder(self, lock_path):
+        lock_path.write_text(f"{_stale_pid()}\n")
+        with pytest.warns(DegradedExecutionWarning):
+            with ArtifactLock(lock_path):
+                assert lock_path.read_text().strip() == str(os.getpid())

@@ -1,0 +1,94 @@
+"""Manifest round-trip and strict parsing."""
+
+import json
+
+import pytest
+
+from repro.store import FORMAT_VERSION, FileDigest, Manifest, ManifestError
+
+
+def _manifest(**overrides):
+    fields = dict(
+        format_version=FORMAT_VERSION,
+        class_name="LaesaIndex",
+        distance="levenshtein",
+        params={"n_pivots": 4, "pivot_strategy": "maxmin"},
+        corpus_fingerprint="ab" * 32,
+        n_items=40,
+        preprocessing_computations=120,
+        meta={"interned": True},
+        files={
+            "pivot_rows.npy": FileDigest(sha256="cd" * 32, size=1408),
+            "corpus_rows_x.npy": FileDigest(sha256="ef" * 32, size=6528),
+        },
+    )
+    fields.update(overrides)
+    return Manifest(**fields)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_preserves_every_field(self):
+        original = _manifest()
+        assert Manifest.from_json(original.to_json()) == original
+
+    def test_serialization_is_deterministic(self):
+        assert _manifest().to_json() == _manifest().to_json()
+
+    def test_file_order_does_not_matter(self):
+        a = _manifest()
+        b = _manifest(files=dict(reversed(list(a.files.items()))))
+        assert a.to_json() == b.to_json()
+
+    def test_output_is_plain_sorted_json(self):
+        payload = json.loads(_manifest().to_json())
+        assert payload["class"] == "LaesaIndex"
+        assert payload["files"]["pivot_rows.npy"]["size"] == 1408
+
+
+class TestStrictParsing:
+    def test_truncated_json_is_rejected(self):
+        text = _manifest().to_json()
+        with pytest.raises(ManifestError, match="not valid JSON"):
+            Manifest.from_json(text[: len(text) // 2])
+
+    def test_non_object_root_is_rejected(self):
+        with pytest.raises(ManifestError, match="root"):
+            Manifest.from_json("[1, 2, 3]")
+
+    @pytest.mark.parametrize(
+        "field",
+        [
+            "format_version",
+            "class",
+            "distance",
+            "params",
+            "corpus_fingerprint",
+            "n_items",
+            "preprocessing_computations",
+            "meta",
+            "files",
+        ],
+    )
+    def test_every_missing_field_is_rejected(self, field):
+        payload = json.loads(_manifest().to_json())
+        del payload[field]
+        with pytest.raises(ManifestError, match="missing"):
+            Manifest.from_json(json.dumps(payload))
+
+    def test_wrong_typed_version_is_rejected(self):
+        payload = json.loads(_manifest().to_json())
+        payload["format_version"] = "1"
+        with pytest.raises(ManifestError, match="not an integer"):
+            Manifest.from_json(json.dumps(payload))
+
+    def test_boolean_is_not_an_integer(self):
+        payload = json.loads(_manifest().to_json())
+        payload["n_items"] = True
+        with pytest.raises(ManifestError, match="not an integer"):
+            Manifest.from_json(json.dumps(payload))
+
+    def test_malformed_file_digest_is_rejected(self):
+        payload = json.loads(_manifest().to_json())
+        payload["files"]["pivot_rows.npy"] = {"sha256": 7, "size": "big"}
+        with pytest.raises(ManifestError, match="malformed digest"):
+            Manifest.from_json(json.dumps(payload))

@@ -1,0 +1,241 @@
+"""The versioned artifact store: keys, versions, pruning, miss vs corrupt."""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.batch import DEGRADATION, DegradedExecutionWarning
+from repro.core import get_distance
+from repro.index import ExhaustiveIndex, LaesaIndex
+from repro.store import (
+    MANIFEST_NAME,
+    ArtifactStore,
+    StoreLoadError,
+    StoreMiss,
+    corpus_fingerprint,
+    distance_token,
+    load_or_build,
+)
+
+WORDS = [
+    "cat", "cart", "dog", "dodge", "mart", "smart", "art", "car",
+    "tars", "rats", "star", "tsar",
+]
+
+LEV = get_distance("levenshtein")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(tmp_path / "store")
+
+
+def _load_failures():
+    return DEGRADATION.snapshot()["store_load_failures"]
+
+
+class TestIdentityTokens:
+    def test_string_distance_passes_through(self):
+        assert distance_token("levenshtein") == "levenshtein"
+
+    def test_registered_callable_maps_to_its_name(self):
+        assert distance_token(LEV) == "levenshtein"
+
+    def test_unregistered_callable_uses_module_qualname(self):
+        def local_metric(x, y):
+            return 0.0
+
+        token = distance_token(local_metric)
+        assert "local_metric" in token and ":" in token
+
+    def test_fingerprint_is_stable_and_content_sensitive(self):
+        assert corpus_fingerprint(WORDS) == corpus_fingerprint(list(WORDS))
+        assert corpus_fingerprint(WORDS) != corpus_fingerprint(WORDS[:-1])
+
+    def test_fingerprint_normalises_like_the_distances(self):
+        # "ab" and ("a", "b") are the same sequence to every metric here
+        assert corpus_fingerprint(["ab"]) == corpus_fingerprint([("a", "b")])
+
+
+class TestRoots:
+    def test_missing_root_is_an_error(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+        with pytest.raises(ValueError, match="REPRO_STORE_DIR"):
+            ArtifactStore()
+
+    def test_env_knob_supplies_the_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path / "env-root"))
+        assert ArtifactStore().root == tmp_path / "env-root"
+
+    def test_coerce_accepts_paths_and_stores(self, tmp_path, store):
+        assert ArtifactStore.coerce(store) is store
+        assert ArtifactStore.coerce(tmp_path).root == tmp_path
+
+
+class TestSaveLoad:
+    def test_save_creates_a_manifested_snapshot(self, store):
+        index = ExhaustiveIndex(WORDS, LEV)
+        snapshot = index.save(store)
+        assert snapshot.is_dir()
+        assert (snapshot / MANIFEST_NAME).is_file()
+
+    def test_load_costs_zero_distance_evaluations(self, store):
+        LaesaIndex(WORDS, LEV, n_pivots=3).save(store)
+        loaded = LaesaIndex.load(WORDS, LEV, store, n_pivots=3)
+        # preprocessing_computations reports the *original* build cost...
+        assert loaded.preprocessing_computations > 0
+        # ...but the load itself never called the metric
+        assert loaded._counter.calls == 0
+
+    def test_loaded_arrays_are_readonly_mappings(self, store):
+        LaesaIndex(WORDS, LEV, n_pivots=3).save(store)
+        loaded = LaesaIndex.load(WORDS, LEV, store, n_pivots=3)
+        assert isinstance(loaded.pivot_rows, np.memmap)
+        assert not loaded.pivot_rows.flags.writeable
+
+    def test_params_select_distinct_keys(self, store):
+        LaesaIndex(WORDS, LEV, n_pivots=3).save(store)
+        with pytest.raises(StoreMiss):
+            store.load(LaesaIndex, WORDS, LEV, {"n_pivots": 5})
+
+    def test_changed_corpus_is_a_clean_miss(self, store):
+        ExhaustiveIndex(WORDS, LEV).save(store)
+        with pytest.raises(StoreMiss):
+            store.load(ExhaustiveIndex, WORDS[:-1], LEV)
+
+    def test_unknown_load_keyword_raises_typeerror(self, store):
+        ExhaustiveIndex(WORDS, LEV).save(store)
+        with pytest.raises(TypeError, match="typo_knob"):
+            ExhaustiveIndex.load(WORDS, LEV, store, typo_knob=1)
+
+    def test_name_and_callable_distances_share_artifacts(self, store):
+        ExhaustiveIndex(WORDS, LEV).save(store)
+        loaded = store.load(ExhaustiveIndex, WORDS, "levenshtein")
+        assert loaded._counter.calls == 0
+
+
+class TestVersioning:
+    def test_saves_mint_increasing_versions(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_KEEP", "10")
+        index = ExhaustiveIndex(WORDS, LEV)
+        first = index.save(store)
+        second = index.save(store)
+        assert first.name.startswith("v000001-")
+        assert second.name.startswith("v000002-")
+
+    def test_newest_valid_snapshot_wins(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_KEEP", "10")
+        index = ExhaustiveIndex(WORDS, LEV)
+        index.save(store)
+        second = index.save(store)
+        # corrupt the newest payload: the loader must fall back silently
+        # to the older version inside ArtifactStore.load (the per-version
+        # ladder), not fail outright
+        victim = next(p for p in second.iterdir() if p.suffix == ".npy")
+        data = bytearray(victim.read_bytes())
+        data[-1] ^= 0xFF
+        victim.write_bytes(bytes(data))
+        loaded = store.load(ExhaustiveIndex, WORDS, LEV)
+        assert loaded._counter.calls == 0
+
+    def test_prune_keeps_the_newest_k(self, store, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_KEEP", "2")
+        index = ExhaustiveIndex(WORDS, LEV)
+        for _ in range(4):
+            last = index.save(store)
+        key_dir = last.parent
+        snapshots = sorted(
+            p.name for p in key_dir.iterdir() if p.name.startswith("v")
+        )
+        assert len(snapshots) == 2
+        assert snapshots[-1].startswith("v000004-")
+
+    def test_dead_tmp_debris_is_reaped_on_save(self, store):
+        index = ExhaustiveIndex(WORDS, LEV)
+        first = index.save(store)
+        key_dir = first.parent
+        debris = key_dir / "tmp-999999-abcdef"  # pid 999999: dead
+        debris.mkdir()
+        (debris / "half.npy").write_bytes(b"torn")
+        index.save(store)
+        assert not debris.exists()
+
+
+class TestMissVersusCorruption:
+    def test_miss_rebuilds_silently(self, store):
+        before = _load_failures()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            index = ExhaustiveIndex.load(WORDS, LEV, store)
+        assert _load_failures() == before
+        assert index.last_degradation == {}
+        assert index.preprocessing_computations == 0
+
+    def test_corruption_rebuilds_loudly(self, store):
+        snapshot = ExhaustiveIndex(WORDS, LEV).save(store)
+        (snapshot / MANIFEST_NAME).write_text("{ not json", encoding="utf-8")
+        before = _load_failures()
+        with pytest.warns(DegradedExecutionWarning, match="rebuilding"):
+            index = ExhaustiveIndex.load(WORDS, LEV, store)
+        assert _load_failures() == before + 1
+        assert index.last_degradation["store_load_failures"] == 1
+
+    def test_bit_flipped_payload_fails_checksum(self, store):
+        snapshot = LaesaIndex(WORDS, LEV, n_pivots=3).save(store)
+        victim = snapshot / "pivot_rows.npy"
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        victim.write_bytes(bytes(data))
+        with pytest.raises(StoreLoadError, match="checksum"):
+            store.load(LaesaIndex, WORDS, LEV, {"n_pivots": 3})
+
+    def test_truncated_payload_fails_on_size(self, store):
+        snapshot = LaesaIndex(WORDS, LEV, n_pivots=3).save(store)
+        victim = snapshot / "pivot_indices.npy"
+        victim.write_bytes(victim.read_bytes()[:-8])
+        with pytest.raises(StoreLoadError, match="bytes"):
+            store.load(LaesaIndex, WORDS, LEV, {"n_pivots": 3})
+
+    def test_missing_payload_fails_verification(self, store):
+        snapshot = LaesaIndex(WORDS, LEV, n_pivots=3).save(store)
+        (snapshot / "pivot_rows.npy").unlink()
+        with pytest.raises(StoreLoadError, match="missing payload"):
+            store.load(LaesaIndex, WORDS, LEV, {"n_pivots": 3})
+
+    def test_verify_knob_skips_hashing_not_identity(self, store, monkeypatch):
+        ExhaustiveIndex(WORDS, LEV).save(store)
+        monkeypatch.setenv("REPRO_STORE_VERIFY", "0")
+
+        def hashing_is_off(path):
+            raise AssertionError("sha256_file must not run with verify off")
+
+        monkeypatch.setattr(
+            "repro.store.artifacts.sha256_file", hashing_is_off
+        )
+        # loads fine without touching the hasher...
+        store.load(ExhaustiveIndex, WORDS, LEV)
+        # ...while identity checks (here: the key digest) still apply
+        with pytest.raises(StoreMiss):
+            store.load(ExhaustiveIndex, WORDS[:-1], LEV)
+
+    def test_rebuild_is_bit_identical_to_cold_build(self, store):
+        built = LaesaIndex(WORDS, LEV, n_pivots=3)
+        snapshot = built.save(store)
+        victim = snapshot / "pivot_rows.npy"
+        data = bytearray(victim.read_bytes())
+        data[len(data) // 2] ^= 0x01
+        victim.write_bytes(bytes(data))
+        with pytest.warns(DegradedExecutionWarning):
+            rebuilt = load_or_build(
+                LaesaIndex, WORDS, LEV, store, {"n_pivots": 3}
+            )
+        assert rebuilt.pivot_indices == built.pivot_indices
+        assert np.array_equal(
+            np.asarray(rebuilt.pivot_rows), np.asarray(built.pivot_rows)
+        )
+        assert (
+            rebuilt.preprocessing_computations
+            == built.preprocessing_computations
+        )

@@ -1,0 +1,7 @@
+"""R6 fixture: ``atomic.py`` is the sanctioned writer -- these same
+write shapes must NOT fire inside it."""
+
+EXEMPT_WRITE = open("artifact.tmp", "wb")
+
+with open("manifest.tmp", mode="w") as handle:
+    handle.write("{}")

@@ -1,0 +1,31 @@
+"""R6 fixture: every bare-write flavour the rule must catch inside a
+``store`` directory, plus the shapes it must leave alone."""
+
+from numpy.lib.format import open_memmap
+
+# -- violations --------------------------------------------------------------
+
+with open("artifact.npy", "wb") as handle:  # positional write mode
+    handle.write(b"torn")
+
+with open("artifact.json", mode="w") as handle:  # keyword write mode
+    handle.write("{}")
+
+APPENDED = open("artifact.log", "a")  # append tears too
+
+UPDATED = open("artifact.bin", "r+b")  # update mode is writable
+
+MAPPED = open_memmap("matrix.npy", mode="w+", shape=(2, 2))  # numpy writer
+
+SUPPRESSED = open("escape.bin", "wb")  # repro: noqa[R6]
+
+# -- non-violations ----------------------------------------------------------
+
+with open("artifact.npy", "rb") as handle:  # read mode is safe
+    handle.read()
+
+READ_DEFAULT = open("manifest.json")  # default mode is "r"
+
+READ_MAPPED = open_memmap("matrix.npy", mode="r")  # read-only mapping
+
+NOT_A_MODE = open("w")  # single path argument, not a mode

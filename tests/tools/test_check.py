@@ -121,10 +121,44 @@ class TestRuleR5:
         assert lint("sites/armed.py") == []
 
 
+class TestRuleR6:
+    def test_every_bare_write_flavour_fires(self):
+        violations = lint("store/writes.py")
+        assert codes(violations) == ["R6"] * 5
+        reported = " ".join(v.message for v in violations)
+        for mode in ("'wb'", "'w'", "'a'", "'r+b'", "'w+'"):
+            assert mode in reported
+        assert "open_memmap" in reported
+
+    def test_read_modes_and_noqa_are_exempt(self):
+        reported = " ".join(v.message for v in lint("store/writes.py"))
+        assert "'rb'" not in reported
+        assert "'r'," not in reported  # read-only open_memmap
+        suppressed_lines = [
+            v.line for v in lint("store/writes.py")
+        ]
+        text = (FIXTURES / "store" / "writes.py").read_text(encoding="utf-8")
+        noqa_line = next(
+            i for i, line in enumerate(text.splitlines(), 1) if "noqa[R6]" in line
+        )
+        assert noqa_line not in suppressed_lines
+
+    def test_atomic_module_is_the_sanctioned_writer(self):
+        assert lint("store/atomic.py") == []
+
+    def test_rule_only_applies_inside_store_directories(self, tmp_path):
+        stray = tmp_path / "writes.py"
+        stray.write_text(
+            (FIXTURES / "store" / "writes.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        assert check_paths([stray]) == []
+
+
 class TestWholeTreeScan:
     def test_fixture_tree_reports_every_rule(self):
         reported = set(codes(check_tree(str(FIXTURES))))
-        assert reported == {"R1", "R2", "R3", "R4", "R5"}
+        assert reported == {"R1", "R2", "R3", "R4", "R5", "R6"}
 
     def test_real_tree_is_clean(self):
         repo_src = Path(__file__).parents[2] / "src"
