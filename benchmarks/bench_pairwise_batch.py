@@ -159,7 +159,9 @@ def main(argv=None) -> int:
         scalar_pairs,
         args.full_scalar,
     )
-    record["mode"] = "smoke" if args.smoke else "full"
+    from bench_tags import ambient_tags
+
+    record.update(ambient_tags("smoke" if args.smoke else "full"))
     print(json.dumps(record, indent=2))
 
     with args.json.open("a", encoding="utf-8") as fh:

@@ -193,7 +193,9 @@ def main(argv=None) -> int:
     record = run_benchmark(
         args.distance, per_class, n_train, n_queries, n_pivots, args.k
     )
-    record["mode"] = "smoke" if args.smoke else "full"
+    from bench_tags import ambient_tags
+
+    record.update(ambient_tags("smoke" if args.smoke else "full"))
     print(json.dumps(record, indent=2))
 
     with args.json.open("a", encoding="utf-8") as fh:

@@ -51,6 +51,17 @@ Fault sites:
                    write that the strict parser must reject)
 ``store_lock_stale``  a dead process' pid stamp is planted in the store
                    lock before acquisition, exercising the takeover path
+``serve_slow_batch``  the serving tier's bulk execution sleeps ``s=``
+                   seconds before running (a wedged batch, as waiting
+                   clients observe it): deadlines must still fire on
+                   time and later batches must not queue behind it
+``serve_shed``     the serving tier's admission check reports the queue
+                   full regardless of its real depth -- every submission
+                   is shed with ``ServerOverloaded``
+``serve_deadline``  the serving tier treats the checked request as
+                   already past its deadline at batch-assembly time, so
+                   it is failed with ``DeadlineExceeded`` without ever
+                   reaching the bulk call
 =================  =========================================================
 
 Zero overhead when unarmed: every hook starts with one ``os.environ``
@@ -89,6 +100,9 @@ SITES = (
     "store_torn_write",
     "store_corrupt_manifest",
     "store_lock_stale",
+    "serve_slow_batch",
+    "serve_shed",
+    "serve_deadline",
 )
 
 #: Default ``worker_hang`` sleep: long enough that only the supervisor's

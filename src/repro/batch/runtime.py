@@ -65,6 +65,7 @@ import atexit
 import itertools
 import os
 import re
+import threading
 import time
 import uuid
 import warnings
@@ -189,6 +190,12 @@ class DegradationStats:
     Bulk drivers snapshot these around each call
     (:attr:`repro.index.base.NearestNeighborIndex.last_degradation`) so
     serving layers can export them; tests assert on deltas.
+
+    All methods hold one internal lock, so a metrics thread (the serving
+    tier's health surface) can :meth:`snapshot`/:meth:`delta_since`
+    while bulk calls on worker threads :meth:`record` concurrently --
+    every snapshot is a consistent point-in-time copy, and no increment
+    is ever lost to a racing read-modify-write.
     """
 
     _FIELDS = (
@@ -206,17 +213,36 @@ class DegradationStats:
     )
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._counts: Dict[str, int] = {f: 0 for f in self._FIELDS}
 
     def record(self, event: str, n: int = 1) -> None:
-        self._counts[event] = self._counts.get(event, 0) + n
+        with self._lock:
+            self._counts[event] = self._counts.get(event, 0) + n
 
     def snapshot(self) -> "DegradationSnapshot":
-        return cast("DegradationSnapshot", dict(self._counts))
+        with self._lock:
+            return cast("DegradationSnapshot", dict(self._counts))
+
+    def delta_since(self, before: "DegradationSnapshot") -> Dict[str, int]:
+        """Counters that advanced since *before* (an earlier
+        :meth:`snapshot`), as a ``{field: increase}`` dict holding only
+        non-zero entries -- the per-interval shape the serving tier's
+        health surface exports.  Counters only ever grow between resets,
+        so a negative delta (a reset slipped between the snapshots) is
+        clamped out rather than reported as garbage."""
+        after = self.snapshot()
+        out: Dict[str, int] = {}
+        for key, value in after.items():
+            diff = value - before.get(key, 0)
+            if diff > 0:
+                out[key] = diff
+        return out
 
     def reset(self) -> None:
-        for key in list(self._counts):
-            self._counts[key] = 0
+        with self._lock:
+            for key in list(self._counts):
+                self._counts[key] = 0
 
 
 class DegradationSnapshot(TypedDict):

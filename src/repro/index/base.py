@@ -361,6 +361,8 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         items: Sequence[Any],
         distance: Distance,
         store: "StoreLike",
+        *,
+        save_on_miss: bool = False,
         **params: Any,
     ) -> IndexSelf:
         """Load this structure over *items* from *store*, or rebuild.
@@ -374,10 +376,16 @@ class NearestNeighborIndex(ABC, Generic[Item]):
         ``store_load_failures`` degradation counter and the returned
         index's :attr:`last_degradation`.  Either way the result
         answers every query exactly like a cold build.
+
+        ``save_on_miss=True`` publishes a miss-triggered build back to
+        *store* (best effort) so the next process warm-starts -- the
+        serving tier's restart path uses this.
         """
         from ..store import load_or_build
 
-        return load_or_build(cls, items, distance, store, params)
+        return load_or_build(
+            cls, items, distance, store, params, save_on_miss=save_on_miss
+        )
 
     @classmethod
     def _artifact_skeleton(

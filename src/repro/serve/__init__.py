@@ -1,0 +1,58 @@
+"""repro.serve -- the resilient serving tier.
+
+An asyncio front-end that turns any index into a concurrent service:
+single-query submissions are coalesced within a small window into one
+lockstep ``bulk_knn`` / ``bulk_range_search`` call, with per-request
+deadlines, bounded admission + load shedding, a degradation-keyed
+circuit breaker, warm start from :mod:`repro.store` artifacts, and
+graceful drain.  Every served answer is bit-identical to a direct bulk
+call on the same index.
+
+Quickstart::
+
+    import asyncio
+    from repro.index import LaesaIndex
+    from repro.serve import IndexServer, ServeConfig
+
+    async def main() -> None:
+        index = LaesaIndex(words, "levenshtein", n_pivots=8)
+        async with IndexServer(index, ServeConfig(window_ms=2.0)) as server:
+            results, stats = await server.knn("hello", k=3, timeout_ms=250)
+            print(server.health())
+
+    asyncio.run(main())
+"""
+
+from .batcher import PendingRequest, QueryResult, take_groups
+from .config import ServeConfig
+from .metrics import ServeMetrics
+from .policy import (
+    CircuitBreaker,
+    DeadlineExceeded,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+    compute_deadline,
+    effective_queue_max,
+    effective_window_ms,
+    remaining_seconds,
+)
+from .server import IndexServer
+
+__all__ = [
+    "IndexServer",
+    "ServeConfig",
+    "ServeMetrics",
+    "CircuitBreaker",
+    "ServeError",
+    "DeadlineExceeded",
+    "ServerOverloaded",
+    "ServerClosed",
+    "PendingRequest",
+    "QueryResult",
+    "take_groups",
+    "compute_deadline",
+    "remaining_seconds",
+    "effective_window_ms",
+    "effective_queue_max",
+]

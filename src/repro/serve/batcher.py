@@ -1,0 +1,61 @@
+"""Request coalescing: the queue entries and grouping rules.
+
+The server drains its admission queue once per window and hands the
+drained requests to :func:`take_groups`, which packs them into
+*homogeneous* groups -- same operation, same parameter -- because one
+``bulk_knn`` call carries one ``k`` and one ``bulk_range_search`` one
+radius.  Grouping is pure bookkeeping: the lockstep bulk drivers are
+bit-identical to per-query scalar loops, and a scalar loop is trivially
+independent of how queries are batched around it, so *any* grouping
+returns exactly what a direct call would have.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from ..index.base import SearchResult, SearchStats
+
+__all__ = ["QueryResult", "PendingRequest", "take_groups"]
+
+#: What one served query resolves to -- exactly the per-query tuple of
+#: the bulk drivers, so callers cannot tell coalescing happened.
+QueryResult = Tuple[List[SearchResult], SearchStats]
+
+
+@dataclass
+class PendingRequest:
+    """One admitted query waiting for (or riding in) a batch."""
+
+    kind: str  # "knn" | "range"
+    param: float  # k (integral) or radius
+    query: Any
+    deadline: Optional[float]  # absolute time.monotonic() instant, or None
+    future: "asyncio.Future[QueryResult]" = field(compare=False)
+    enqueued: float = 0.0  # time.monotonic() at admission
+
+    @property
+    def group_key(self) -> Tuple[str, float]:
+        return (self.kind, self.param)
+
+
+def take_groups(
+    queue: "Deque[PendingRequest]", max_batch: int
+) -> List[List[PendingRequest]]:
+    """Drain up to *max_batch* requests FIFO and pack them into
+    homogeneous ``(kind, param)`` groups, preserving arrival order both
+    across and within groups.  Each group becomes one bulk call."""
+    groups: Dict[Tuple[str, float], List[PendingRequest]] = {}
+    order: List[Tuple[str, float]] = []
+    taken = 0
+    while queue and taken < max_batch:
+        req = queue.popleft()
+        taken += 1
+        key = req.group_key
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(req)
+    return [groups[key] for key in order]

@@ -1,0 +1,103 @@
+"""Configuration for the serving tier.
+
+Every deployment knob of :mod:`repro.serve` is an environment variable
+declared in the :mod:`repro.tools.knobs` registry (``REPRO_SERVE_*``),
+read once when a :class:`ServeConfig` is materialised -- a running
+server never re-reads the environment, so its behaviour cannot drift
+mid-traffic.  Tests and embedders construct :class:`ServeConfig`
+directly and bypass the environment entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..tools import knobs
+
+__all__ = ["ServeConfig"]
+
+#: Default coalescing window in milliseconds: long enough to merge a
+#: burst of concurrent arrivals, short enough to be invisible next to a
+#: bulk sweep.
+_DEFAULT_WINDOW_MS = 2.0
+
+#: Default cap on requests per coalesced bulk call.
+_DEFAULT_MAX_BATCH = 64
+
+#: Default bounded-admission limit (outstanding accepted requests).
+_DEFAULT_QUEUE_MAX = 1024
+
+#: Default consecutive degraded batches before the breaker trips.
+_DEFAULT_BREAKER_AFTER = 3
+
+#: Default concurrently executing batches (1 = serialised index access,
+#: which keeps per-batch degradation attribution exact).
+_DEFAULT_MAX_INFLIGHT = 1
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Immutable knobs of one :class:`~repro.serve.server.IndexServer`.
+
+    ``default_deadline_ms`` applies to requests submitted without an
+    explicit ``timeout_ms``; ``None`` means such requests wait
+    indefinitely.  ``dispose_runtime_on_drain`` controls whether a
+    graceful drain also shuts down the process-wide engine runtime
+    (persistent pool + shared-memory segments) -- embedders sharing the
+    runtime with other work set it ``False``.
+    """
+
+    window_ms: float = _DEFAULT_WINDOW_MS
+    max_batch: int = _DEFAULT_MAX_BATCH
+    queue_max: int = _DEFAULT_QUEUE_MAX
+    default_deadline_ms: Optional[float] = None
+    breaker_after: int = _DEFAULT_BREAKER_AFTER
+    max_inflight: int = _DEFAULT_MAX_INFLIGHT
+    dispose_runtime_on_drain: bool = True
+
+    def __post_init__(self) -> None:
+        if self.window_ms < 0:
+            raise ValueError(f"window_ms must be >= 0, got {self.window_ms}")
+        for name in ("max_batch", "queue_max", "breaker_after", "max_inflight"):
+            value = int(getattr(self, name))
+            if value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value}")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError(
+                f"default_deadline_ms must be > 0, got {self.default_deadline_ms}"
+            )
+
+    @classmethod
+    def from_env(cls) -> "ServeConfig":
+        """A config from the ``REPRO_SERVE_*`` environment knobs, with
+        out-of-range values clamped to the nearest legal one (a service
+        must come up even under a typo'd deployment)."""
+        window = knobs.get_float("REPRO_SERVE_WINDOW_MS", _DEFAULT_WINDOW_MS)
+        deadline = knobs.get_float("REPRO_SERVE_DEADLINE_MS")
+        max_batch = knobs.get_int(
+            "REPRO_SERVE_MAX_BATCH", _DEFAULT_MAX_BATCH, minimum=1
+        )
+        queue_max = knobs.get_int(
+            "REPRO_SERVE_QUEUE_MAX", _DEFAULT_QUEUE_MAX, minimum=1
+        )
+        breaker_after = knobs.get_int(
+            "REPRO_SERVE_BREAKER_AFTER", _DEFAULT_BREAKER_AFTER, minimum=1
+        )
+        max_inflight = knobs.get_int(
+            "REPRO_SERVE_MAX_INFLIGHT", _DEFAULT_MAX_INFLIGHT, minimum=1
+        )
+        return cls(
+            window_ms=max(0.0, window if window is not None else _DEFAULT_WINDOW_MS),
+            max_batch=max_batch if max_batch is not None else _DEFAULT_MAX_BATCH,
+            queue_max=queue_max if queue_max is not None else _DEFAULT_QUEUE_MAX,
+            default_deadline_ms=(
+                deadline if deadline is not None and deadline > 0 else None
+            ),
+            breaker_after=(
+                breaker_after if breaker_after is not None else _DEFAULT_BREAKER_AFTER
+            ),
+            max_inflight=(
+                max_inflight if max_inflight is not None else _DEFAULT_MAX_INFLIGHT
+            ),
+        )

@@ -1,0 +1,81 @@
+"""The serving tier's health and metrics surface.
+
+:class:`ServeMetrics` mirrors the engine's
+:class:`~repro.batch.runtime.DegradationStats` discipline: a small fixed
+set of named counters behind one lock, cheap point-in-time snapshots,
+and *interval* reporting for the process-wide degradation counters --
+each :meth:`degradation_interval` call returns what degraded since the
+previous one without ever racing (or double/zero-counting against)
+in-flight bulk calls, because both the delta and the new baseline come
+from the same consistent snapshot.
+
+Counting discipline: terminal per-request outcomes (``completed``,
+``deadline_exceeded``, ``failed``, ``shed``) are recorded exactly once,
+by the submission path that raises or returns to the client -- the
+batch side only accounts batch-shaped facts (``batches``,
+``batched_requests``, ``degraded_batches``, ``breaker_trips``).  The
+invariant ``submitted == completed + shed + deadline_exceeded + failed``
+therefore holds whenever no request is in flight.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from ..batch.runtime import DEGRADATION, DegradationSnapshot
+
+__all__ = ["ServeMetrics"]
+
+
+class ServeMetrics:
+    """Process-local counters of one server instance."""
+
+    _FIELDS = (
+        "submitted",  # requests that passed the closed-server check
+        "completed",  # requests answered with results
+        "shed",  # requests refused at admission (ServerOverloaded)
+        "deadline_exceeded",  # requests failed on their deadline
+        "failed",  # requests failed by a batch execution error
+        "batches",  # coalesced bulk calls dispatched
+        "batched_requests",  # live requests carried by those calls
+        "degraded_batches",  # bulk calls that degraded down the ladder
+        "breaker_trips",  # times the circuit breaker opened
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {f: 0 for f in self._FIELDS}
+        self._baseline: DegradationSnapshot = DEGRADATION.snapshot()
+
+    def record(self, event: str, n: int = 1) -> None:
+        with self._lock:
+            self._counts[event] = self._counts.get(event, 0) + n
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def reset(self) -> None:
+        with self._lock:
+            for key in list(self._counts):
+                self._counts[key] = 0
+
+    def degradation_interval(self, *, rebase: bool = True) -> Dict[str, int]:
+        """Non-zero process-wide degradation counter increases since the
+        previous interval (or construction), from one consistent
+        snapshot.  With ``rebase=True`` (the default, statsd-flush
+        semantics) the baseline advances to that same snapshot, so
+        consecutive intervals partition events losslessly;
+        ``rebase=False`` peeks without consuming."""
+        after = DEGRADATION.snapshot()
+        with self._lock:
+            before = self._baseline
+            if rebase:
+                self._baseline = after
+        delta: Dict[str, int] = {}
+        for key, value in after.items():
+            diff = value - before.get(key, 0)
+            if diff > 0:
+                delta[key] = diff
+        return delta

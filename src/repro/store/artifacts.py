@@ -62,7 +62,7 @@ from ..batch.runtime import DEGRADATION, DegradedExecutionWarning
 from ..core.types import as_symbols
 from ..tools import knobs
 from .atomic import fsync_dir, write_array, write_text
-from .errors import StoreLoadError, StoreMiss
+from .errors import StoreError, StoreLoadError, StoreMiss
 from .lock import ArtifactLock
 from .manifest import (
     FORMAT_VERSION,
@@ -449,6 +449,8 @@ def load_or_build(
     distance: Any,
     store: StoreLike,
     params: Optional[Mapping[str, Any]] = None,
+    *,
+    save_on_miss: bool = False,
 ) -> IndexT:
     """Load *cls* from *store*, or rebuild in process -- never crash.
 
@@ -460,6 +462,13 @@ def load_or_build(
     ``last_degradation`` -- the same ladder discipline as the engine
     runtime.  The rebuilt structure is bit-identical to a cold build:
     nothing from the rejected artifact is reused.
+
+    With ``save_on_miss=True`` a miss-triggered build is published back
+    to the store (best effort: a failed save warns and returns the
+    freshly built index anyway), so the next process warm-starts -- the
+    serving tier's restart path.  Corruption-triggered rebuilds are
+    *not* re-saved: overwriting a snapshot that just failed verification
+    would hide the fault from the operator.
     """
     params = dict(params or {})
     artifact_store = ArtifactStore.coerce(store)
@@ -467,7 +476,18 @@ def load_or_build(
     try:
         return artifact_store.load(cls, items, distance, params)
     except StoreMiss:
-        return factory(items, distance, **params)
+        index = factory(items, distance, **params)
+        if save_on_miss:
+            try:
+                artifact_store.save(index)
+            except (OSError, StoreError) as exc:
+                warnings.warn(
+                    f"could not persist freshly built {cls.__name__} "
+                    f"({exc}); serving from the in-process build",
+                    DegradedExecutionWarning,
+                    stacklevel=3,
+                )
+        return index
     except StoreLoadError as exc:
         DEGRADATION.record("store_load_failures")
         warnings.warn(

@@ -193,6 +193,72 @@ REGISTRY: Dict[str, KnobSpec] = _spec(
         module="repro.index.aesa",
     ),
     KnobSpec(
+        name="REPRO_SERVE_WINDOW_MS",
+        type="float",
+        default=2.0,
+        description=(
+            "Serving-tier coalescing window in milliseconds: requests "
+            "arriving within it merge into one bulk call (halved while "
+            "the circuit breaker is tripped; `0` batches only what is "
+            "already queued)."
+        ),
+        module="repro.serve.config",
+    ),
+    KnobSpec(
+        name="REPRO_SERVE_MAX_BATCH",
+        type="int",
+        default=64,
+        description=(
+            "Most requests one coalesced bulk call may carry; a window "
+            "that fills early flushes immediately (clamped to >= 1)."
+        ),
+        module="repro.serve.config",
+    ),
+    KnobSpec(
+        name="REPRO_SERVE_QUEUE_MAX",
+        type="int",
+        default=1024,
+        description=(
+            "Bounded admission queue of the serving tier: submissions "
+            "beyond it are shed with `ServerOverloaded` (halved while the "
+            "circuit breaker is tripped; clamped to >= 1)."
+        ),
+        module="repro.serve.config",
+    ),
+    KnobSpec(
+        name="REPRO_SERVE_DEADLINE_MS",
+        type="float",
+        default=None,
+        description=(
+            "Default per-request deadline in milliseconds for served "
+            "queries (unset: requests without an explicit timeout wait "
+            "indefinitely)."
+        ),
+        module="repro.serve.config",
+    ),
+    KnobSpec(
+        name="REPRO_SERVE_BREAKER_AFTER",
+        type="int",
+        default=3,
+        description=(
+            "Consecutive degraded batches before the serving circuit "
+            "breaker trips -- window halves and shedding starts earlier; "
+            "clean batches recover it (clamped to >= 1)."
+        ),
+        module="repro.serve.config",
+    ),
+    KnobSpec(
+        name="REPRO_SERVE_MAX_INFLIGHT",
+        type="int",
+        default=1,
+        description=(
+            "Coalesced batches allowed to execute concurrently on worker "
+            "threads; `1` (the default) serialises index access so "
+            "per-batch degradation attribution stays exact."
+        ),
+        module="repro.serve.config",
+    ),
+    KnobSpec(
         name="REPRO_STORE_DIR",
         type="str",
         default=None,

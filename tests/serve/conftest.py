@@ -1,0 +1,15 @@
+"""Shared isolation for the serve suite: every test leaves no armed
+faults, no tripped runtime pool, and no published shared-memory
+segments behind (the same discipline as the batch chaos suite)."""
+
+import pytest
+
+import repro.batch.faults as faults
+import repro.batch.runtime as runtime
+
+
+@pytest.fixture(autouse=True)
+def serve_isolation():
+    yield
+    faults._PLAN_CACHE = None
+    runtime.get_runtime().shutdown()

@@ -1,0 +1,76 @@
+"""Unit tests of the coalescing queue entries and grouping rules."""
+
+import asyncio
+from collections import deque
+
+from repro.serve import PendingRequest, take_groups
+
+
+def _req(kind, param, query, loop):
+    return PendingRequest(
+        kind=kind,
+        param=float(param),
+        query=query,
+        deadline=None,
+        future=loop.create_future(),
+        enqueued=0.0,
+    )
+
+
+def _with_loop(fn):
+    async def runner():
+        return fn(asyncio.get_running_loop())
+
+    return asyncio.run(runner())
+
+
+def test_groups_are_homogeneous_and_fifo():
+    def body(loop):
+        queue = deque(
+            [
+                _req("knn", 3, "a", loop),
+                _req("knn", 5, "b", loop),
+                _req("knn", 3, "c", loop),
+                _req("range", 3, "d", loop),
+            ]
+        )
+        groups = take_groups(queue, max_batch=10)
+        shapes = [[(r.kind, r.param, r.query) for r in g] for g in groups]
+        assert shapes == [
+            [("knn", 3.0, "a"), ("knn", 3.0, "c")],  # same k coalesce
+            [("knn", 5.0, "b")],  # different k: own bulk call
+            [("range", 3.0, "d")],  # same param, different op: own call
+        ]
+        assert not queue
+
+    _with_loop(body)
+
+
+def test_max_batch_limits_the_drain_not_the_queue():
+    def body(loop):
+        queue = deque(_req("knn", 3, i, loop) for i in range(7))
+        groups = take_groups(queue, max_batch=4)
+        assert [len(g) for g in groups] == [4]
+        assert [r.query for r in groups[0]] == [0, 1, 2, 3]
+        assert [r.query for r in queue] == [4, 5, 6]  # left for next round
+
+    _with_loop(body)
+
+
+def test_empty_queue_yields_no_groups():
+    def body(loop):
+        queue = deque()
+        assert take_groups(queue, max_batch=8) == []
+
+    _with_loop(body)
+
+
+def test_group_key_distinguishes_kind_and_param():
+    def body(loop):
+        knn = _req("knn", 2, "q", loop)
+        rng = _req("range", 2, "q", loop)
+        assert knn.group_key == ("knn", 2.0)
+        assert rng.group_key == ("range", 2.0)
+        assert knn.group_key != rng.group_key
+
+    _with_loop(body)

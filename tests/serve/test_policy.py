@@ -1,0 +1,172 @@
+"""Unit tests of the serving tier's deadline/backpressure policy and
+config -- no event loop, no index."""
+
+import pytest
+
+from repro.serve import (
+    CircuitBreaker,
+    ServeConfig,
+    compute_deadline,
+    effective_queue_max,
+    effective_window_ms,
+    remaining_seconds,
+)
+
+
+class TestDeadlines:
+    def test_explicit_timeout_wins_over_default(self):
+        assert compute_deadline(100.0, 500.0, now=10.0) == pytest.approx(10.1)
+
+    def test_default_applies_when_no_explicit_timeout(self):
+        assert compute_deadline(None, 500.0, now=1.0) == pytest.approx(1.5)
+
+    def test_no_deadline_at_all(self):
+        assert compute_deadline(None, None, now=0.0) is None
+
+    def test_remaining_counts_down(self):
+        assert remaining_seconds(10.0, now=9.25) == pytest.approx(0.75)
+
+    def test_remaining_clamps_at_zero(self):
+        assert remaining_seconds(5.0, now=7.0) == 0.0
+
+    def test_remaining_none_for_deadline_less(self):
+        assert remaining_seconds(None, now=123.0) is None
+
+    def test_deadline_uses_monotonic_now_when_unspecified(self):
+        import time
+
+        before = time.monotonic()
+        deadline = compute_deadline(1000.0, None)
+        after = time.monotonic()
+        assert before + 1.0 <= deadline <= after + 1.0
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_degraded(self):
+        breaker = CircuitBreaker(3)
+        assert not breaker.record_batch(True)
+        assert not breaker.record_batch(True)
+        assert not breaker.tripped
+        assert breaker.record_batch(True)  # the tripping batch
+        assert breaker.tripped
+        assert breaker.trips == 1
+
+    def test_clean_batch_resets_the_run(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_batch(True)
+        breaker.record_batch(False)
+        breaker.record_batch(True)
+        assert not breaker.tripped  # the run never reached 2
+
+    def test_recovers_on_clean_batch_and_can_retrip(self):
+        breaker = CircuitBreaker(2)
+        breaker.record_batch(True)
+        assert breaker.record_batch(True)
+        assert breaker.tripped
+        breaker.record_batch(False)
+        assert not breaker.tripped
+        breaker.record_batch(True)
+        assert breaker.record_batch(True)
+        assert breaker.trips == 2
+
+    def test_record_batch_reports_only_the_transition(self):
+        breaker = CircuitBreaker(1)
+        assert breaker.record_batch(True)
+        assert not breaker.record_batch(True)  # already open
+        assert breaker.trips == 1
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError, match="threshold"):
+            CircuitBreaker(0)
+
+
+class TestEffectiveLimits:
+    def test_window_halves_while_tripped(self):
+        breaker = CircuitBreaker(1)
+        assert effective_window_ms(4.0, breaker) == 4.0
+        breaker.record_batch(True)
+        assert effective_window_ms(4.0, breaker) == 2.0
+
+    def test_queue_bound_halves_but_never_below_one(self):
+        breaker = CircuitBreaker(1)
+        breaker.record_batch(True)
+        assert effective_queue_max(100, breaker) == 50
+        assert effective_queue_max(1, breaker) == 1
+
+    def test_limits_snap_back_on_recovery(self):
+        breaker = CircuitBreaker(1)
+        breaker.record_batch(True)
+        breaker.record_batch(False)
+        assert effective_window_ms(4.0, breaker) == 4.0
+        assert effective_queue_max(100, breaker) == 100
+
+
+class TestServeConfig:
+    def test_defaults(self):
+        config = ServeConfig()
+        assert config.window_ms == 2.0
+        assert config.max_batch == 64
+        assert config.queue_max == 1024
+        assert config.default_deadline_ms is None
+        assert config.breaker_after == 3
+        assert config.max_inflight == 1
+        assert config.dispose_runtime_on_drain is True
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_ms": -1.0},
+            {"max_batch": 0},
+            {"queue_max": 0},
+            {"breaker_after": 0},
+            {"max_inflight": 0},
+            {"default_deadline_ms": 0.0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServeConfig(**kwargs)
+
+    def test_from_env_reads_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_WINDOW_MS", "7.5")
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "16")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_MAX", "32")
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE_MS", "250")
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_AFTER", "5")
+        monkeypatch.setenv("REPRO_SERVE_MAX_INFLIGHT", "2")
+        config = ServeConfig.from_env()
+        assert config.window_ms == 7.5
+        assert config.max_batch == 16
+        assert config.queue_max == 32
+        assert config.default_deadline_ms == 250.0
+        assert config.breaker_after == 5
+        assert config.max_inflight == 2
+
+    def test_from_env_defaults_when_unset(self, monkeypatch):
+        for name in (
+            "REPRO_SERVE_WINDOW_MS",
+            "REPRO_SERVE_MAX_BATCH",
+            "REPRO_SERVE_QUEUE_MAX",
+            "REPRO_SERVE_DEADLINE_MS",
+            "REPRO_SERVE_BREAKER_AFTER",
+            "REPRO_SERVE_MAX_INFLIGHT",
+        ):
+            monkeypatch.delenv(name, raising=False)
+        assert ServeConfig.from_env() == ServeConfig()
+
+    def test_from_env_clamps_typod_deployments(self, monkeypatch):
+        """A misconfigured environment must still produce a server that
+        comes up -- out-of-range values clamp, they don't crash."""
+        monkeypatch.setenv("REPRO_SERVE_WINDOW_MS", "-3")
+        monkeypatch.setenv("REPRO_SERVE_MAX_BATCH", "0")
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_MAX", "-10")
+        monkeypatch.setenv("REPRO_SERVE_DEADLINE_MS", "-5")
+        monkeypatch.setenv("REPRO_SERVE_BREAKER_AFTER", "0")
+        monkeypatch.setenv("REPRO_SERVE_MAX_INFLIGHT", "0")
+        config = ServeConfig.from_env()
+        assert config.window_ms == 0.0
+        assert config.max_batch == 1
+        assert config.queue_max == 1
+        assert config.default_deadline_ms is None
+        assert config.breaker_after == 1
+        assert config.max_inflight == 1

@@ -1,0 +1,417 @@
+"""Functional tests of :class:`repro.serve.IndexServer`.
+
+The contract under test: coalescing is invisible (every served answer
+is bit-identical to a direct bulk call, down to per-query distance
+counts), deadlines fail loudly without poisoning their batch, admission
+is bounded, drain flushes, warm start loads artifacts, and the metrics
+ledger balances.
+"""
+
+import asyncio
+import random
+import time
+
+import pytest
+
+from repro.batch.runtime import DEGRADATION
+from repro.core import get_distance
+from repro.index import LaesaIndex
+from repro.serve import (
+    DeadlineExceeded,
+    IndexServer,
+    ServeConfig,
+    ServeError,
+    ServerClosed,
+    ServerOverloaded,
+)
+
+
+def _corpus(n=120, seed=5):
+    rng = random.Random(seed)
+    return list(
+        {
+            "".join(rng.choice("abcde") for _ in range(rng.randint(3, 9)))
+            for _ in range(n)
+        }
+    )
+
+
+def _build(n=120, seed=5):
+    return LaesaIndex(
+        _corpus(n, seed),
+        get_distance("levenshtein"),
+        n_pivots=4,
+        rng=random.Random(1),
+    )
+
+
+def _key(per_query):
+    """Bit-exact projection of bulk results: canonical ``(index,
+    distance)`` lists plus per-query computation counts."""
+    return [
+        ([(r.index, r.distance) for r in results], stats.distance_computations)
+        for results, stats in per_query
+    ]
+
+
+#: Config used by most tests: window long enough to coalesce a burst of
+#: coroutines, runtime left alone (the autouse fixture reaps it).
+def _config(**overrides):
+    overrides.setdefault("window_ms", 20.0)
+    overrides.setdefault("dispose_runtime_on_drain", False)
+    return ServeConfig(**overrides)
+
+
+def test_served_knn_is_bit_identical_to_direct_bulk():
+    index = _build()
+    queries = _corpus(n=40, seed=99)
+    want = _key(index.bulk_knn(queries, 3))
+
+    async def main():
+        async with IndexServer(index, _config()) as server:
+            return await asyncio.gather(
+                *(server.knn(q, 3) for q in queries)
+            ), server.metrics.snapshot()
+
+    served, counters = asyncio.run(main())
+    assert _key(served) == want
+    assert counters["completed"] == len(queries)
+    # coalescing happened: far fewer bulk calls than requests
+    assert counters["batches"] < len(queries)
+    assert counters["batched_requests"] == len(queries)
+
+
+def test_served_range_search_is_bit_identical_to_direct_bulk():
+    index = _build()
+    queries = _corpus(n=30, seed=7)
+    want = _key(index.bulk_range_search(queries, 2.0))
+
+    async def main():
+        async with IndexServer(index, _config()) as server:
+            return await asyncio.gather(
+                *(server.range_search(q, 2.0) for q in queries)
+            )
+
+    assert _key(asyncio.run(main())) == want
+
+
+def test_mixed_parameters_split_into_homogeneous_batches():
+    index = _build()
+    queries = _corpus(n=24, seed=11)
+    want_k2 = _key(index.bulk_knn(queries, 2))
+    want_k4 = _key(index.bulk_knn(queries, 4))
+    want_r = _key(index.bulk_range_search(queries, 1.5))
+
+    async def main():
+        async with IndexServer(index, _config()) as server:
+            k2, k4, rr = await asyncio.gather(
+                asyncio.gather(*(server.knn(q, 2) for q in queries)),
+                asyncio.gather(*(server.knn(q, 4) for q in queries)),
+                asyncio.gather(*(server.range_search(q, 1.5) for q in queries)),
+            )
+            return k2, k4, rr, server.metrics.snapshot()
+
+    k2, k4, rr, counters = asyncio.run(main())
+    assert _key(k2) == want_k2
+    assert _key(k4) == want_k4
+    assert _key(rr) == want_r
+    assert counters["batches"] >= 3  # one bulk call per (kind, param) at least
+
+
+def test_max_batch_splits_oversized_windows():
+    index = _build()
+    queries = _corpus(n=20, seed=3)
+    want = _key(index.bulk_knn(queries, 3))
+
+    async def main():
+        config = _config(max_batch=6)
+        async with IndexServer(index, config) as server:
+            served = await asyncio.gather(*(server.knn(q, 3) for q in queries))
+            return served, server.metrics.snapshot()
+
+    served, counters = asyncio.run(main())
+    assert _key(served) == want
+    assert counters["batches"] >= (len(queries) + 5) // 6
+
+
+def test_deadline_exceeded_is_loud_and_timely():
+    index = _build()
+    slow = index.bulk_knn
+
+    def slow_bulk(queries, k):
+        time.sleep(0.4)
+        return slow(queries, k)
+
+    index.bulk_knn = slow_bulk
+
+    async def main():
+        async with IndexServer(index, _config(window_ms=1.0)) as server:
+            started = time.monotonic()
+            with pytest.raises(DeadlineExceeded):
+                await server.knn("abc", 2, timeout_ms=80)
+            waited = time.monotonic() - started
+            return waited, server.metrics.snapshot()
+
+    waited, counters = asyncio.run(main())
+    assert waited < 0.35  # failed on the deadline, not on batch completion
+    assert counters["deadline_exceeded"] == 1
+    assert counters["completed"] == 0
+
+
+def test_late_request_never_poisons_its_batch():
+    index = _build()
+    want = _key(index.bulk_knn(["abcd"], 3))
+    original = index.bulk_knn
+
+    def slow_bulk(queries, k):
+        time.sleep(0.25)
+        return original(queries, k)
+
+    index.bulk_knn = slow_bulk
+
+    async def main():
+        async with IndexServer(index, _config(window_ms=5.0)) as server:
+            impatient = asyncio.create_task(
+                server.knn("abcd", 3, timeout_ms=50)
+            )
+            patient = asyncio.create_task(server.knn("abcd", 3))
+            done = await asyncio.gather(impatient, patient, return_exceptions=True)
+            return done, server.metrics.snapshot()
+
+    (impatient, patient), counters = asyncio.run(main())
+    assert isinstance(impatient, DeadlineExceeded)
+    assert _key([patient]) == want  # the batch still ran, bit-identical
+    assert counters["deadline_exceeded"] == 1
+    assert counters["completed"] == 1
+
+
+def test_expired_request_is_failed_before_the_bulk_call():
+    index = _build()
+    calls = []
+    original = index.bulk_knn
+
+    def counting_bulk(queries, k):
+        calls.append(len(queries))
+        return original(queries, k)
+
+    index.bulk_knn = counting_bulk
+
+    async def main():
+        # window much longer than the deadline: the request expires in
+        # the queue and must be receipted without running any bulk call
+        async with IndexServer(index, _config(window_ms=150.0)) as server:
+            with pytest.raises(DeadlineExceeded):
+                await server.knn("abc", 2, timeout_ms=10)
+            return server.metrics.snapshot()
+
+    counters = asyncio.run(main())
+    assert counters["deadline_exceeded"] == 1
+    assert calls == []  # nothing executed for an already-dead request
+
+
+def test_bounded_admission_sheds_with_loud_receipts():
+    index = _build()
+    queries = _corpus(n=12, seed=17)
+
+    async def main():
+        config = _config(window_ms=40.0, queue_max=3)
+        async with IndexServer(index, config) as server:
+            outcomes = await asyncio.gather(
+                *(server.knn(q, 3) for q in queries), return_exceptions=True
+            )
+            return outcomes, server.metrics.snapshot()
+
+    outcomes, counters = asyncio.run(main())
+    shed = [o for o in outcomes if isinstance(o, ServerOverloaded)]
+    answered = [o for o in outcomes if not isinstance(o, BaseException)]
+    assert len(shed) == len(queries) - 3  # exactly the overflow was shed
+    assert len(answered) == 3
+    assert counters["shed"] == len(shed)
+    assert counters["completed"] == len(answered)
+    # answered requests are still bit-identical to direct calls
+    direct = {q: _key(index.bulk_knn([q], 3))[0] for q in queries}
+    for q, outcome in zip(queries, outcomes):
+        if not isinstance(outcome, BaseException):
+            assert _key([outcome])[0] == direct[q]
+
+
+def test_invalid_parameters_fail_fast_without_enqueueing():
+    index = _build()
+
+    async def main():
+        async with IndexServer(index, _config()) as server:
+            with pytest.raises(ValueError, match="k must be"):
+                await server.knn("abc", 0)
+            with pytest.raises(ValueError, match="radius must be"):
+                await server.range_search("abc", -1.0)
+            return server.metrics.snapshot()
+
+    counters = asyncio.run(main())
+    assert counters["submitted"] == 0
+
+
+def test_drain_flushes_queued_requests_without_window_waits():
+    index = _build()
+    want = _key(index.bulk_knn(["abc"], 2))
+
+    async def main():
+        # a 10-second window would stall this request for 10s -- drain
+        # must flush it immediately instead
+        server = IndexServer(index, _config(window_ms=10_000.0))
+        await server.start()
+        pending = asyncio.create_task(server.knn("abc", 2))
+        await asyncio.sleep(0.05)  # let it enqueue
+        started = time.monotonic()
+        await server.drain()
+        drained_in = time.monotonic() - started
+        return await pending, drained_in
+
+    result, drained_in = asyncio.run(main())
+    assert _key([result]) == want
+    assert drained_in < 5.0  # nowhere near the 10s window
+
+
+def test_submit_after_drain_is_refused():
+    index = _build()
+
+    async def main():
+        server = IndexServer(index, _config())
+        await server.start()
+        await server.drain()
+        with pytest.raises(ServerClosed):
+            await server.knn("abc", 2)
+
+    asyncio.run(main())
+
+
+def test_batch_execution_failure_fails_the_whole_group_loudly():
+    index = _build()
+
+    def broken_bulk(queries, k):
+        raise RuntimeError("kernel exploded")
+
+    index.bulk_knn = broken_bulk
+
+    async def main():
+        async with IndexServer(index, _config(window_ms=5.0)) as server:
+            outcomes = await asyncio.gather(
+                server.knn("abc", 2),
+                server.knn("abcd", 2),
+                return_exceptions=True,
+            )
+            return outcomes, server.metrics.snapshot()
+
+    outcomes, counters = asyncio.run(main())
+    assert all(isinstance(o, ServeError) for o in outcomes)
+    assert all("kernel exploded" in str(o) for o in outcomes)
+    assert counters["failed"] == 2
+    assert counters["completed"] == 0
+
+
+def test_breaker_trips_on_consecutive_degraded_batches_and_recovers():
+    index = _build()
+    original = index.bulk_knn
+    degrade = {"on": True}
+
+    def degraded_bulk(queries, k):
+        out = original(queries, k)
+        if degrade["on"]:
+            index.last_degradation = {"pool_timeouts": 1}
+        return out
+
+    index.bulk_knn = degraded_bulk
+
+    async def main():
+        config = _config(window_ms=1.0, breaker_after=2)
+        async with IndexServer(index, config) as server:
+            await server.knn("abc", 2)
+            assert not server.breaker.tripped
+            await server.knn("abcd", 2)
+            health = server.health()
+            assert health["breaker"]["tripped"]
+            assert health["effective_window_ms"] == pytest.approx(0.5)
+            assert health["effective_queue_max"] == config.queue_max // 2
+            # one clean batch closes the breaker and restores the limits
+            degrade["on"] = False
+            index.last_degradation = {}
+            await server.knn("abcde", 2)
+            recovered = server.health()
+            assert not recovered["breaker"]["tripped"]
+            assert recovered["effective_window_ms"] == pytest.approx(1.0)
+            return server.metrics.snapshot()
+
+    counters = asyncio.run(main())
+    assert counters["degraded_batches"] == 2
+    assert counters["breaker_trips"] == 1
+
+
+def test_metrics_ledger_balances():
+    index = _build()
+    queries = _corpus(n=10, seed=31)
+
+    async def main():
+        config = _config(window_ms=10.0, queue_max=4)
+        async with IndexServer(index, config) as server:
+            await asyncio.gather(
+                *(server.knn(q, 3) for q in queries), return_exceptions=True
+            )
+            return server.metrics.snapshot()
+
+    counters = asyncio.run(main())
+    assert counters["submitted"] == len(queries)
+    assert counters["submitted"] == (
+        counters["completed"]
+        + counters["shed"]
+        + counters["deadline_exceeded"]
+        + counters["failed"]
+    )
+
+
+def test_health_degradation_interval_reports_once():
+    index = _build()
+
+    async def main():
+        async with IndexServer(index, _config()) as server:
+            server.metrics.degradation_interval()  # settle the baseline
+            DEGRADATION.record("publish_failures")
+            first = server.health()
+            second = server.health()
+            return first, second
+
+    first, second = asyncio.run(main())
+    assert first["degradation_interval"].get("publish_failures") == 1
+    assert "publish_failures" not in second["degradation_interval"]
+
+
+def test_warm_start_saves_then_loads_artifacts(tmp_path):
+    words = _corpus(n=80, seed=13)
+    distance = get_distance("levenshtein")
+    reference = LaesaIndex(words, distance, n_pivots=4, rng=random.Random(1))
+    queries = _corpus(n=10, seed=41)
+    want = _key(reference.bulk_knn(queries, 3))
+
+    async def roundtrip():
+        server = IndexServer.warm_start(
+            LaesaIndex,
+            words,
+            distance,
+            tmp_path,
+            config=_config(),
+            n_pivots=4,
+            rng=random.Random(1),
+        )
+        build_calls = server.index._counter.calls
+        async with server:
+            return build_calls, await asyncio.gather(
+                *(server.knn(q, 3) for q in queries)
+            )
+
+    first_calls, first = asyncio.run(roundtrip())
+    assert _key(first) == want
+    assert first_calls > 0  # cold build computed distances...
+    assert any(tmp_path.iterdir())  # ...and left artifacts behind
+
+    second_calls, second = asyncio.run(roundtrip())
+    assert _key(second) == want
+    # the restart served from artifacts: the load cost zero evaluations
+    assert second_calls == 0

@@ -1,0 +1,127 @@
+"""Two *processes* racing ``load_or_build`` on the same store key.
+
+The flock in :class:`repro.store.lock.ArtifactLock` serialises
+publication: one racer wins and saves, the other loads the published
+snapshot or rebuilds in process.  Whatever interleaving the scheduler
+picks, both processes must come back with bit-identical structures and
+bit-identical query answers -- a replica fleet cold-starting against a
+shared artifact volume cannot be allowed to diverge.
+"""
+
+import multiprocessing
+import random
+
+import pytest
+
+from repro.core import get_distance
+from repro.index import LaesaIndex
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.batch.runtime.DegradedExecutionWarning"
+)
+
+
+def _words(n=100, seed=19):
+    rng = random.Random(seed)
+    return sorted(
+        {
+            "".join(rng.choice("abcdef") for _ in range(rng.randint(3, 9)))
+            for _ in range(n)
+        }
+    )
+
+
+def _queries():
+    return _words(n=15, seed=77)
+
+
+def _racer(root, conn, save_on_miss):
+    """Child: load-or-build from the shared store, answer queries, and
+    ship a bit-exact projection of structure + answers back."""
+    try:
+        index = LaesaIndex.load(
+            _words(),
+            get_distance("levenshtein"),
+            root,
+            save_on_miss=save_on_miss,
+            n_pivots=3,
+            rng=random.Random(1),
+        )
+        payload = {
+            "pivot_indices": [int(i) for i in index.pivot_indices],
+            "pivot_rows": [
+                [float(v) for v in row] for row in index.pivot_rows
+            ],
+            "answers": [
+                (
+                    [(r.index, r.distance) for r in results],
+                    stats.distance_computations,
+                )
+                for results, stats in index.bulk_knn(_queries(), 3)
+            ],
+        }
+        conn.send(("ok", payload))
+    except BaseException as exc:  # pragma: no cover - failure reporting
+        conn.send(("error", repr(exc)))
+    finally:
+        conn.close()
+
+
+def _race(tmp_path, n_procs=2, save_on_miss=True):
+    ctx = multiprocessing.get_context("fork")
+    pipes, procs = [], []
+    for _ in range(n_procs):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_racer, args=(tmp_path, child_conn, save_on_miss)
+        )
+        proc.start()
+        child_conn.close()
+        pipes.append(parent_conn)
+        procs.append(proc)
+    payloads = []
+    for conn, proc in zip(pipes, procs):
+        assert conn.poll(120), "racer produced nothing within its deadline"
+        status, payload = conn.recv()
+        proc.join(30)
+        assert proc.exitcode == 0
+        assert status == "ok", payload
+        payloads.append(payload)
+    return payloads
+
+
+def test_two_processes_racing_load_or_build_agree_bit_exactly(tmp_path):
+    first, second = _race(tmp_path)
+    assert first == second  # structures AND answers, bit-identical
+    # both match an in-process reference built from scratch
+    reference = LaesaIndex(
+        _words(), get_distance("levenshtein"), n_pivots=3,
+        rng=random.Random(1),
+    )
+    assert first["pivot_indices"] == [int(i) for i in reference.pivot_indices]
+    assert first["answers"] == [
+        (
+            [(r.index, r.distance) for r in results],
+            stats.distance_computations,
+        )
+        for results, stats in reference.bulk_knn(_queries(), 3)
+    ]
+
+
+def test_race_publishes_artifacts_a_later_process_loads(tmp_path):
+    _race(tmp_path)
+    assert any(tmp_path.iterdir())  # somebody won the flock and saved
+    # a third, unraced process must now warm-start: zero distance calls
+    index = LaesaIndex.load(
+        _words(),
+        get_distance("levenshtein"),
+        tmp_path,
+        n_pivots=3,
+        rng=random.Random(1),
+    )
+    assert index._counter.calls == 0
+
+
+def test_wider_race_still_converges(tmp_path):
+    payloads = _race(tmp_path, n_procs=4)
+    assert all(p == payloads[0] for p in payloads)
