@@ -132,7 +132,11 @@ def _run_point(index, direct, queries, k, loop_kind, window_ms, args):
             elapsed = time.perf_counter() - started
             return outcomes, latencies, elapsed, server.metrics.snapshot()
 
+    from repro.batch.runtime import get_runtime
+
+    ring_before = get_runtime().ring_stats()
     outcomes, latencies, elapsed, counters = asyncio.run(replay())
+    ring_after = get_runtime().ring_stats()
 
     answered = 0
     for query, outcome in zip(queries, outcomes):
@@ -180,6 +184,11 @@ def _run_point(index, direct, queries, k, loop_kind, window_ms, args):
             if counters["batches"]
             else None
         ),
+        # segment-ring effectiveness for this point: reuses avoid a
+        # /dev/shm create+unlink pair per coalesced batch (ROADMAP 5c)
+        "shm_ring": {
+            key: ring_after[key] - ring_before[key] for key in ring_after
+        },
         "n_items": len(index.items),
         "k": k,
         "cpu_count": os.cpu_count(),

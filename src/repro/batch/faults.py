@@ -62,6 +62,13 @@ Fault sites:
                    already past its deadline at batch-assembly time, so
                    it is failed with ``DeadlineExceeded`` without ever
                    reaching the bulk call
+``shard_worker_fail``  a sharded scatter's per-shard worker task raises
+                   :class:`FaultInjected` before searching (daemon-gated
+                   like ``worker_crash``): the master must re-run that
+                   shard serially and merge a bit-identical answer
+``shard_merge_skew``  the sharded gather feeds per-shard result lists to
+                   the k-merge in a skewed (reversed) order -- the merge
+                   must be order-independent, so the output is unchanged
 =================  =========================================================
 
 Zero overhead when unarmed: every hook starts with one ``os.environ``
@@ -103,6 +110,8 @@ SITES = (
     "serve_slow_batch",
     "serve_shed",
     "serve_deadline",
+    "shard_worker_fail",
+    "shard_merge_skew",
 )
 
 #: Default ``worker_hang`` sleep: long enough that only the supervisor's

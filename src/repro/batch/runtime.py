@@ -106,10 +106,14 @@ __all__ = [
     "dispose_pool",
     "EngineRuntime",
     "get_runtime",
+    "ArraysToken",
     "BlockToken",
     "StoreToken",
+    "attach_arrays",
     "attach_store",
+    "publish_generation",
     "release_attachment",
+    "shm_ring_enabled",
 ]
 
 
@@ -118,6 +122,13 @@ def persistent_pool_enabled() -> bool:
     """Whether sharded fan-out may reuse the persistent pool;
     ``REPRO_PERSISTENT_POOL=0`` opts out (read per call)."""
     return knobs.get_flag("REPRO_PERSISTENT_POOL")
+
+
+def shm_ring_enabled() -> bool:
+    """Whether ephemeral shared-memory segments are recycled through the
+    runtime's segment ring instead of being unlinked per call;
+    ``REPRO_SHM_RING=0`` opts out (read per publish/release)."""
+    return knobs.get_flag("REPRO_SHM_RING")
 
 
 # ---------------------------------------------------------------------------
@@ -205,6 +216,7 @@ class DegradationStats:
         "dead_pools",  # cached pools discarded by the health check
         "percall_fallbacks",  # chunks degraded to a per-call pool
         "serial_fallbacks",  # chunks degraded to in-process serial
+        "shard_fallbacks",  # sharded-index scatters re-run in the master
         "publish_failures",  # shared-memory publications that failed
         "stale_attachments",  # worker re-attaches forced by generation
         "reaped_segments",  # orphaned /dev/shm segments unlinked
@@ -257,6 +269,7 @@ class DegradationSnapshot(TypedDict):
     dead_pools: int
     percall_fallbacks: int
     serial_fallbacks: int
+    shard_fallbacks: int
     publish_failures: int
     stale_attachments: int
     reaped_segments: int
@@ -384,6 +397,23 @@ class StoreToken:
     extra: Optional[BlockToken]
 
 
+@dataclass(frozen=True)
+class ArraysToken:
+    """A named bundle of arbitrary arrays in shared memory.
+
+    The generic sibling of :class:`BlockToken` for payloads that are not
+    twin code matrices -- the sharded query tier ships each shard's
+    structure (pivot tables, pickled item blobs) this way.  Persistent
+    bundles follow the same worker-cache + generation-verification
+    discipline as persistent blocks.
+    """
+
+    key: str
+    persistent: bool
+    specs: Tuple[Tuple[str, _ArraySpec], ...]
+    generation: int = 0
+
+
 class _ShmStore:
     """Worker-side :class:`~repro.batch.corpus.PairStore` stand-in backed
     by attached shared-memory blocks -- just the ``lengths`` vector and
@@ -485,6 +515,42 @@ def attach_store(token: StoreToken) -> Tuple[_ShmStore, List[Any]]:
     return _ShmStore(corpus_arrays, extra_arrays), ephemeral
 
 
+#: Worker-lifetime cache of attached *persistent* array bundles:
+#: key -> (generation, {name: array}, [SharedMemory handles]).
+_ATTACHED_ARRAYS: Dict[str, Tuple[int, Dict[str, np.ndarray], List[Any]]] = {}
+
+
+def attach_arrays(token: ArraysToken) -> Tuple[Dict[str, np.ndarray], List[Any]]:
+    """Attach a published array bundle inside a worker.
+
+    Returns ``({name: array}, ephemeral_handles)``; the caller must
+    close the handles after use when the bundle is not persistent
+    (persistent bundles stay cached for the worker's lifetime, with the
+    same generation verification as :func:`_attach_block` -- a bundle
+    whose segments a runtime shutdown unlinked is dropped and
+    re-attached instead of read as dead pages).
+    """
+    if token.persistent:
+        cached = _ATTACHED_ARRAYS.get(token.key)
+        if cached is not None:
+            generation, arrays, handles = cached
+            if generation == token.generation:
+                return arrays, []
+            _ATTACHED_ARRAYS.pop(token.key, None)
+            release_attachment(handles)
+            DEGRADATION.record("stale_attachments")
+    arrays: Dict[str, np.ndarray] = {}
+    handles: List[Any] = []
+    for name, spec in token.specs:
+        arr, shm = _attach_array(spec)
+        arrays[name] = arr
+        handles.append(shm)
+    if token.persistent:
+        _ATTACHED_ARRAYS[token.key] = (token.generation, arrays, handles)
+        return arrays, []
+    return arrays, handles
+
+
 def release_attachment(handles: Sequence[Any]) -> None:
     """Close ephemeral worker-side attachments after a task."""
     for shm in handles:
@@ -505,6 +571,24 @@ def release_attachment(handles: Sequence[Any]) -> None:
 #: holding a pre-shutdown attachment re-attach instead of reading dead
 #: pages (see :func:`_attach_block`).
 _PUBLISH_GENERATION = 0
+
+
+def publish_generation() -> int:
+    """The current publication generation.  Callers holding tokens from
+    an earlier generation (a runtime shutdown happened in between) must
+    republish -- their segments are gone."""
+    return _PUBLISH_GENERATION
+
+
+#: Most free segments the runtime's reuse ring retains; excess releases
+#: unlink as before.  Sized for the serving-tier case (a handful of
+#: small per-call blocks in flight at once), not for bulk corpora.
+_RING_CAPACITY = 12
+
+#: Largest segment (bytes) the ring will retain.  High-frequency small
+#: query batches are the win; parking a one-off giant batch would just
+#: pin memory.
+_RING_SEGMENT_MAX = 4 << 20
 
 
 def _unlink_segment(shm: Any) -> None:
@@ -598,6 +682,21 @@ class EngineRuntime:
         self._pool_size = 0
         self._published: List[Any] = []  # SharedMemory handles we own
         self._counter = itertools.count()
+        # The segment ring: released *reusable* (ephemeral) segments park
+        # here instead of being unlinked, and the next ephemeral publish
+        # of equal-or-smaller payload rewrites one in place -- the
+        # per-call create/unlink churn of high-frequency small query
+        # batches becomes a memcpy.  Safe because ephemeral segments are
+        # only released after their fan-out returned (and failed pools
+        # are SIGKILL-disposed first), so no worker still reads them.
+        self._ring: List[Any] = []  # free segments, FIFO
+        self._ring_names: set = set()  # names tagged ring-eligible
+        self._ring_stats: Dict[str, int] = {
+            "creates": 0,  # ephemeral publishes that had to create
+            "reuses": 0,  # ephemeral publishes served from the ring
+            "returns": 0,  # releases parked back into the ring
+            "evictions": 0,  # releases unlinked (ring full / knob off)
+        }
         atexit.register(self.shutdown)
 
     # -- pool ---------------------------------------------------------------
@@ -762,7 +861,9 @@ class EngineRuntime:
 
     # -- shared-memory publication -------------------------------------------
 
-    def _publish_array(self, arr: np.ndarray) -> Optional[_ArraySpec]:
+    def _publish_array(
+        self, arr: np.ndarray, reusable: bool = False
+    ) -> Optional[_ArraySpec]:
         from multiprocessing import shared_memory
 
         from . import faults
@@ -771,6 +872,21 @@ class EngineRuntime:
             DEGRADATION.record("publish_failures")
             return None
         arr = np.ascontiguousarray(arr)
+        if reusable and shm_ring_enabled():
+            # first-fit from the ring: any parked segment big enough
+            # carries the payload (the spec's shape/dtype bound what
+            # attachers read, so an oversized buffer is harmless)
+            for pos, free in enumerate(self._ring):
+                if free.size >= max(1, arr.nbytes):
+                    shm = self._ring.pop(pos)
+                    if arr.nbytes:
+                        view = np.ndarray(
+                            arr.shape, dtype=arr.dtype, buffer=shm.buf
+                        )
+                        view[...] = arr
+                    self._published.append(shm)
+                    self._ring_stats["reuses"] += 1
+                    return _ArraySpec(shm.name, tuple(arr.shape), arr.dtype.str)
         name = f"{_session_prefix()}-{next(self._counter)}"
         try:
             shm = shared_memory.SharedMemory(
@@ -793,6 +909,10 @@ class EngineRuntime:
             view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
             view[...] = arr
         self._published.append(shm)
+        if reusable and shm_ring_enabled():
+            self._ring_stats["creates"] += 1
+            if arr.nbytes <= _RING_SEGMENT_MAX:
+                self._ring_names.add(shm.name)
         return _ArraySpec(shm.name, tuple(arr.shape), arr.dtype.str)
 
     def publish_block(
@@ -811,7 +931,7 @@ class EngineRuntime:
         verification can catch republications)."""
         specs: List[_ArraySpec] = []
         for arr in (rows_x, rows_y, lengths):
-            spec = self._publish_array(arr)
+            spec = self._publish_array(arr, reusable=not persistent)
             if spec is None:
                 self._release_names({s.shm_name for s in specs})
                 return None
@@ -866,15 +986,65 @@ class EngineRuntime:
                 return None
         return StoreToken(token, extra_token)
 
+    def publish_arrays(
+        self,
+        arrays: Dict[str, np.ndarray],
+        persistent: bool,
+        key: Optional[str] = None,
+    ) -> Optional[ArraysToken]:
+        """Copy a named bundle of arrays into shared memory; ``None`` on
+        failure (callers fall back to in-process execution).  A partial
+        failure unlinks the segments already created, so a failed
+        publication never leaks.  *key* fixes the worker-cache key for
+        persistent bundles (the sharded tier uses a stable per-shard key
+        so generation verification can catch republications)."""
+        specs: List[Tuple[str, _ArraySpec]] = []
+        for name, arr in arrays.items():
+            spec = self._publish_array(arr, reusable=not persistent)
+            if spec is None:
+                self._release_names({s.shm_name for _, s in specs})
+                return None
+            specs.append((name, spec))
+        if key is None:
+            key = f"{_session_prefix()}-arrays-{next(self._counter)}"
+        return ArraysToken(
+            key, persistent, tuple(specs), generation=_PUBLISH_GENERATION
+        )
+
+    def release_arrays(self, token: Optional[ArraysToken]) -> None:
+        """Unlink (or return to the ring) a bundle's segments once its
+        consumers are done.  Idempotent, like :meth:`release_block`."""
+        if token is None:
+            return
+        self._release_names({spec.shm_name for _, spec in token.specs})
+
+    def ring_stats(self) -> Dict[str, int]:
+        """A copy of the segment-ring traffic counters
+        (``creates``/``reuses``/``returns``/``evictions``) -- consumed by
+        ``bench_serve.py`` to show how much per-call publish/unlink churn
+        the ring absorbed."""
+        return dict(self._ring_stats)
+
     def _release_names(self, names: set) -> None:
         """Unlink the owned segments in *names* (tolerating segments
         already removed by a racing unlink, see :func:`_unlink_segment`)
-        and drop them from the ownership list."""
+        and drop them from the ownership list.  Segments tagged
+        ring-eligible park in the free ring instead -- still owned, still
+        unlinked at :meth:`shutdown` -- unless the ring is full or
+        ``REPRO_SHM_RING`` turned off since they were published."""
         if not names:
             return
         kept = []
+        ring_on = shm_ring_enabled()
         for shm in self._published:
             if shm.name in names:
+                if shm.name in self._ring_names:
+                    if ring_on and len(self._ring) < _RING_CAPACITY:
+                        self._ring.append(shm)
+                        self._ring_stats["returns"] += 1
+                        continue
+                    self._ring_names.discard(shm.name)
+                    self._ring_stats["evictions"] += 1
                 _unlink_segment(shm)
             else:
                 kept.append(shm)
@@ -907,7 +1077,9 @@ class EngineRuntime:
         _PUBLISH_GENERATION += 1
         self._discard_pool()
         published, self._published = self._published, []
-        for shm in published:
+        ring, self._ring = self._ring, []
+        self._ring_names.clear()
+        for shm in published + ring:
             _unlink_segment(shm)
 
 

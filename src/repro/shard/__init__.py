@@ -1,0 +1,22 @@
+"""Scatter-gather sharded query tier.
+
+Partitions a corpus into size-balanced shards, builds an independent
+pivot-table index per shard, and serves bulk queries by scattering
+per-shard lockstep searches across the persistent engine worker pool
+and k-merging the answers under the canonical ``(distance, index)``
+order -- bit-identical to the equivalent unsharded index.
+
+See :mod:`repro.shard.sharded` for the index, :mod:`repro.shard.merge`
+for the merge kernel, and :mod:`repro.shard.scatter` for the worker
+protocol.
+"""
+
+from .merge import k_merge
+from .sharded import ShardedIndex, partition_indices, resolve_shard_count
+
+__all__ = [
+    "ShardedIndex",
+    "k_merge",
+    "partition_indices",
+    "resolve_shard_count",
+]

@@ -1,0 +1,43 @@
+"""The sharded gather's k-merge kernel.
+
+Each shard answers a query with its own canonically sorted result list
+(:func:`repro.index.base.canonical_key` order -- ``(distance, index)``
+with *global* indices).  Gathering is then a pure k-way merge: because
+every global index appears in exactly one shard, the merge keys are
+unique, and the merged prefix of length *k* is exactly what the
+equivalent unsharded index returns -- same neighbours, same distances,
+same canonical order, regardless of the order the shard lists arrive in
+(the ``shard_merge_skew`` chaos fault feeds them reversed to prove it).
+
+Property-tested in ``tests/shard/test_merge.py`` over arbitrary
+per-shard lists with duplicate distances, ties across shard boundaries,
+and ``k`` exceeding per-shard hit counts.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Sequence
+
+from ..index.base import SearchResult, canonical_key
+
+__all__ = ["k_merge"]
+
+
+def k_merge(
+    shard_lists: Sequence[Sequence[SearchResult]],
+    k: Optional[int] = None,
+) -> List[SearchResult]:
+    """Merge per-shard result lists into one canonically ordered list.
+
+    Every input list must already be sorted by :func:`canonical_key`
+    (each shard's search guarantees this); the output is the canonical
+    order over the union, truncated to the best *k* when given.  With
+    unique ``(distance, index)`` keys -- global indices are disjoint
+    across shards -- the result is independent of the order of
+    *shard_lists*.
+    """
+    merged = list(heapq.merge(*shard_lists, key=canonical_key))
+    if k is None:
+        return merged
+    return merged[:k]

@@ -472,6 +472,22 @@ def load_or_build(
     """
     params = dict(params or {})
     artifact_store = ArtifactStore.coerce(store)
+    # Composite structures (the sharded tier) persist as several child
+    # snapshots rather than one, so they take over the whole
+    # load-or-rebuild decision: each child gets its own miss-vs-corrupt
+    # treatment and only the affected child rebuilds.
+    override = getattr(cls, "_load_or_build_override", None)
+    if override is not None:
+        return cast(
+            IndexT,
+            override(
+                items,
+                distance,
+                artifact_store,
+                params,
+                save_on_miss=save_on_miss,
+            ),
+        )
     factory = cast(Callable[..., IndexT], cls)
     try:
         return artifact_store.load(cls, items, distance, params)

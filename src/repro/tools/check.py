@@ -22,7 +22,7 @@ R3  shm lifecycle: every class that creates a shared-memory segment
     class -- and the module guards unlink races with an
     ``except FileNotFoundError`` handler;
 R4  degradation coverage: every public ``bulk_*`` method on an ``index``
-    class reports degradation -- its body references
+    or ``shard`` class reports degradation -- its body references
     ``_track_degradation`` or delegates to a lockstep driver
     (``_lockstep_drive`` / ``_bulk_knn_lockstep``);
 R5  fault-site registration: every string literal passed to
@@ -55,7 +55,7 @@ RULES: Dict[str, str] = {
     "R1": "raw os.environ read of a REPRO_* knob outside repro.tools.knobs",
     "R2": "batch kernel without a matching numba twin in jit.py",
     "R3": "shared-memory creation without paired release/unlink guard",
-    "R4": "public bulk_* index method not reporting degradation",
+    "R4": "public bulk_* index/shard method not reporting degradation",
     "R5": "fault site not declared in faults.SITES",
     "R6": "non-atomic file write inside repro/store (use repro.store.atomic)",
 }
@@ -350,7 +350,7 @@ def _references_degradation(fn: ast.FunctionDef) -> bool:
 
 
 def _rule_r4(source: _Source) -> List[Violation]:
-    if "index" not in source.path.parts:
+    if not {"index", "shard"} & set(source.path.parts):
         return []
     found = []
     for node in ast.walk(source.tree):

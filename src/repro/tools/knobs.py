@@ -299,6 +299,51 @@ REGISTRY: Dict[str, KnobSpec] = _spec(
         ),
         module="repro.store.artifacts",
     ),
+    KnobSpec(
+        name="REPRO_SHARD_COUNT",
+        type="int",
+        default=4,
+        description=(
+            "Default shard count for `ShardedIndex` when the constructor "
+            "is not given an explicit `shards=`; clamped by corpus size "
+            "and `REPRO_SHARD_MIN_ITEMS`."
+        ),
+        module="repro.shard.sharded",
+    ),
+    KnobSpec(
+        name="REPRO_SHARD_MIN_ITEMS",
+        type="int",
+        default=32,
+        description=(
+            "Smallest corpus slice worth an independent shard; the "
+            "effective shard count is reduced until every shard holds at "
+            "least this many items (tiny corpora collapse to one shard)."
+        ),
+        module="repro.shard.sharded",
+    ),
+    KnobSpec(
+        name="REPRO_SHARD_PARALLEL",
+        type="flag",
+        default=True,
+        description=(
+            "Scatter per-shard bulk searches across the persistent worker "
+            "pool; `0` runs every shard serially in the master process "
+            "(bit-identical, used as the comparison baseline)."
+        ),
+        module="repro.shard.scatter",
+    ),
+    KnobSpec(
+        name="REPRO_SHM_RING",
+        type="flag",
+        default=True,
+        description=(
+            "Recycle released ephemeral shared-memory segments through "
+            "the runtime's segment ring so high-frequency small query "
+            "batches skip per-call create/unlink churn; `0` restores "
+            "unlink-per-call."
+        ),
+        module="repro.batch.runtime",
+    ),
 )
 
 

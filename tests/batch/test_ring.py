@@ -1,0 +1,184 @@
+"""The reusable shared-memory segment ring (ROADMAP 5c).
+
+Released ephemeral segments park in the runtime's ring and the next
+ephemeral publication rewrites one in place instead of creating a fresh
+``/dev/shm`` entry -- the per-call segment churn that dominated
+high-frequency small batches.  The contract: reuse changes allocation
+counts only; attached bytes, fan-out results and teardown hygiene are
+bit-identical with the ring on, off (``REPRO_SHM_RING=0``), or
+evicting."""
+
+import numpy as np
+import pytest
+
+import repro.batch.runtime as runtime
+from repro.batch import intern_corpus
+from repro.batch.runtime import _RING_CAPACITY, _RING_SEGMENT_MAX
+
+
+@pytest.fixture
+def fresh_runtime():
+    rt = runtime.EngineRuntime()
+    yield rt
+    rt.shutdown()
+
+
+def _corpus(seed=11, n=120):
+    import random
+
+    rng = random.Random(seed)
+    return intern_corpus(
+        [
+            "".join(rng.choice("abcdef") for _ in range(rng.randint(3, 12)))
+            for _ in range(n)
+        ]
+    )
+
+
+def _publish_release(rt, arr):
+    """One ephemeral publish/attach/release cycle; returns the bytes the
+    attach saw."""
+    spec = rt._publish_array(arr, reusable=True)
+    if spec is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    attached, shm = runtime._attach_array(spec)
+    got = np.array(attached, copy=True)
+    runtime.release_attachment([shm])
+    rt._release_names({spec.shm_name})
+    return got
+
+
+def test_ring_flag_default_and_opt_out(monkeypatch):
+    assert runtime.shm_ring_enabled()
+    monkeypatch.setenv("REPRO_SHM_RING", "0")
+    assert not runtime.shm_ring_enabled()
+
+
+def test_released_segment_is_reused(fresh_runtime):
+    a = np.arange(64, dtype=np.float64)
+    b = np.arange(64, dtype=np.float64) * 3.0
+    got_a = _publish_release(fresh_runtime, a)
+    assert (got_a == a).all()
+    stats = fresh_runtime.ring_stats()
+    assert stats["creates"] == 1 and stats["returns"] == 1
+    # second publication of a fitting array rewrites the parked segment
+    got_b = _publish_release(fresh_runtime, b)
+    assert (got_b == b).all()
+    stats = fresh_runtime.ring_stats()
+    assert stats["reuses"] == 1
+    assert stats["creates"] == 1
+
+
+def test_smaller_payload_reuses_larger_segment(fresh_runtime):
+    big = np.arange(256, dtype=np.float64)
+    small = np.arange(8, dtype=np.float64) * 7.0
+    _publish_release(fresh_runtime, big)
+    got = _publish_release(fresh_runtime, small)
+    assert (got == small).all()
+    assert fresh_runtime.ring_stats()["reuses"] == 1
+
+
+def test_larger_payload_creates_fresh_segment(fresh_runtime):
+    small = np.arange(8, dtype=np.float64)
+    big = np.arange(256, dtype=np.float64)
+    _publish_release(fresh_runtime, small)
+    got = _publish_release(fresh_runtime, big)
+    assert (got == big).all()
+    assert fresh_runtime.ring_stats()["creates"] == 2
+
+
+def test_opt_out_disables_reuse(fresh_runtime, monkeypatch):
+    monkeypatch.setenv("REPRO_SHM_RING", "0")
+    arr = np.arange(32, dtype=np.float64)
+    _publish_release(fresh_runtime, arr)
+    _publish_release(fresh_runtime, arr * 2)
+    stats = fresh_runtime.ring_stats()
+    assert stats["reuses"] == 0 and stats["returns"] == 0
+
+
+def test_oversized_segments_never_enter_the_ring(fresh_runtime):
+    huge = np.zeros((_RING_SEGMENT_MAX // 8) + 16, dtype=np.float64)
+    _publish_release(fresh_runtime, huge)
+    stats = fresh_runtime.ring_stats()
+    assert stats["returns"] == 0
+    assert not fresh_runtime._ring
+
+
+def test_ring_capacity_evicts(fresh_runtime):
+    specs = [
+        fresh_runtime._publish_array(
+            np.full(16, float(i)), reusable=True
+        )
+        for i in range(_RING_CAPACITY + 3)
+    ]
+    if any(s is None for s in specs):  # pragma: no cover
+        pytest.skip("shared memory unavailable")
+    fresh_runtime._release_names({s.shm_name for s in specs})
+    stats = fresh_runtime.ring_stats()
+    assert stats["returns"] == _RING_CAPACITY
+    assert stats["evictions"] == 3
+    assert len(fresh_runtime._ring) == _RING_CAPACITY
+
+
+def test_shutdown_unlinks_parked_segments(fresh_runtime):
+    arr = np.arange(64, dtype=np.float64)
+    spec = fresh_runtime._publish_array(arr, reusable=True)
+    if spec is None:  # pragma: no cover
+        pytest.skip("shared memory unavailable")
+    fresh_runtime._release_names({spec.shm_name})
+    assert fresh_runtime._ring
+    fresh_runtime.shutdown()
+    assert not fresh_runtime._ring
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=spec.shm_name)
+
+
+def test_persistent_segments_bypass_the_ring(fresh_runtime):
+    corpus = _corpus()
+    token = fresh_runtime.publish_store(corpus.store())
+    if token is None:  # pragma: no cover
+        pytest.skip("shared memory unavailable")
+    assert fresh_runtime.ring_stats()["creates"] == 0
+
+
+def test_engine_results_identical_with_ring_on_and_off(monkeypatch):
+    """The acceptance check: repeated small bulk queries produce
+    bit-identical answers with the ring enabled and disabled, while the
+    enabled run actually reuses segments."""
+    from repro.core.levenshtein import levenshtein_distance
+    from repro.index import LaesaIndex
+
+    import random
+
+    rng = random.Random(3)
+    items = [
+        "".join(rng.choice("abcdefgh") for _ in range(rng.randint(3, 12)))
+        for _ in range(150)
+    ]
+    queries = items[::10][:8]
+    monkeypatch.setenv("REPRO_MIN_PAIRS_PER_WORKER", "1")
+
+    def drive():
+        index = LaesaIndex(items, levenshtein_distance, n_pivots=5)
+        out = []
+        for _ in range(3):
+            out.append(
+                [
+                    ([(r.index, r.distance) for r in results],
+                     stats.distance_computations)
+                    for results, stats in index.bulk_knn(queries, 3)
+                ]
+            )
+        return out
+
+    runtime.get_runtime().shutdown()
+    try:
+        with_ring = drive()
+        runtime.get_runtime().shutdown()
+        monkeypatch.setenv("REPRO_SHM_RING", "0")
+        without_ring = drive()
+    finally:
+        runtime.get_runtime().shutdown()
+    assert with_ring == without_ring

@@ -273,3 +273,44 @@ def test_corpus_segments_released_on_garbage_collection(fresh_runtime):
     del corpus, token
     gc.collect()
     assert not any(shm.name in names for shm in fresh_runtime._published)
+
+
+def test_publish_arrays_roundtrip(fresh_runtime):
+    """A named-array bundle (the sharded tier's structure transport)
+    publishes, attaches by name and caches per generation."""
+    arrays = {
+        "pivots": np.arange(12, dtype=np.int64),
+        "rows": np.arange(24, dtype=np.float64).reshape(4, 6),
+    }
+    token = fresh_runtime.publish_arrays(arrays, persistent=True, key="t-bundle")
+    if token is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    assert token.key == "t-bundle"
+    attached, handles = runtime.attach_arrays(token)
+    assert handles == []  # persistent bundles cache; nothing to close
+    assert set(attached) == {"pivots", "rows"}
+    assert (attached["pivots"] == arrays["pivots"]).all()
+    assert (attached["rows"] == arrays["rows"]).all()
+    # second attach is the cached one
+    again, _ = runtime.attach_arrays(token)
+    assert again["rows"] is attached["rows"]
+    runtime._ATTACHED_ARRAYS.pop("t-bundle", None)
+    fresh_runtime.release_arrays(token)
+
+
+def test_stale_arrays_attachment_is_refreshed(fresh_runtime):
+    """Generation verification applies to array bundles exactly as to
+    corpus blocks: a shutdown invalidates cached worker attachments."""
+    arrays = {"a": np.arange(6, dtype=np.float64)}
+    first = fresh_runtime.publish_arrays(arrays, persistent=True, key="t-stale")
+    if first is None:  # pragma: no cover - no shared memory on this host
+        pytest.skip("shared memory unavailable")
+    runtime.attach_arrays(first)
+    assert runtime._ATTACHED_ARRAYS["t-stale"][0] == first.generation
+    fresh_runtime.shutdown()
+    second = fresh_runtime.publish_arrays(arrays, persistent=True, key="t-stale")
+    assert second.generation != first.generation
+    attached, _ = runtime.attach_arrays(second)
+    assert runtime._ATTACHED_ARRAYS["t-stale"][0] == second.generation
+    assert (attached["a"] == arrays["a"]).all()
+    runtime._ATTACHED_ARRAYS.pop("t-stale", None)

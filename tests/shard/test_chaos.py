@@ -1,0 +1,239 @@
+"""Sharded chaos suite: scatters under injected faults stay
+bit-identical.
+
+Each test computes a serial-scatter reference (faults unset, parallel
+scatter disabled), then re-runs the same workload with a fault armed --
+shard worker tasks raising, engine workers crashing or hanging, a live
+pool worker SIGKILLed mid-scatter, the gather order skewed -- and
+asserts the merged answers (neighbours, distances AND per-query
+computation counts) never change; only the degradation counters and the
+``IndexServer`` metrics may move.
+"""
+
+import asyncio
+import os
+import signal
+import threading
+import time
+import warnings
+
+import pytest
+
+import repro.batch.engine as engine
+import repro.batch.faults as faults
+import repro.batch.runtime as runtime
+from repro.batch import DEGRADATION, DegradedExecutionWarning
+from repro.core.levenshtein import levenshtein_distance
+from repro.shard import ShardedIndex
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.batch.runtime.DegradedExecutionWarning"
+)
+
+
+def _word_corpus(n=160, seed=23):
+    import random
+
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice("abcdefgh") for _ in range(rng.randint(3, 14)))
+        for _ in range(n)
+    ]
+
+
+def _results_key(per_query):
+    return [
+        (
+            [(r.index, r.distance) for r in results],
+            stats.distance_computations,
+        )
+        for results, stats in per_query
+    ]
+
+
+def _build(items):
+    return ShardedIndex(
+        items,
+        levenshtein_distance,
+        shards=4,
+        structure="laesa",
+        structure_params={"n_pivots": 4},
+    )
+
+
+def _drive(index, queries):
+    return (
+        _results_key(index.bulk_knn(queries, 3)),
+        _results_key(index.bulk_range_search(queries, 3.0)),
+    )
+
+
+def _serial_reference(monkeypatch, items, queries):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    monkeypatch.setenv("REPRO_SHARD_PARALLEL", "0")
+    out = _drive(_build(items), queries)
+    monkeypatch.delenv("REPRO_SHARD_PARALLEL", raising=False)
+    return out
+
+
+def _arm(monkeypatch, spec, timeout="2", retries="1", min_pairs="20"):
+    monkeypatch.setenv("REPRO_FAULTS", spec)
+    monkeypatch.setenv("REPRO_POOL_TIMEOUT", timeout)
+    monkeypatch.setenv("REPRO_POOL_RETRIES", retries)
+    monkeypatch.setenv("REPRO_MIN_PAIRS_PER_WORKER", min_pairs)
+    monkeypatch.setattr(engine, "_cpu_count", lambda: 4)
+    faults._PLAN_CACHE = None
+    # the armed spec must reach the pool workers' environment
+    runtime.get_runtime().shutdown()
+
+
+@pytest.fixture(autouse=True)
+def chaos_isolation(monkeypatch):
+    yield
+    faults._PLAN_CACHE = None
+    runtime.get_runtime().shutdown()
+
+
+def test_shard_worker_fail_falls_back_to_master(monkeypatch):
+    """Every shard task raising on the pool walks the scatter down to
+    the master's serial rung: answers identical, shard_fallbacks > 0,
+    and the degradation is announced, not silent."""
+    items = _word_corpus()
+    queries = _word_corpus(n=40, seed=404)
+    want = _serial_reference(monkeypatch, items, queries)
+    _arm(monkeypatch, "shard_worker_fail:p=1.0,seed=3")
+    before = DEGRADATION.snapshot()["shard_fallbacks"]
+    index = _build(items)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        got = _drive(index, queries)
+    assert got == want
+    assert DEGRADATION.snapshot()["shard_fallbacks"] > before
+    assert any(
+        issubclass(w.category, DegradedExecutionWarning) for w in caught
+    )
+    assert index.last_degradation.get("shard_fallbacks")
+
+
+def test_partial_shard_worker_fail_reruns_only_failed_shards(monkeypatch):
+    """A probabilistic fault leaves some shards succeeding on the pool;
+    the master re-runs only the failed ones and the merge still matches."""
+    items = _word_corpus(n=200)
+    queries = _word_corpus(n=60, seed=91)
+    want = _serial_reference(monkeypatch, items, queries)
+    _arm(monkeypatch, "shard_worker_fail:p=0.3,seed=7")
+    assert _drive(_build(items), queries) == want
+
+
+def test_shard_merge_skew_never_changes_answers(monkeypatch):
+    """The gather fed shard lists in reversed order must merge to the
+    same canonical answer -- scalar and bulk, knn and range."""
+    items = _word_corpus()
+    queries = _word_corpus(n=30, seed=55)
+    want = _serial_reference(monkeypatch, items, queries)
+    _arm(monkeypatch, "shard_merge_skew:p=1.0,seed=5")
+    index = _build(items)
+    assert _drive(index, queries) == want
+    flat, _stats = index.knn(queries[0], 5)
+    keys = [(r.distance, r.index) for r in flat]
+    assert keys == sorted(keys)
+
+
+def test_scatter_survives_engine_worker_crashes(monkeypatch):
+    """The generic worker_crash site fires inside shard tasks too (they
+    run on the same supervised pool); the scatter must degrade through
+    the ladder and still merge bit-identically."""
+    items = _word_corpus(n=200)
+    queries = _word_corpus(n=50, seed=12)
+    want = _serial_reference(monkeypatch, items, queries)
+    _arm(monkeypatch, "worker_crash:p=0.2,seed=12")
+    assert _drive(_build(items), queries) == want
+
+
+def test_scatter_survives_worker_hangs(monkeypatch):
+    """Wedged shard tasks trip the pool deadline and fall back serially
+    instead of hanging the scatter."""
+    items = _word_corpus(n=160)
+    queries = _word_corpus(n=30, seed=81)
+    want = _serial_reference(monkeypatch, items, queries)
+    _arm(monkeypatch, "worker_hang:p=1:s=60,seed=3", timeout="1", retries="0")
+    before = DEGRADATION.snapshot()["pool_timeouts"]
+    assert _drive(_build(items), queries) == want
+    assert DEGRADATION.snapshot()["pool_timeouts"] > before
+
+
+def test_sigkill_one_worker_mid_scatter(monkeypatch):
+    """SIGKILL a live pool worker while a sharded bulk_knn is in flight:
+    the merged answer must not change and the next scatter runs on a
+    healthy respawned pool."""
+    items = _word_corpus(n=240)
+    queries = _word_corpus(n=80, seed=33)
+    want = _serial_reference(monkeypatch, items, queries)
+    monkeypatch.setenv("REPRO_MIN_PAIRS_PER_WORKER", "20")
+    monkeypatch.setenv("REPRO_POOL_TIMEOUT", "2")
+    monkeypatch.setattr(engine, "_cpu_count", lambda: 4)
+    rt = runtime.get_runtime()
+    rt.shutdown()
+
+    killed = threading.Event()
+
+    def killer():
+        deadline = time.monotonic() + 15
+        while time.monotonic() < deadline and not killed.is_set():
+            pool = rt._pool
+            procs = list(getattr(pool, "_pool", None) or []) if pool else []
+            if procs:
+                try:
+                    os.kill(procs[0].pid, signal.SIGKILL)
+                    killed.set()
+                    return
+                except (ProcessLookupError, AttributeError):
+                    pass
+            time.sleep(0.001)
+
+    thread = threading.Thread(target=killer, daemon=True)
+    thread.start()
+    index = _build(items)
+    got = _drive(index, queries)
+    thread.join(20)
+    assert killed.is_set(), "killer never saw a pool worker to SIGKILL"
+    assert got == want
+    assert _drive(index, queries) == want
+    pool = rt._pool
+    if pool is not None:
+        assert all(p.is_alive() for p in pool._pool)
+
+
+def test_served_sharded_queries_under_faults(monkeypatch):
+    """IndexServer over a ShardedIndex with shard workers failing: every
+    served answer matches the serial reference and the server's
+    degraded_batches metric records the turbulence."""
+    from repro.serve import IndexServer, ServeConfig
+
+    items = _word_corpus()
+    queries = _word_corpus(n=12, seed=66)
+    monkeypatch.setenv("REPRO_SHARD_PARALLEL", "0")
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    reference = _results_key(_build(items).bulk_knn(queries, 3))
+    monkeypatch.delenv("REPRO_SHARD_PARALLEL", raising=False)
+
+    _arm(monkeypatch, "shard_worker_fail:p=1.0,seed=3")
+    index = _build(items)
+    config = ServeConfig(window_ms=1.0, dispose_runtime_on_drain=False)
+
+    async def drive():
+        async with IndexServer(index, config=config) as server:
+            answers = await asyncio.gather(
+                *(server.knn(q, 3) for q in queries)
+            )
+            return answers, server.metrics.snapshot()
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        answers, metrics = asyncio.run(drive())
+    got = [
+        ([(r.index, r.distance) for r in results], stats.distance_computations)
+        for results, stats in answers
+    ]
+    assert got == reference
+    assert metrics["degraded_batches"] > 0

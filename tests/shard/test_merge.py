@@ -1,0 +1,95 @@
+"""Property tests for the k-merge kernel.
+
+The gather's correctness rests on one lemma: merging canonically sorted
+per-shard lists with disjoint global indices reproduces the canonical
+order over the union -- ties on distance broken by index, ``k`` free to
+exceed any (or every) shard's hit count, and the answer independent of
+the order the shard lists arrive in.  Hypothesis drives arbitrary
+partitions of arbitrary result universes at the merge kernel directly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.base import SearchResult, canonical_key
+from repro.shard import k_merge
+
+# Small distance grids force heavy ties; indices are globally unique.
+_distances = st.floats(
+    min_value=0.0, max_value=4.0, allow_nan=False, width=16
+)
+
+
+@st.composite
+def sharded_results(draw):
+    """A universe of results with unique global indices, dealt into
+    1..6 canonically sorted shard lists (some possibly empty)."""
+    n = draw(st.integers(min_value=0, max_value=40))
+    dists = draw(
+        st.lists(_distances, min_size=n, max_size=n)
+    )
+    universe = [
+        SearchResult(item=f"it{i}", index=i, distance=d)
+        for i, d in enumerate(dists)
+    ]
+    n_shards = draw(st.integers(min_value=1, max_value=6))
+    owner = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_shards - 1),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    shards = [[] for _ in range(n_shards)]
+    for result, si in zip(universe, owner):
+        shards[si].append(result)
+    return [sorted(lst, key=canonical_key) for lst in shards]
+
+
+@given(sharded_results())
+@settings(max_examples=200, deadline=None)
+def test_merge_reproduces_global_canonical_order(shards):
+    merged = k_merge(shards)
+    flat = sorted((r for lst in shards for r in lst), key=canonical_key)
+    assert merged == flat
+
+
+@given(sharded_results(), st.integers(min_value=0, max_value=60))
+@settings(max_examples=200, deadline=None)
+def test_k_truncation_is_prefix_of_full_merge(shards, k):
+    """Any k -- including k exceeding every per-shard hit count or the
+    whole universe -- yields exactly the first k of the full merge."""
+    full = k_merge(shards)
+    assert k_merge(shards, k) == full[:k]
+
+
+@given(sharded_results(), st.randoms(use_true_random=False))
+@settings(max_examples=200, deadline=None)
+def test_merge_is_order_independent(shards, rng):
+    """Unique (distance, index) keys make the merge invariant to shard
+    arrival order -- the invariant the shard_merge_skew fault probes."""
+    baseline = k_merge(shards)
+    shuffled = list(shards)
+    rng.shuffle(shuffled)
+    assert k_merge(shuffled) == baseline
+    assert k_merge(list(reversed(shards))) == baseline
+
+
+@given(sharded_results())
+@settings(max_examples=100, deadline=None)
+def test_ties_across_shards_break_by_global_index(shards):
+    merged = k_merge(shards)
+    keys = [canonical_key(r) for r in merged]
+    assert keys == sorted(keys)
+    # every input result appears exactly once
+    assert sorted(r.index for r in merged) == sorted(
+        r.index for lst in shards for r in lst
+    )
+
+
+def test_empty_and_degenerate_shapes():
+    assert k_merge([]) == []
+    assert k_merge([[], []]) == []
+    one = [SearchResult(item="a", index=0, distance=1.0)]
+    assert k_merge([one, []]) == one
+    assert k_merge([one], 0) == []

@@ -1,0 +1,175 @@
+"""Persistence of the sharded tier: per-shard snapshots, warm starts,
+and loud single-shard degradation on partial corruption."""
+
+import asyncio
+import pathlib
+import warnings
+
+import pytest
+
+from repro.batch import runtime
+from repro.core.levenshtein import levenshtein_distance
+from repro.index import LaesaIndex
+from repro.serve import IndexServer, ServeConfig
+from repro.shard import ShardedIndex
+from repro.store import ArtifactStore, load_or_build
+
+pytestmark = pytest.mark.filterwarnings(
+    "ignore::repro.batch.runtime.DegradedExecutionWarning"
+)
+
+PARAMS = {"shards": 3, "structure": "laesa", "structure_params": {"n_pivots": 4}}
+
+
+def _corpus(n=90, seed=5):
+    import random
+
+    rng = random.Random(seed)
+    return [
+        "".join(rng.choice("abcdefgh") for _ in range(rng.randint(4, 12)))
+        for _ in range(n)
+    ]
+
+
+@pytest.fixture(autouse=True)
+def _clean_runtime():
+    yield
+    runtime.get_runtime().shutdown()
+
+
+@pytest.fixture()
+def counted():
+    calls = {"n": 0}
+
+    def distance(a, b):
+        calls["n"] += 1
+        return levenshtein_distance(a, b)
+
+    distance.calls = calls
+    return distance
+
+
+def _results(per_query):
+    return [
+        ([(r.index, r.distance) for r in results], stats.distance_computations)
+        for results, stats in per_query
+    ]
+
+
+def test_save_then_load_evaluates_no_distances(tmp_path, counted):
+    items = _corpus()
+    queries = _corpus(n=10, seed=99)
+    store = ArtifactStore(tmp_path)
+    built = load_or_build(
+        ShardedIndex, items, counted, store, PARAMS, save_on_miss=True
+    )
+    assert counted.calls["n"] > 0
+    # one snapshot per shard landed in the store
+    manifests = list(pathlib.Path(tmp_path).rglob("manifest.json"))
+    assert len(manifests) == PARAMS["shards"]
+
+    counted.calls["n"] = 0
+    loaded = load_or_build(ShardedIndex, items, counted, store, PARAMS)
+    assert counted.calls["n"] == 0
+    assert loaded.last_degradation == {}
+    assert loaded.n_shards == built.n_shards
+    assert _results(loaded.bulk_knn(queries, 3)) == _results(
+        built.bulk_knn(queries, 3)
+    )
+
+
+def test_explicit_save_returns_store_root(tmp_path):
+    items = _corpus(n=40)
+    store = ArtifactStore(tmp_path)
+    sharded = ShardedIndex(
+        items, levenshtein_distance, shards=2, structure="exhaustive"
+    )
+    assert sharded.save(store) == store.root
+    assert list(pathlib.Path(tmp_path).rglob("manifest.json"))
+
+
+def test_partial_corruption_rebuilds_only_that_shard(tmp_path, counted):
+    items = _corpus()
+    queries = _corpus(n=10, seed=99)
+    store = ArtifactStore(tmp_path)
+    built = load_or_build(
+        ShardedIndex, items, counted, store, PARAMS, save_on_miss=True
+    )
+    reference = _results(built.bulk_knn(queries, 3))
+    build_calls = counted.calls["n"]
+
+    victim = sorted(pathlib.Path(tmp_path).rglob("pivot_rows.npy"))[0]
+    victim.write_bytes(b"not a pivot table")
+
+    counted.calls["n"] = 0
+    with pytest.warns(runtime.DegradedExecutionWarning, match="rebuilding"):
+        rebuilt = load_or_build(ShardedIndex, items, counted, store, PARAMS)
+    # exactly one shard paid its build cost again; the other two loaded free
+    assert 0 < counted.calls["n"] < build_calls
+    assert rebuilt.last_degradation.get("store_load_failures") == 1
+    assert _results(rebuilt.bulk_knn(queries, 3)) == reference
+
+
+def test_unknown_load_params_raise(tmp_path):
+    store = ArtifactStore(tmp_path)
+    with pytest.raises(TypeError, match="unexpected parameters"):
+        load_or_build(
+            ShardedIndex,
+            _corpus(n=20),
+            levenshtein_distance,
+            store,
+            {"shards": 2, "n_pivots": 4},
+        )
+
+
+def test_index_server_warm_starts_a_sharded_index(tmp_path, counted):
+    """The serving tier accepts a ShardedIndex unchanged: warm_start
+    restores every shard with zero distance evaluations and served
+    answers match a direct bulk_knn."""
+    items = _corpus()
+    queries = _corpus(n=8, seed=77)
+    store = ArtifactStore(tmp_path)
+    direct = load_or_build(
+        ShardedIndex, items, counted, store, PARAMS, save_on_miss=True
+    )
+    expected = _results(direct.bulk_knn(queries, 3))
+
+    counted.calls["n"] = 0
+    config = ServeConfig(window_ms=1.0, dispose_runtime_on_drain=False)
+
+    async def drive():
+        server = IndexServer.warm_start(
+            ShardedIndex, items, counted, store, config=config, **PARAMS
+        )
+        assert counted.calls["n"] == 0
+        assert isinstance(server.index, ShardedIndex)
+        async with server:
+            answers = await asyncio.gather(
+                *(server.knn(q, 3) for q in queries)
+            )
+        return answers
+
+    answers = asyncio.run(drive())
+    got = [
+        ([(r.index, r.distance) for r in results], stats.distance_computations)
+        for results, stats in answers
+    ]
+    assert got == expected
+
+
+def test_seed_changes_the_artifact_keys(tmp_path, counted):
+    """A different partition seed is a different corpus layout: the
+    per-shard keys miss and every shard rebuilds."""
+    items = _corpus()
+    store = ArtifactStore(tmp_path)
+    load_or_build(ShardedIndex, items, counted, store, PARAMS, save_on_miss=True)
+    counted.calls["n"] = 0
+    load_or_build(
+        ShardedIndex,
+        items,
+        counted,
+        store,
+        {**PARAMS, "seed": 9},
+        save_on_miss=False,
+    )
+    assert counted.calls["n"] > 0
